@@ -1,0 +1,205 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//
+//  A. LP solver representation: dense two-phase simplex (the paper's
+//     implementation) vs bounded-variable simplex (the paper's stated
+//     future-work improvement) — time per full IGPR run and LP pivots.
+//  B. Refinement policy: paper default (non-strict rounds then strict)
+//     vs strict-from-the-start vs a single round.
+//  C. Alpha staging: doubling search (reproduced behaviour) vs forcing
+//     one-shot alpha = 1 with best-effort fallback only.
+//
+// Run on the mesh-A sequence at 32 partitions; prints paper-style tables.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/multilevel.hpp"
+#include "spectral/kernighan_lin.hpp"
+#include "mesh/paper_meshes.hpp"
+
+namespace {
+
+using namespace pigp;
+using bench::kPaperPartitions;
+
+struct AblationOutcome {
+  double seconds = 0.0;
+  double cut = 0.0;
+  double stages = 0.0;
+  std::int64_t lp_iterations = 0;
+};
+
+AblationOutcome run_variant(const mesh::MeshSequence& seq,
+                            const graph::Partitioning& initial,
+                            const core::IgpOptions& options) {
+  AblationOutcome out;
+  graph::Partitioning current = initial;
+  const core::IncrementalPartitioner igp(options);
+  for (std::size_t step = 1; step < seq.graphs.size(); ++step) {
+    runtime::WallTimer timer;
+    core::IgpResult result = igp.repartition(
+        seq.graphs[step], current, seq.graphs[step - 1].num_vertices());
+    out.seconds += timer.seconds();
+    out.stages += result.stages;
+    out.lp_iterations += result.refine_stats.lp_iterations;
+    for (const auto& stage : result.balance_result.stages) {
+      out.lp_iterations += stage.lp_iterations;
+    }
+    current = std::move(result.partitioning);
+  }
+  out.cut = graph::compute_metrics(seq.graphs.back(), current).cut_total;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablations on mesh A, P = " << kPaperPartitions
+            << " (4 chained increments) ===\n\n";
+  const mesh::MeshSequence seq = mesh::make_paper_mesh_a();
+  const graph::Partitioning initial =
+      spectral::recursive_spectral_bisection(seq.graphs[0],
+                                             kPaperPartitions);
+
+  // ------------------------------------------------ A: solver choice
+  {
+    TextTable table({"solver", "time (s)", "final cut", "LP pivots"});
+    for (const auto kind :
+         {core::LpSolverKind::dense, core::LpSolverKind::bounded}) {
+      core::IgpOptions options;
+      options.set_solver(kind);
+      const AblationOutcome out = run_variant(seq, initial, options);
+      table.add_row(kind == core::LpSolverKind::dense
+                        ? "dense simplex (paper)"
+                        : "bounded-variable simplex",
+                    out.seconds, out.cut, out.lp_iterations);
+    }
+    std::cout << "A. LP solver representation\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ------------------------------------------------ B: refinement policy
+  {
+    TextTable table({"refinement policy", "time (s)", "final cut"});
+    struct Policy {
+      const char* name;
+      int max_rounds;
+      int strict_after;
+    };
+    for (const Policy policy :
+         {Policy{"paper default (strict after 2)", 8, 2},
+          Policy{"strict from round 0", 8, 0},
+          Policy{"single round", 1, 2},
+          Policy{"no refinement (IGP)", 0, 0}}) {
+      core::IgpOptions options;
+      options.refine = policy.max_rounds > 0;
+      options.refinement.max_rounds = policy.max_rounds;
+      options.refinement.strict_after_round = policy.strict_after;
+      const AblationOutcome out = run_variant(seq, initial, options);
+      table.add_row(policy.name, out.seconds, out.cut);
+    }
+    std::cout << "B. Refinement policy\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ------------------------------------------------ B2: LP vs KL refinement
+  {
+    // The paper's LP refinement against the classic mincut local search its
+    // introduction cites.  Run both as a post-pass on the plain IGP output
+    // of the final mesh step.
+    core::IgpOptions plain;
+    plain.refine = false;
+    graph::Partitioning current = initial;
+    const core::IncrementalPartitioner igp(plain);
+    for (std::size_t step = 1; step < seq.graphs.size(); ++step) {
+      current = igp.repartition(seq.graphs[step], current,
+                                seq.graphs[step - 1].num_vertices())
+                    .partitioning;
+    }
+    const graph::Graph& g = seq.graphs.back();
+    const double base_cut = graph::compute_metrics(g, current).cut_total;
+
+    TextTable table({"post-pass on IGP output", "time (s)", "final cut"});
+    table.add_row("none", 0.0, base_cut);
+    {
+      graph::Partitioning p = current;
+      runtime::WallTimer timer;
+      (void)core::refine_partitioning(g, p);
+      table.add_row("LP refinement (paper step 4)", timer.seconds(),
+                    graph::compute_metrics(g, p).cut_total);
+    }
+    {
+      graph::Partitioning p = current;
+      runtime::WallTimer timer;
+      (void)spectral::kernighan_lin_refine(g, p);
+      table.add_row("Kernighan-Lin pairwise", timer.seconds(),
+                    graph::compute_metrics(g, p).cut_total);
+    }
+    {
+      graph::Partitioning p = current;
+      runtime::WallTimer timer;
+      (void)core::refine_partitioning(g, p);
+      (void)spectral::kernighan_lin_refine(g, p);
+      table.add_row("LP then KL", timer.seconds(),
+                    graph::compute_metrics(g, p).cut_total);
+    }
+    std::cout << "B2. LP refinement vs Kernighan-Lin\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ------------------------------------------------ C: alpha staging
+  {
+    TextTable table(
+        {"staging policy", "time (s)", "final cut", "total stages"});
+    for (const double alpha_max : {64.0, 1.0}) {
+      core::IgpOptions options;
+      options.balance.alpha_max = alpha_max;
+      const AblationOutcome out = run_variant(seq, initial, options);
+      table.add_row(alpha_max > 1.0 ? "alpha doubling (paper)"
+                                    : "alpha = 1 + best-effort only",
+                    out.seconds, out.cut, out.stages);
+    }
+    std::cout << "C. Alpha staging policy\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ------------------------------------------------ D: flat vs multilevel
+  {
+    // The paper's §3 future-work extension: apply incremental partitioning
+    // recursively through a coarsening hierarchy.  Compare on the large
+    // mesh-B workload where coarsening has something to save.
+    const mesh::MeshFamily family = mesh::make_paper_mesh_b();
+    const graph::Partitioning base_part =
+        spectral::recursive_spectral_bisection(family.base,
+                                               kPaperPartitions);
+    const graph::Graph& g = family.refined.back();
+    const graph::VertexId n_old = family.base.num_vertices();
+
+    TextTable table({"driver (mesh B +672)", "time (s)", "cut", "balanced"});
+    {
+      runtime::WallTimer timer;
+      const core::IgpResult flat = core::IncrementalPartitioner().repartition(
+          g, base_part, n_old);
+      table.add_row("flat IGPR (paper)", timer.seconds(),
+                    graph::compute_metrics(g, flat.partitioning).cut_total,
+                    flat.balanced ? "yes" : "no");
+    }
+    {
+      core::MultilevelOptions ml;
+      ml.coarsest_size = 1500;
+      runtime::WallTimer timer;
+      const core::IgpResult multi =
+          core::multilevel_repartition(g, base_part, n_old, ml);
+      table.add_row("multilevel IGPR (future work)", timer.seconds(),
+                    graph::compute_metrics(g, multi.partitioning).cut_total,
+                    multi.balanced ? "yes" : "no");
+    }
+    std::cout << "D. Flat vs multilevel incremental partitioning\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Layering and assignment micro-benchmarks (google-benchmark): the
+// per-partition BFS of Figure 3 is the paper's "inherently parallel" step;
+// these benches measure its scaling with graph size and thread count, and
+// the multi-source BFS of the initial assignment step.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/assign.hpp"
+#include "core/layering.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "spectral/partitioners.hpp"
+
+namespace {
+
+using namespace pigp;
+
+struct Workload {
+  graph::Graph g;
+  graph::Partitioning p;
+};
+
+Workload make_workload(int n, int parts) {
+  Workload w;
+  w.g = graph::random_geometric_graph(n, 1.2 / std::sqrt(n), 17);
+  w.p = spectral::recursive_graph_bisection(w.g, parts);
+  return w;
+}
+
+void BM_LayeringSerial(benchmark::State& state) {
+  const Workload w =
+      make_workload(static_cast<int>(state.range(0)), 32);
+  for (auto _ : state) {
+    const core::LayeringResult r = core::layer_partitions(w.g, w.p, 1);
+    benchmark::DoNotOptimize(r.eps.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LayeringSerial)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_LayeringThreads(benchmark::State& state) {
+  const Workload w = make_workload(16000, 32);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const core::LayeringResult r =
+        core::layer_partitions(w.g, w.p, threads);
+    benchmark::DoNotOptimize(r.eps.data());
+  }
+}
+BENCHMARK(BM_LayeringThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AssignNewVertices(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Workload w = make_workload(n, 32);
+  // Pretend the last 5% of vertices are new.
+  const graph::VertexId n_old =
+      static_cast<graph::VertexId>(n - n / 20);
+  graph::Partitioning old_p;
+  old_p.num_parts = w.p.num_parts;
+  old_p.part.assign(w.p.part.begin(), w.p.part.begin() + n_old);
+  for (auto _ : state) {
+    const graph::Partitioning p =
+        core::extend_assignment(w.g, old_p, n_old);
+    benchmark::DoNotOptimize(p.part.data());
+  }
+}
+BENCHMARK(BM_AssignNewVertices)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Partitioner shootout: every from-scratch partitioner in the library
+// (recursive spectral / coordinate / graph bisection) against the
+// incremental repartitioner on the same refined mesh, across partition
+// counts.  Reproduces the paper's framing of RSB as "one of the best-known
+// methods" (the baseline worth being close to) and shows where the cheap
+// geometric/BFS alternatives land.
+
+#include <iostream>
+
+#include "core/igp.hpp"
+#include "graph/partition.hpp"
+#include "mesh/adaptive.hpp"
+#include "runtime/timer.hpp"
+#include "spectral/partitioners.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pigp;
+
+  mesh::AdaptiveMesh amesh = mesh::AdaptiveMesh::random(2500, /*seed=*/77);
+  const graph::Graph before = amesh.to_graph();
+  const mesh::TriMesh snapshot = amesh.snapshot();
+
+  mesh::RefineOptions refine;
+  refine.center = {0.55, 0.45};
+  refine.radius = 0.05;
+  refine.count = 200;
+  refine.seed = 13;
+  (void)amesh.refine_near(refine);
+  const graph::Graph after = amesh.to_graph();
+  const auto coords = amesh.snapshot().coordinates();
+
+  std::cout << "mesh: " << before.num_vertices() << " -> "
+            << after.num_vertices() << " vertices (localized refinement)\n\n";
+
+  for (const graph::PartId parts : {8, 16, 32}) {
+    const graph::Partitioning initial =
+        spectral::recursive_spectral_bisection(before, parts);
+
+    TextTable table({"P=" + std::to_string(parts), "time (s)", "cut",
+                     "max W", "min W", "imbalance"});
+    runtime::WallTimer timer;
+
+    const auto report = [&](const char* name,
+                            const graph::Partitioning& p, double seconds) {
+      const auto m = graph::compute_metrics(after, p);
+      table.add_row(name, seconds, m.cut_total, m.max_weight, m.min_weight,
+                    m.imbalance);
+    };
+
+    timer.reset();
+    report("RSB (spectral)",
+           spectral::recursive_spectral_bisection(after, parts),
+           timer.seconds());
+
+    timer.reset();
+    report("RCB (coordinates)",
+           spectral::recursive_coordinate_bisection(after, parts, coords),
+           timer.seconds());
+
+    timer.reset();
+    report("RGB (BFS)", spectral::recursive_graph_bisection(after, parts),
+           timer.seconds());
+
+    core::IgpOptions igp_options;
+    igp_options.refine = false;
+    timer.reset();
+    report("IGP (incremental)",
+           core::IncrementalPartitioner(igp_options)
+               .repartition(after, initial, before.num_vertices())
+               .partitioning,
+           timer.seconds());
+
+    igp_options.refine = true;
+    timer.reset();
+    report("IGPR (incremental)",
+           core::IncrementalPartitioner(igp_options)
+               .repartition(after, initial, before.num_vertices())
+               .partitioning,
+           timer.seconds());
+
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

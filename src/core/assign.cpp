@@ -1,0 +1,77 @@
+#include "core/assign.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "support/check.hpp"
+
+namespace pigp::core {
+
+graph::Partitioning extend_assignment(
+    const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+    graph::VertexId n_old, const AssignOptions& options) {
+  const graph::VertexId n = g_new.num_vertices();
+  PIGP_CHECK(n_old >= 0 && n_old <= n, "n_old out of range");
+  PIGP_CHECK(static_cast<graph::VertexId>(old_partitioning.part.size()) ==
+                 n_old,
+             "old partitioning must cover exactly the old vertices");
+  PIGP_CHECK(n_old > 0, "need at least one previously partitioned vertex");
+
+  graph::Partitioning result;
+  result.num_parts = old_partitioning.num_parts;
+  result.part.assign(static_cast<std::size_t>(n), graph::kUnassigned);
+
+  // Multi-source BFS with the old vertices as labeled seeds.
+  std::vector<std::int32_t> seeds(static_cast<std::size_t>(n), -1);
+  for (graph::VertexId v = 0; v < n_old; ++v) {
+    seeds[static_cast<std::size_t>(v)] =
+        old_partitioning.part[static_cast<std::size_t>(v)];
+  }
+  const graph::NearestSourceResult near =
+      graph::nearest_source_labels(g_new, seeds, options.num_threads);
+
+  for (graph::VertexId v = 0; v < n; ++v) {
+    result.part[static_cast<std::size_t>(v)] =
+        near.label[static_cast<std::size_t>(v)];
+  }
+
+  // Fallback for new vertices unreachable from any old vertex: cluster them
+  // (connected components of the leftover set) and assign each cluster to
+  // the partition with the least current weight.
+  std::vector<graph::VertexId> orphans;
+  for (graph::VertexId v = n_old; v < n; ++v) {
+    if (result.part[static_cast<std::size_t>(v)] < 0) orphans.push_back(v);
+  }
+  if (!orphans.empty()) {
+    std::vector<double> load(
+        static_cast<std::size_t>(result.num_parts), 0.0);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const graph::PartId q = result.part[static_cast<std::size_t>(v)];
+      if (q >= 0) load[static_cast<std::size_t>(q)] += g_new.vertex_weight(v);
+    }
+
+    const graph::Subgraph sub = graph::induced_subgraph(g_new, orphans);
+    const graph::Components comps = graph::connected_components(sub.graph);
+    const auto groups = comps.members();
+    for (const auto& group : groups) {
+      double cluster_weight = 0.0;
+      for (const graph::VertexId local : group) {
+        cluster_weight += sub.graph.vertex_weight(local);
+      }
+      const auto lightest = static_cast<graph::PartId>(std::distance(
+          load.begin(), std::min_element(load.begin(), load.end())));
+      for (const graph::VertexId local : group) {
+        result.part[static_cast<std::size_t>(
+            sub.to_global[static_cast<std::size_t>(local)])] = lightest;
+      }
+      load[static_cast<std::size_t>(lightest)] += cluster_weight;
+    }
+  }
+
+  result.validate(g_new);
+  return result;
+}
+
+}  // namespace pigp::core

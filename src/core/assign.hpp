@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file assign.hpp
+/// Step 1 of the incremental partitioner (Ou & Ranka §2.1): give every new
+/// vertex the partition of its nearest old vertex.
+///
+/// M'(v) = M(x) where x minimizes d(v, x) over old vertices (eq. 7),
+/// computed with one multi-source BFS from all old vertices at once — the
+/// inherently parallel formulation the paper relies on.  New vertices in
+/// components containing no old vertex are clustered and each cluster is
+/// assigned to the least-loaded partition (§2.1's fallback strategy).
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::core {
+
+struct AssignOptions {
+  int num_threads = 1;
+};
+
+/// Extend \p old_partitioning (covering vertices [0, n_old) of \p g_new) to
+/// all vertices of \p g_new.  Vertices below n_old keep their partitions.
+[[nodiscard]] graph::Partitioning extend_assignment(
+    const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+    graph::VertexId n_old, const AssignOptions& options = {});
+
+}  // namespace pigp::core

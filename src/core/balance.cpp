@@ -1,0 +1,223 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/transfer.hpp"
+#include "lp/bounded_simplex.hpp"
+#include "support/check.hpp"
+
+namespace pigp::core {
+
+lp::Solution solve_lp(const lp::LinearProgram& program, LpSolverKind kind,
+                      const lp::SimplexOptions& options) {
+  if (kind == LpSolverKind::bounded) {
+    return lp::BoundedSimplex(options).solve(program);
+  }
+  return lp::DenseSimplex(options).solve(program);
+}
+
+std::vector<double> staged_requirements(const std::vector<double>& excess,
+                                        double alpha) {
+  PIGP_CHECK(alpha >= 1.0, "alpha must be at least 1");
+  const std::size_t parts = excess.size();
+  std::vector<double> rhs(parts, 0.0);
+  std::vector<double> remainder(parts, 0.0);
+  double base_sum = 0.0;
+  for (std::size_t q = 0; q < parts; ++q) {
+    const double raw = excess[q] / alpha;
+    rhs[q] = std::floor(raw);
+    remainder[q] = raw - rhs[q];
+    base_sum += rhs[q];
+  }
+  // Σ raw = 0 (targets sum to the total weight), so the remainders sum to
+  // -base_sum, a non-negative integer; bump that many largest remainders.
+  auto bumps = static_cast<std::int64_t>(std::llround(-base_sum));
+  std::vector<std::size_t> order(parts);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&remainder](std::size_t a,
+                                                     std::size_t b) {
+    if (remainder[a] != remainder[b]) return remainder[a] > remainder[b];
+    return a < b;
+  });
+  for (std::size_t i = 0; bumps > 0 && i < parts; ++i, --bumps) {
+    rhs[order[i]] += 1.0;
+  }
+  return rhs;
+}
+
+lp::LinearProgram build_balance_lp(
+    const pigp::DenseMatrix<std::int64_t>& eps, const std::vector<double>& rhs,
+    pigp::DenseMatrix<int>* pair_vars) {
+  const std::size_t parts = eps.rows();
+  PIGP_CHECK(eps.cols() == parts, "eps must be square");
+  PIGP_CHECK(rhs.size() == parts, "rhs size mismatch");
+
+  lp::LinearProgram program(lp::Sense::minimize);
+  pigp::DenseMatrix<int> vars(parts, parts, -1);
+  for (std::size_t i = 0; i < parts; ++i) {
+    for (std::size_t j = 0; j < parts; ++j) {
+      if (i == j || eps(i, j) <= 0) continue;
+      vars(i, j) = program.add_variable(
+          1.0, 0.0, static_cast<double>(eps(i, j)),
+          "l" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  for (std::size_t q = 0; q < parts; ++q) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (std::size_t k = 0; k < parts; ++k) {
+      if (vars(q, k) >= 0) coeffs.emplace_back(vars(q, k), 1.0);
+      if (vars(k, q) >= 0) coeffs.emplace_back(vars(k, q), -1.0);
+    }
+    program.add_row(lp::RowType::equal, std::move(coeffs), rhs[q],
+                    "balance" + std::to_string(q));
+  }
+  if (pair_vars != nullptr) *pair_vars = std::move(vars);
+  return program;
+}
+
+StageDecision decide_stage_moves(const pigp::DenseMatrix<std::int64_t>& eps,
+                                 const std::vector<double>& excess,
+                                 const BalanceOptions& options) {
+  const std::size_t parts = eps.rows();
+  StageDecision decision;
+  decision.moves = pigp::DenseMatrix<std::int64_t>(parts, parts, 0);
+
+  const auto harvest = [&](const lp::Solution& solution,
+                           const pigp::DenseMatrix<int>& pair_vars) {
+    for (std::size_t i = 0; i < parts; ++i) {
+      for (std::size_t j = 0; j < parts; ++j) {
+        if (pair_vars(i, j) < 0) continue;
+        const double value =
+            solution.x[static_cast<std::size_t>(pair_vars(i, j))];
+        decision.moves(i, j) = std::llround(value);
+        decision.stats.vertices_moved += static_cast<double>(
+            decision.moves(i, j));
+      }
+    }
+  };
+
+  // Paper staging: smallest feasible alpha in {1, 2, 4, ...}.
+  pigp::DenseMatrix<int> pair_vars;
+  for (double alpha = 1.0; alpha <= options.alpha_max; alpha *= 2.0) {
+    const std::vector<double> rhs = staged_requirements(excess, alpha);
+    if (std::all_of(rhs.begin(), rhs.end(),
+                    [](double r) { return r == 0.0; })) {
+      break;  // excess too small relative to alpha; nothing to request
+    }
+    const lp::LinearProgram program = build_balance_lp(eps, rhs, &pair_vars);
+    const lp::Solution solution =
+        solve_lp(program, options.solver, options.simplex);
+    if (solution.status == lp::SolveStatus::optimal) {
+      decision.stats.alpha = alpha;
+      decision.stats.lp_variables = program.num_variables();
+      decision.stats.lp_rows = program.num_rows();
+      decision.stats.lp_iterations = solution.iterations;
+      harvest(solution, pair_vars);
+      decision.progress = decision.stats.vertices_moved > 0.5;
+      return decision;
+    }
+  }
+
+  // Best-effort fallback: relax the balance rows with penalized slack and
+  // move whatever the epsilon capacities admit this stage; the next stage
+  // re-layers and continues.
+  const std::vector<double> rhs = staged_requirements(excess, 1.0);
+  lp::LinearProgram program(lp::Sense::minimize);
+  pigp::DenseMatrix<int> vars(parts, parts, -1);
+  for (std::size_t i = 0; i < parts; ++i) {
+    for (std::size_t j = 0; j < parts; ++j) {
+      if (i == j || eps(i, j) <= 0) continue;
+      // Light penalty keeps total movement minimal among max-progress
+      // solutions while leaving slack reduction dominant.
+      vars(i, j) = program.add_variable(
+          1e-3, 0.0, static_cast<double>(eps(i, j)));
+    }
+  }
+  for (std::size_t q = 0; q < parts; ++q) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (std::size_t k = 0; k < parts; ++k) {
+      if (vars(q, k) >= 0) coeffs.emplace_back(vars(q, k), 1.0);
+      if (vars(k, q) >= 0) coeffs.emplace_back(vars(k, q), -1.0);
+    }
+    const int slack_pos = program.add_variable(1.0);
+    const int slack_neg = program.add_variable(1.0);
+    coeffs.emplace_back(slack_pos, 1.0);
+    coeffs.emplace_back(slack_neg, -1.0);
+    program.add_row(lp::RowType::equal, std::move(coeffs), rhs[q]);
+  }
+  const lp::Solution solution =
+      solve_lp(program, options.solver, options.simplex);
+  PIGP_CHECK(solution.status == lp::SolveStatus::optimal,
+             "relaxed balance LP is always feasible");
+  decision.stats.alpha = 0.0;  // flags the best-effort path
+  decision.stats.lp_variables = program.num_variables();
+  decision.stats.lp_rows = program.num_rows();
+  decision.stats.lp_iterations = solution.iterations;
+  harvest(solution, vars);
+  decision.progress = decision.stats.vertices_moved > 0.5;
+  return decision;
+}
+
+BalanceResult balance_load(const graph::Graph& g,
+                           graph::Partitioning& partitioning,
+                           const BalanceOptions& options) {
+  partitioning.validate(g);
+  BalanceResult result;
+  const auto parts = static_cast<std::size_t>(partitioning.num_parts);
+  const std::vector<double> targets =
+      graph::balance_targets(g.total_vertex_weight(), partitioning.num_parts);
+
+  for (int stage = 0; stage < options.max_stages; ++stage) {
+    // Current excess per partition.
+    std::vector<double> weight(parts, 0.0);
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      weight[static_cast<std::size_t>(
+          partitioning.part[static_cast<std::size_t>(v)])] +=
+          g.vertex_weight(v);
+    }
+    std::vector<double> excess(parts, 0.0);
+    double max_dev = 0.0;
+    for (std::size_t q = 0; q < parts; ++q) {
+      excess[q] = weight[q] - targets[q];
+      max_dev = std::max(max_dev, std::abs(excess[q]));
+    }
+    result.final_max_deviation = max_dev;
+    if (max_dev <= options.tolerance) {
+      result.balanced = true;
+      return result;
+    }
+
+    const LayeringResult layering =
+        layer_partitions(g, partitioning, options.num_threads);
+
+    const StageDecision decision =
+        decide_stage_moves(layering.eps, excess, options);
+    if (!decision.progress) {
+      // Nothing can move at all (e.g. a partition with no boundary);
+      // report imbalance to the caller, who may fall back to
+      // repartitioning from scratch (§2.3).
+      return result;
+    }
+    result.stages.push_back(decision.stats);
+    apply_balance_transfers(g, partitioning, layering, decision.moves);
+  }
+
+  // Stage budget exhausted; report the residual deviation.
+  std::vector<double> weight(parts, 0.0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    weight[static_cast<std::size_t>(
+        partitioning.part[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+  double max_dev = 0.0;
+  for (std::size_t q = 0; q < parts; ++q) {
+    max_dev = std::max(max_dev, std::abs(weight[q] - targets[q]));
+  }
+  result.final_max_deviation = max_dev;
+  result.balanced = max_dev <= options.tolerance;
+  return result;
+}
+
+}  // namespace pigp::core

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file balance.hpp
+/// Step 3 of the incremental partitioner: LP-based load balancing
+/// (Ou & Ranka §2.3, equations 10–13).
+///
+/// Given the layering counts ε_ij, solve
+///     minimize   Σ l_ij                                   (10)
+///     subject to 0 ≤ l_ij ≤ ε_ij                          (11)
+///                Σ_k (l_qk − l_kq) = W'(q) − μ_q   ∀q     (12)
+/// and move the selected vertices (boundary layers first).  When the
+/// one-shot LP is infeasible — the localized refinement dumped more excess
+/// into a partition than its boundary can shed — the balance condition is
+/// relaxed to move only 1/α of the excess per stage (13) and the procedure
+/// iterates; the paper reports 1–3 stages on its workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layering.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "lp/dense_simplex.hpp"
+#include "lp/program.hpp"
+#include "support/dense_matrix.hpp"
+
+namespace pigp::core {
+
+/// Which simplex implementation to use.
+enum class LpSolverKind {
+  dense,    ///< the paper's dense two-phase simplex
+  bounded,  ///< bounded-variable simplex (the paper's future-work variant)
+};
+
+[[nodiscard]] lp::Solution solve_lp(const lp::LinearProgram& program,
+                                    LpSolverKind kind,
+                                    const lp::SimplexOptions& options);
+
+struct BalanceOptions {
+  /// Upper bound C on the relaxation factor α (paper: C > α > 1).
+  double alpha_max = 64.0;
+  int max_stages = 12;
+  /// |W(q) − target_q| ≤ tolerance counts as balanced.
+  double tolerance = 0.5;
+  LpSolverKind solver = LpSolverKind::dense;
+  lp::SimplexOptions simplex;
+  int num_threads = 1;
+};
+
+/// Telemetry for one balance stage.
+struct BalanceStage {
+  double alpha = 1.0;
+  int lp_variables = 0;
+  int lp_rows = 0;
+  std::int64_t lp_iterations = 0;
+  double vertices_moved = 0.0;
+};
+
+struct BalanceResult {
+  bool balanced = false;
+  std::vector<BalanceStage> stages;
+  double final_max_deviation = 0.0;
+};
+
+/// The movement LP for one stage.  \p rhs gives each partition's net
+/// outflow requirement; variables exist for ordered pairs with eps > 0.
+/// \p pair_vars receives the variable index per (i, j) pair (-1 when
+/// absent).  Exposed for tests and the SPMD driver.
+[[nodiscard]] lp::LinearProgram build_balance_lp(
+    const pigp::DenseMatrix<std::int64_t>& eps, const std::vector<double>& rhs,
+    pigp::DenseMatrix<int>* pair_vars);
+
+/// Round per-partition flow requirements excess/alpha to integers that sum
+/// to zero (largest-remainder).  Exposed for tests.
+[[nodiscard]] std::vector<double> staged_requirements(
+    const std::vector<double>& excess, double alpha);
+
+/// The per-stage movement decision shared by the shared-memory and SPMD
+/// drivers: find the smallest feasible α by doubling (the paper's staging),
+/// and when no α is feasible — the layering capacities are structurally
+/// insufficient this stage — fall back to a best-effort LP that moves as
+/// much toward balance as the capacities allow (slack variables penalized,
+/// movement lightly penalized).  `progress` is false when nothing can move.
+struct StageDecision {
+  bool progress = false;
+  BalanceStage stats;
+  pigp::DenseMatrix<std::int64_t> moves;
+};
+[[nodiscard]] StageDecision decide_stage_moves(
+    const pigp::DenseMatrix<std::int64_t>& eps,
+    const std::vector<double>& excess, const BalanceOptions& options);
+
+/// Run balance stages in place on \p partitioning until balanced or the
+/// stage limit is hit.  Layering is recomputed each stage.
+[[nodiscard]] BalanceResult balance_load(const graph::Graph& g,
+                                         graph::Partitioning& partitioning,
+                                         const BalanceOptions& options = {});
+
+}  // namespace pigp::core

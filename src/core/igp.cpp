@@ -1,0 +1,68 @@
+#include "core/igp.hpp"
+
+#include "runtime/timer.hpp"
+#include "support/check.hpp"
+
+namespace pigp::core {
+
+IgpResult IncrementalPartitioner::repartition(
+    const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+    graph::VertexId n_old) const {
+  const runtime::WallTimer total_timer;
+  IgpResult result;
+
+  // Step 1: initial assignment of the new vertices.
+  runtime::WallTimer timer;
+  AssignOptions assign_options;
+  assign_options.num_threads = options_.num_threads;
+  result.partitioning =
+      extend_assignment(g_new, old_partitioning, n_old, assign_options);
+  result.timings.assign = timer.seconds();
+
+  // Steps 2–3: layering + LP balancing (multi-stage).
+  timer.reset();
+  result.balance_result =
+      balance_load(g_new, result.partitioning, options_.balance);
+  result.balanced = result.balance_result.balanced;
+  result.stages = static_cast<int>(result.balance_result.stages.size());
+  result.timings.balance = timer.seconds();
+
+  // Step 4: refinement (IGPR).
+  if (options_.refine) {
+    timer.reset();
+    result.refine_stats =
+        refine_partitioning(g_new, result.partitioning, options_.refinement);
+    result.timings.refine = timer.seconds();
+  }
+
+  result.timings.total = total_timer.seconds();
+  return result;
+}
+
+IgpResult IncrementalPartitioner::repartition_delta(
+    const graph::Graph& g_old, const graph::Partitioning& old_partitioning,
+    const graph::GraphDelta& delta, graph::Graph* result_graph) const {
+  old_partitioning.validate(g_old);
+  graph::DeltaResult applied = graph::apply_delta(g_old, delta);
+
+  // Carry surviving vertices' partitions through the id remap.
+  graph::Partitioning carried;
+  carried.num_parts = old_partitioning.num_parts;
+  carried.part.assign(static_cast<std::size_t>(applied.first_new_vertex),
+                      graph::kUnassigned);
+  for (graph::VertexId v = 0; v < g_old.num_vertices(); ++v) {
+    const graph::VertexId mapped =
+        applied.old_to_new[static_cast<std::size_t>(v)];
+    if (mapped != graph::kInvalidVertex) {
+      carried.part[static_cast<std::size_t>(mapped)] =
+          old_partitioning.part[static_cast<std::size_t>(v)];
+    }
+  }
+
+  IgpResult result =
+      repartition(applied.graph, carried, applied.first_new_vertex);
+  if (result_graph != nullptr) *result_graph = std::move(applied.graph);
+  return result;
+}
+
+}  // namespace pigp::core

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file igp.hpp
+/// The Incremental Graph Partitioner (IGP / IGPR) driver — the paper's
+/// primary contribution, chaining the four steps of Figure 1:
+///
+///   1. assign new vertices to the partition of their nearest old vertex,
+///   2. layer each partition (closest-outside-partition labels, ε_ij),
+///   3. balance load with the movement-minimizing LP (multi-stage α),
+///   4. optionally refine the cut with the movement-maximizing LP (IGPR).
+///
+/// The driver accepts either a pre-extended graph (new vertices appended to
+/// the old id space) or a graph::GraphDelta, in which case deletions are
+/// remapped automatically.
+
+#include <cstdint>
+
+#include "core/assign.hpp"
+#include "core/balance.hpp"
+#include "core/refine.hpp"
+#include "graph/delta.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::core {
+
+struct IgpOptions {
+  /// Run the refinement pass (IGPR) after balancing (IGP).
+  bool refine = true;
+  BalanceOptions balance;
+  RefineOptions refinement;
+  int num_threads = 1;
+
+  /// Convenience: propagate thread count and solver choice downward.
+  void set_threads(int threads) {
+    num_threads = threads;
+    balance.num_threads = threads;
+    balance.simplex.num_threads = threads;
+    refinement.num_threads = threads;
+    refinement.simplex.num_threads = threads;
+  }
+  void set_solver(LpSolverKind kind) {
+    balance.solver = kind;
+    refinement.solver = kind;
+  }
+};
+
+/// Wall-clock breakdown of one repartitioning (seconds).
+struct IgpTimings {
+  double assign = 0.0;
+  double balance = 0.0;  ///< includes per-stage layering + LP + transfer
+  double refine = 0.0;
+  double total = 0.0;
+};
+
+struct IgpResult {
+  graph::Partitioning partitioning;
+  bool balanced = false;
+  int stages = 0;              ///< balance stages used (paper's IGP(k))
+  BalanceResult balance_result;
+  RefineStats refine_stats;
+  IgpTimings timings;
+};
+
+/// Incremental repartitioner.  Thread-safe for concurrent repartition calls
+/// with distinct outputs (the object holds only options).
+class IncrementalPartitioner {
+ public:
+  explicit IncrementalPartitioner(IgpOptions options = {})
+      : options_(options) {}
+
+  /// Repartition \p g_new given the partitioning of its first \p n_old
+  /// vertices (ids preserved; no deletions).
+  [[nodiscard]] IgpResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old) const;
+
+  /// Apply \p delta to \p g_old and repartition the result.  Handles vertex
+  /// deletions via the delta's id remapping.  \p result_graph (optional)
+  /// receives the updated graph.
+  [[nodiscard]] IgpResult repartition_delta(
+      const graph::Graph& g_old, const graph::Partitioning& old_partitioning,
+      const graph::GraphDelta& delta,
+      graph::Graph* result_graph = nullptr) const;
+
+  [[nodiscard]] const IgpOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  IgpOptions options_;
+};
+
+}  // namespace pigp::core

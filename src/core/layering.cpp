@@ -1,0 +1,166 @@
+#include "core/layering.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pigp::core {
+namespace {
+
+/// Deterministic integer mixer (murmur3 finalizer).  Raw vertex ids are
+/// heavily correlated with mesh structure (e.g. a grid column shares its id
+/// parity), so ties must be spread by a hash, not by the id itself.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Pick the label with the largest tally; the paper breaks ties
+/// "arbitrarily" — we spread tied vertices across the tied partitions by
+/// hashed vertex id, which is deterministic but avoids piling all tied
+/// capacity onto one partition (that can make the balance LP structurally
+/// infeasible, e.g. on striped partitionings).
+graph::PartId majority_label(const std::vector<double>& tally,
+                             graph::VertexId v) {
+  double best = 0.0;
+  for (const double t : tally) best = std::max(best, t);
+  if (best <= 0.0) return -1;
+  int tied_count = 0;
+  graph::PartId only = -1;
+  for (std::size_t q = 0; q < tally.size(); ++q) {
+    if (tally[q] == best) {
+      only = static_cast<graph::PartId>(q);
+      ++tied_count;
+    }
+  }
+  if (tied_count == 1) return only;
+  const int pick = static_cast<int>(
+      mix(static_cast<std::uint64_t>(v)) %
+      static_cast<std::uint64_t>(tied_count));
+  int seen = 0;
+  for (std::size_t q = 0; q < tally.size(); ++q) {
+    if (tally[q] == best) {
+      if (seen == pick) return static_cast<graph::PartId>(q);
+      ++seen;
+    }
+  }
+  return only;
+}
+
+}  // namespace
+
+std::vector<std::vector<graph::VertexId>> partition_members(
+    const graph::Partitioning& p) {
+  std::vector<std::vector<graph::VertexId>> members(
+      static_cast<std::size_t>(p.num_parts));
+  for (std::size_t v = 0; v < p.part.size(); ++v) {
+    members[static_cast<std::size_t>(p.part[v])].push_back(
+        static_cast<graph::VertexId>(v));
+  }
+  return members;
+}
+
+void layer_one_partition(const graph::Graph& g, const graph::Partitioning& p,
+                         graph::PartId target,
+                         const std::vector<graph::VertexId>& members,
+                         std::vector<graph::PartId>& label,
+                         std::vector<std::int32_t>& layer,
+                         std::int64_t* eps_row) {
+  const auto num_parts = static_cast<std::size_t>(p.num_parts);
+  std::vector<double> tally(num_parts, 0.0);
+
+  // Seed layer 0: boundary vertices labeled with the outside partition they
+  // share the largest edge weight with (ties -> smallest partition id).
+  std::vector<graph::VertexId> frontier;
+  for (const graph::VertexId v : members) {
+    std::fill(tally.begin(), tally.end(), 0.0);
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    bool boundary = false;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
+      if (q != target) {
+        tally[static_cast<std::size_t>(q)] += weights[i];
+        boundary = true;
+      }
+    }
+    if (!boundary) continue;
+    label[static_cast<std::size_t>(v)] = majority_label(tally, v);
+    layer[static_cast<std::size_t>(v)] = 0;
+    frontier.push_back(v);
+  }
+
+  // Grow layers inward.  Each candidate adopts the label carried by the
+  // largest edge weight into the previous layer (ties -> smallest label).
+  std::int32_t level = 0;
+  std::vector<graph::VertexId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const graph::VertexId u : frontier) {
+      for (const graph::VertexId w : g.neighbors(u)) {
+        if (p.part[static_cast<std::size_t>(w)] != target) continue;
+        if (layer[static_cast<std::size_t>(w)] >= 0) continue;  // seen
+        layer[static_cast<std::size_t>(w)] = level + 1;  // enqueue marker
+        next.push_back(w);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    for (const graph::VertexId w : next) {
+      std::fill(tally.begin(), tally.end(), 0.0);
+      const auto nbrs = g.neighbors(w);
+      const auto weights = g.incident_edge_weights(w);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const graph::VertexId u = nbrs[i];
+        if (p.part[static_cast<std::size_t>(u)] == target &&
+            layer[static_cast<std::size_t>(u)] == level) {
+          tally[static_cast<std::size_t>(
+              label[static_cast<std::size_t>(u)])] += weights[i];
+        }
+      }
+      const graph::PartId best = majority_label(tally, w);
+      PIGP_ASSERT(best >= 0);
+      label[static_cast<std::size_t>(w)] = best;  // layer set at enqueue
+    }
+    frontier = next;
+    ++level;
+  }
+
+  if (eps_row != nullptr) {
+    for (const graph::VertexId v : members) {
+      const graph::PartId l = label[static_cast<std::size_t>(v)];
+      if (l >= 0) ++eps_row[static_cast<std::size_t>(l)];
+    }
+  }
+}
+
+LayeringResult layer_partitions(const graph::Graph& g,
+                                const graph::Partitioning& p,
+                                int num_threads) {
+  p.validate(g);
+  LayeringResult result;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  result.label.assign(n, -1);
+  result.layer.assign(n, -1);
+  result.eps = pigp::DenseMatrix<std::int64_t>(
+      static_cast<std::size_t>(p.num_parts),
+      static_cast<std::size_t>(p.num_parts), 0);
+
+  const auto members = partition_members(p);
+  const bool parallel = num_threads > 1 && p.num_parts > 1;
+#pragma omp parallel for schedule(dynamic, 1) if (parallel) \
+    num_threads(num_threads)
+  for (graph::PartId q = 0; q < p.num_parts; ++q) {
+    // Partitions are vertex-disjoint, so the shared label/layer/eps arrays
+    // are written without races.
+    layer_one_partition(g, p, q, members[static_cast<std::size_t>(q)],
+                        result.label, result.layer,
+                        result.eps.row(static_cast<std::size_t>(q)).data());
+  }
+  return result;
+}
+
+}  // namespace pigp::core

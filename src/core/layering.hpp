@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file layering.hpp
+/// Step 2 of the incremental partitioner: the layering algorithm of
+/// Figure 3 (Ou & Ranka §2.2).
+///
+/// Every vertex of partition i is labeled with the "closest outside
+/// partition" L'(v): boundary vertices take the neighboring partition they
+/// share the most edges with (layer 0), then layers grow inward level by
+/// level, each vertex adopting the majority label among its already-labeled
+/// neighbors in the previous layer.  The counts
+///     ε_ij = |{v in partition i : L'(v) = j}|
+/// upper-bound how many vertices partition i can cede to partition j in the
+/// load-balancing LP (constraint 11), and the layer number orders vertices
+/// so transfers peel from the boundary inward.
+///
+/// Layering is embarrassingly parallel across partitions — this is the
+/// heart of the paper's parallelization — so the entry point can run each
+/// partition's BFS on its own OpenMP thread (or on its owning SPMD rank via
+/// layer_one_partition).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "support/dense_matrix.hpp"
+
+namespace pigp::core {
+
+/// Result of layering all partitions.
+struct LayeringResult {
+  /// L'(v): closest outside partition, or -1 when the vertex's component
+  /// never touches another partition (only possible in disconnected graphs).
+  std::vector<graph::PartId> label;
+  /// BFS depth from the partition boundary (0 = boundary vertex), or -1.
+  std::vector<std::int32_t> layer;
+  /// eps(i, j): movable-vertex counts per ordered partition pair.
+  pigp::DenseMatrix<std::int64_t> eps;
+};
+
+/// Layer every partition; \p num_threads > 1 processes partitions in
+/// parallel (results are identical to the serial run).
+[[nodiscard]] LayeringResult layer_partitions(const graph::Graph& g,
+                                              const graph::Partitioning& p,
+                                              int num_threads = 1);
+
+/// Layer a single partition, writing only entries of \p label / \p layer
+/// belonging to partition \p target and the eps row \p eps_row (size
+/// num_parts).  Used by the SPMD driver where each rank owns a subset of
+/// partitions.  \p members lists the vertices of the partition.
+void layer_one_partition(const graph::Graph& g, const graph::Partitioning& p,
+                         graph::PartId target,
+                         const std::vector<graph::VertexId>& members,
+                         std::vector<graph::PartId>& label,
+                         std::vector<std::int32_t>& layer,
+                         std::int64_t* eps_row);
+
+/// Vertices grouped by partition (index [q] lists partition q's vertices in
+/// ascending id order).
+[[nodiscard]] std::vector<std::vector<graph::VertexId>> partition_members(
+    const graph::Partitioning& p);
+
+}  // namespace pigp::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file multilevel.hpp
+/// Multilevel incremental partitioning — the extension the paper names as
+/// work in progress (§3: "Another option is to use a multilevel approach
+/// and apply incremental partitioning recursively.  We are currently
+/// exploring this approach.").
+///
+/// The cost of the flat algorithm is dominated by the simplex solve and the
+/// per-partition BFS over all vertices.  The multilevel variant coarsens
+/// the graph by heavy-edge matching, runs the balance stage on the coarse
+/// graph (same LP, far fewer vertices to layer and transfer), then projects
+/// the assignment back level by level, polishing each level with the LP
+/// refinement pass and finishing with an exact fine-level balance.
+
+#include <vector>
+
+#include "core/igp.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::core {
+
+/// One coarsening step: the coarse graph plus the fine-to-coarse map.
+struct Coarsening {
+  graph::Graph coarse;
+  /// fine vertex -> coarse vertex (surjective onto [0, coarse.n)).
+  std::vector<graph::VertexId> fine_to_coarse;
+};
+
+/// Heavy-edge-matching coarsening: greedily match each unmatched vertex
+/// with its heaviest-edge unmatched neighbor (ties to the smaller id);
+/// matched pairs merge into one coarse vertex with summed weight, parallel
+/// edges aggregate their weights.  Deterministic.
+[[nodiscard]] Coarsening coarsen_heavy_edge(const graph::Graph& g);
+
+/// Project a fine partitioning to the coarse graph: each coarse vertex
+/// takes the assignment of its (weight-)dominant fine constituent.
+[[nodiscard]] graph::Partitioning project_to_coarse(
+    const Coarsening& c, const graph::Partitioning& fine);
+
+/// Project a coarse partitioning back to the fine graph.
+[[nodiscard]] graph::Partitioning project_to_fine(
+    const Coarsening& c, const graph::Partitioning& coarse,
+    graph::VertexId fine_vertices);
+
+struct MultilevelOptions {
+  IgpOptions igp;                ///< options for the per-level passes
+  int coarsest_size = 2000;      ///< stop coarsening below this many vertices
+  int max_levels = 6;
+};
+
+/// Multilevel IGP/IGPR: step-1 assignment on the fine graph, V-cycle of
+/// coarsen → balance-at-coarsest → project+refine → exact fine balance.
+[[nodiscard]] IgpResult multilevel_repartition(
+    const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+    graph::VertexId n_old, const MultilevelOptions& options = {});
+
+}  // namespace pigp::core

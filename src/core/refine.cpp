@@ -1,0 +1,231 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/transfer.hpp"
+#include "support/check.hpp"
+
+namespace pigp::core {
+namespace {
+
+/// Candidate analysis for one round: each boundary vertex is assigned to
+/// its best-gain destination when the gain passes the (possibly strict)
+/// threshold.
+pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
+    const graph::Graph& g, const graph::Partitioning& p, bool strict,
+    int num_threads) {
+  const auto parts = static_cast<std::size_t>(p.num_parts);
+  pigp::DenseMatrix<std::vector<GainCandidate>> candidates(parts, parts);
+
+  std::vector<std::vector<std::pair<std::size_t, GainCandidate>>> local(
+      static_cast<std::size_t>(std::max(1, num_threads)));
+  const bool parallel = num_threads > 1 && g.num_vertices() > 4096;
+
+#pragma omp parallel num_threads(num_threads) if (parallel)
+  {
+#ifdef _OPENMP
+    const int tid = parallel ? omp_get_thread_num() : 0;
+#else
+    const int tid = 0;
+#endif
+    auto& mine = local[static_cast<std::size_t>(tid)];
+#pragma omp for schedule(static)
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      const graph::PartId from = p.part[static_cast<std::size_t>(v)];
+      const auto nbrs = g.neighbors(v);
+      const auto weights = g.incident_edge_weights(v);
+      // out(v, j) per partition and in(v).
+      double in = 0.0;
+      std::vector<double> out(parts, 0.0);
+      bool boundary = false;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const graph::PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
+        if (q == from) {
+          in += weights[i];
+        } else {
+          out[static_cast<std::size_t>(q)] += weights[i];
+          boundary = true;
+        }
+      }
+      if (!boundary) continue;
+      // Best destination by gain, ties to the smaller partition id.
+      graph::PartId best = -1;
+      double best_gain = 0.0;
+      for (std::size_t q = 0; q < parts; ++q) {
+        if (out[q] <= 0.0) continue;
+        const double gain = out[q] - in;
+        if (best < 0 || gain > best_gain) {
+          best = static_cast<graph::PartId>(q);
+          best_gain = gain;
+        }
+      }
+      if (best < 0) continue;
+      if (strict ? best_gain > 0.0 : best_gain >= 0.0) {
+        mine.emplace_back(
+            static_cast<std::size_t>(from) * parts +
+                static_cast<std::size_t>(best),
+            GainCandidate{v, best_gain});
+      }
+    }
+  }
+  for (const auto& chunk : local) {
+    for (const auto& [slot, cand] : chunk) {
+      candidates(slot / parts, slot % parts).push_back(cand);
+    }
+  }
+  return candidates;
+}
+
+/// The refinement LP (eqs. 14–16) with a gain-aware objective.  The paper
+/// maximizes raw movement Σ l_ij; taken literally that lets zero-gain
+/// vertices (out == in, admitted by the non-strict inequality) dominate the
+/// solution and churn the boundary without improving the cut.  The paper's
+/// own justification for including them is that "these vertices can be
+/// moved to satisfy load balance constraints" — i.e. they exist to *route
+/// flow*, not to be goals in themselves.  We encode exactly that: each pair
+/// gets a positive-gain variable (capacity = number of gain>0 candidates,
+/// objective = their mean gain) and a zero-gain variable (capacity =
+/// remaining candidates, objective = tiny ε), so the simplex moves
+/// improving vertices and uses zero-gain ones only to close circulation.
+/// \p cap_scale < 1 shrinks batches after a regression (batch moves can
+/// interact; smaller batches interact less).
+lp::LinearProgram build_refinement_lp(
+    const pigp::DenseMatrix<std::vector<GainCandidate>>& candidates,
+    double cap_scale, pigp::DenseMatrix<int>* pos_vars,
+    pigp::DenseMatrix<int>* zero_vars) {
+  const std::size_t parts = candidates.rows();
+  lp::LinearProgram program(lp::Sense::maximize);
+  pigp::DenseMatrix<int> vp(parts, parts, -1);
+  pigp::DenseMatrix<int> vz(parts, parts, -1);
+  for (std::size_t i = 0; i < parts; ++i) {
+    for (std::size_t j = 0; j < parts; ++j) {
+      const auto& bucket = candidates(i, j);
+      if (i == j || bucket.empty()) continue;
+      double positive = 0.0;
+      double gain_sum = 0.0;
+      for (const GainCandidate& c : bucket) {
+        if (c.gain > 0.0) {
+          positive += 1.0;
+          gain_sum += c.gain;
+        }
+      }
+      const double zero = static_cast<double>(bucket.size()) - positive;
+      const std::string tag =
+          std::to_string(i) + "_" + std::to_string(j);
+      if (positive > 0.0) {
+        const double cap = std::max(1.0, std::floor(positive * cap_scale));
+        vp(i, j) = program.add_variable(gain_sum / positive, 0.0, cap,
+                                        "p" + tag);
+      }
+      if (zero > 0.0) {
+        const double cap = std::max(1.0, std::floor(zero * cap_scale));
+        vz(i, j) = program.add_variable(1e-3, 0.0, cap, "z" + tag);
+      }
+    }
+  }
+  for (std::size_t q = 0; q < parts; ++q) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (std::size_t k = 0; k < parts; ++k) {
+      if (vp(q, k) >= 0) coeffs.emplace_back(vp(q, k), 1.0);
+      if (vz(q, k) >= 0) coeffs.emplace_back(vz(q, k), 1.0);
+      if (vp(k, q) >= 0) coeffs.emplace_back(vp(k, q), -1.0);
+      if (vz(k, q) >= 0) coeffs.emplace_back(vz(k, q), -1.0);
+    }
+    if (!coeffs.empty()) {
+      program.add_row(lp::RowType::equal, std::move(coeffs), 0.0,
+                      "flow" + std::to_string(q));
+    }
+  }
+  if (pos_vars != nullptr) *pos_vars = std::move(vp);
+  if (zero_vars != nullptr) *zero_vars = std::move(vz);
+  return program;
+}
+
+}  // namespace
+
+RefineStats refine_partitioning(const graph::Graph& g,
+                                graph::Partitioning& partitioning,
+                                const RefineOptions& options) {
+  partitioning.validate(g);
+  RefineStats stats;
+  const auto parts = static_cast<std::size_t>(partitioning.num_parts);
+  double cut = graph::compute_metrics(g, partitioning).cut_total;
+  stats.cut_before = cut;
+  stats.cut_after = cut;
+
+  bool force_strict = false;
+  double cap_scale = 1.0;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const bool strict = force_strict || round >= options.strict_after_round;
+    const auto candidates =
+        collect_candidates(g, partitioning, strict, options.num_threads);
+
+    pigp::DenseMatrix<int> pos_vars;
+    pigp::DenseMatrix<int> zero_vars;
+    const lp::LinearProgram program =
+        build_refinement_lp(candidates, cap_scale, &pos_vars, &zero_vars);
+    if (program.num_variables() == 0) break;
+
+    const lp::Solution solution =
+        solve_lp(program, options.solver, options.simplex);
+    PIGP_CHECK(solution.status == lp::SolveStatus::optimal,
+               "refinement LP must be solvable (l = 0 is feasible)");
+    stats.lp_iterations += solution.iterations;
+    // Objective is gain-weighted; below this threshold only zero-gain
+    // circulation remains.
+    if (solution.objective < 0.5) break;
+
+    pigp::DenseMatrix<std::int64_t> moves(parts, parts, 0);
+    std::int64_t moved = 0;
+    for (std::size_t i = 0; i < parts; ++i) {
+      for (std::size_t j = 0; j < parts; ++j) {
+        std::int64_t count = 0;
+        if (pos_vars(i, j) >= 0) {
+          count += std::llround(
+              solution.x[static_cast<std::size_t>(pos_vars(i, j))]);
+        }
+        if (zero_vars(i, j) >= 0) {
+          count += std::llround(
+              solution.x[static_cast<std::size_t>(zero_vars(i, j))]);
+        }
+        moves(i, j) = count;
+        moved += count;
+      }
+    }
+
+    const graph::Partitioning snapshot = partitioning;
+    apply_gain_transfers(partitioning, candidates, moves);
+    ++stats.rounds;
+
+    const double new_cut =
+        graph::compute_metrics(g, partitioning).cut_total;
+    if (new_cut > cut && options.revert_on_regression) {
+      // Batch interactions hurt (usually zero-gain vertices oscillating or
+      // dense candidate clusters moving together); roll back and retry in
+      // strict mode first, then with progressively smaller batches.
+      partitioning = snapshot;
+      if (!strict) {
+        force_strict = true;
+        continue;
+      }
+      if (cap_scale > 0.2) {
+        cap_scale *= 0.5;
+        continue;
+      }
+      break;
+    }
+    stats.vertices_moved += moved;
+    const double gain = cut - new_cut;
+    cut = new_cut;
+    stats.cut_after = cut;
+    if (gain < options.min_gain) break;
+  }
+  return stats;
+}
+
+}  // namespace pigp::core

@@ -1,0 +1,180 @@
+#include "core/spmd_igp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/layering.hpp"
+#include "core/transfer.hpp"
+#include "support/check.hpp"
+
+namespace pigp::core {
+namespace {
+
+using graph::PartId;
+using graph::VertexId;
+using runtime::Packet;
+using runtime::RankContext;
+
+/// Rank that owns partition q.
+int owner_of(PartId q, int num_ranks) {
+  return static_cast<int>(q) % num_ranks;
+}
+
+}  // namespace
+
+IgpResult spmd_repartition(runtime::Machine& machine,
+                           const graph::Graph& g_new,
+                           const graph::Partitioning& old_partitioning,
+                           VertexId n_old, const IgpOptions& options) {
+  // Step 1 runs once up front (multi-source BFS is a global operation; the
+  // CM-5 version distributes the frontier, which the OpenMP path models).
+  AssignOptions assign_options;
+  assign_options.num_threads = 1;
+  graph::Partitioning shared =
+      extend_assignment(g_new, old_partitioning, n_old, assign_options);
+
+  const auto parts = static_cast<std::size_t>(shared.num_parts);
+  const std::vector<double> targets =
+      graph::balance_targets(g_new.total_vertex_weight(), shared.num_parts);
+
+  IgpResult result;
+
+  // ---------------------------------------------------- balance stages
+  machine.run([&](RankContext& ctx) {
+    for (int stage = 0; stage < options.balance.max_stages; ++stage) {
+      // Every rank can evaluate the excess locally (shared partitioning).
+      std::vector<double> weight(parts, 0.0);
+      for (VertexId v = 0; v < g_new.num_vertices(); ++v) {
+        weight[static_cast<std::size_t>(
+            shared.part[static_cast<std::size_t>(v)])] +=
+            g_new.vertex_weight(v);
+      }
+      std::vector<double> excess(parts, 0.0);
+      double max_dev = 0.0;
+      for (std::size_t q = 0; q < parts; ++q) {
+        excess[q] = weight[q] - targets[q];
+        max_dev = std::max(max_dev, std::abs(excess[q]));
+      }
+      if (max_dev <= options.balance.tolerance) {
+        if (ctx.rank() == 0) result.balance_result.balanced = true;
+        break;
+      }
+
+      // Layer owned partitions only (the parallel step).
+      const auto members = partition_members(shared);
+      std::vector<PartId> label(
+          static_cast<std::size_t>(g_new.num_vertices()), -1);
+      std::vector<std::int32_t> layer(
+          static_cast<std::size_t>(g_new.num_vertices()), -1);
+      std::vector<std::int64_t> eps_rows(parts * parts, 0);
+      for (PartId q = 0; q < shared.num_parts; ++q) {
+        if (owner_of(q, ctx.num_ranks()) != ctx.rank()) continue;
+        layer_one_partition(g_new, shared, q,
+                            members[static_cast<std::size_t>(q)], label,
+                            layer,
+                            eps_rows.data() + static_cast<std::size_t>(q) *
+                                                  parts);
+      }
+
+      // Allgather the eps rows (each rank contributes its owned rows).
+      Packet mine;
+      mine.pack_vector(eps_rows);
+      const std::vector<Packet> gathered = ctx.allgather(std::move(mine));
+      pigp::DenseMatrix<std::int64_t> eps(parts, parts, 0);
+      for (int r = 0; r < ctx.num_ranks(); ++r) {
+        Packet p = gathered[static_cast<std::size_t>(r)];
+        const std::vector<std::int64_t> rows =
+            p.unpack_vector<std::int64_t>();
+        for (PartId q = 0; q < shared.num_parts; ++q) {
+          if (owner_of(q, ctx.num_ranks()) != r) continue;
+          for (std::size_t j = 0; j < parts; ++j) {
+            eps(static_cast<std::size_t>(q), j) =
+                rows[static_cast<std::size_t>(q) * parts + j];
+          }
+        }
+      }
+
+      // Rank 0 makes the stage decision (same shared logic as the serial
+      // driver: alpha doubling, then best-effort) and broadcasts the moves.
+      std::vector<std::int64_t> moves_flat(parts * parts, 0);
+      bool progress = false;
+      Packet decision_packet;
+      if (ctx.rank() == 0) {
+        const StageDecision decision =
+            decide_stage_moves(eps, excess, options.balance);
+        progress = decision.progress;
+        if (progress) {
+          result.balance_result.stages.push_back(decision.stats);
+          for (std::size_t i = 0; i < parts; ++i) {
+            for (std::size_t j = 0; j < parts; ++j) {
+              moves_flat[i * parts + j] = decision.moves(i, j);
+            }
+          }
+        }
+        decision_packet.pack(progress ? 1 : 0);
+        decision_packet.pack_vector(moves_flat);
+      }
+      Packet received = ctx.broadcast(0, std::move(decision_packet));
+      progress = received.unpack<int>() != 0;
+      if (!progress) break;
+      moves_flat = received.unpack_vector<std::int64_t>();
+
+      // Each rank selects the transfers out of its owned partitions using
+      // the same ordering as the shared-memory driver (selection reads the
+      // pre-move `shared` state), then all ranks synchronize before the
+      // disjoint writes — no rank reads an entry another rank writes.
+      std::vector<std::vector<std::vector<VertexId>>> selections;
+      std::vector<std::size_t> owned;
+      for (std::size_t i = 0; i < parts; ++i) {
+        if (owner_of(static_cast<PartId>(i), ctx.num_ranks()) != ctx.rank()) {
+          continue;
+        }
+        owned.push_back(i);
+        selections.push_back(select_partition_transfers(
+            g_new, shared, label, layer, members[i],
+            static_cast<PartId>(i), moves_flat.data() + i * parts));
+      }
+      ctx.barrier();  // selection (reads) completed everywhere
+      for (std::size_t k = 0; k < owned.size(); ++k) {
+        for (std::size_t j = 0; j < parts; ++j) {
+          for (const VertexId v : selections[k][j]) {
+            shared.part[static_cast<std::size_t>(v)] =
+                static_cast<PartId>(j);
+          }
+        }
+      }
+      ctx.barrier();  // all transfers visible before the next stage
+    }
+  });
+
+  result.stages = static_cast<int>(result.balance_result.stages.size());
+  result.balanced = result.balance_result.balanced;
+  if (!result.balanced) {
+    // Recompute the final deviation for reporting.
+    std::vector<double> weight(parts, 0.0);
+    for (VertexId v = 0; v < g_new.num_vertices(); ++v) {
+      weight[static_cast<std::size_t>(
+          shared.part[static_cast<std::size_t>(v)])] +=
+          g_new.vertex_weight(v);
+    }
+    double max_dev = 0.0;
+    for (std::size_t q = 0; q < parts; ++q) {
+      max_dev = std::max(max_dev, std::abs(weight[q] - targets[q]));
+    }
+    result.balance_result.final_max_deviation = max_dev;
+    result.balanced = max_dev <= options.balance.tolerance;
+    result.balance_result.balanced = result.balanced;
+  }
+
+  // ---------------------------------------------------- refinement
+  // The refinement LP is identical to the shared-memory path; candidate
+  // gathering is the parallel part and reuses the OpenMP implementation.
+  result.partitioning = std::move(shared);
+  if (options.refine) {
+    result.refine_stats =
+        refine_partitioning(g_new, result.partitioning, options.refinement);
+  }
+  return result;
+}
+
+}  // namespace pigp::core

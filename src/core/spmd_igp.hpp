@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file spmd_igp.hpp
+/// Distributed-memory (SPMD) incremental partitioner.
+///
+/// The paper ran on a 32-node CM-5 where each node owned a partition,
+/// layered it locally, and cooperated on the LP solve.  This driver
+/// reproduces that structure on the thread-backed message-passing Machine:
+/// every rank owns a block of partitions, layers them independently, the
+/// ε matrix is allgathered, rank 0 solves the (tiny) LP and broadcasts the
+/// movement matrix, and each rank applies the transfers out of its owned
+/// partitions.  Results are bit-identical to the shared-memory driver —
+/// test_spmd_igp asserts it — so the communication structure is exercised
+/// without changing semantics.
+
+#include "core/igp.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "runtime/spmd.hpp"
+
+namespace pigp::core {
+
+/// Run the full IGP/IGPR pipeline on \p machine.  The graph is replicated
+/// (the CM-5 implementation also kept the small meshes resident per node);
+/// partition ownership is round-robin: rank r owns partitions q with
+/// q % num_ranks == r.
+[[nodiscard]] IgpResult spmd_repartition(
+    runtime::Machine& machine, const graph::Graph& g_new,
+    const graph::Partitioning& old_partitioning, graph::VertexId n_old,
+    const IgpOptions& options = {});
+
+}  // namespace pigp::core

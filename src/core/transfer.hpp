@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file transfer.hpp
+/// Vertex selection for the LP-prescribed movements.
+///
+/// The LPs decide *how many* vertices move between each partition pair;
+/// this module decides *which* ones.  Balance transfers take the vertices
+/// closest to the receiving boundary (smallest layer number from Step 2),
+/// preserving partition contiguity; refinement transfers take the highest
+/// cut-gain candidates.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layering.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "support/dense_matrix.hpp"
+
+namespace pigp::core {
+
+/// Choose which vertices leave partition \p source, given the LP's
+/// per-destination counts in \p move_row (length num_parts).  Selection
+/// order: ascending layer (boundary first); within a layer, strongest
+/// attraction to the destination (edge weight into it minus half the edge
+/// weight kept at home); then vertex id.  Pure read-only — the SPMD driver
+/// relies on separating selection (reads) from application (writes).
+/// Returns the chosen vertices per destination partition.
+[[nodiscard]] std::vector<std::vector<graph::VertexId>>
+select_partition_transfers(const graph::Graph& g,
+                           const graph::Partitioning& partitioning,
+                           const std::vector<graph::PartId>& label,
+                           const std::vector<std::int32_t>& layer,
+                           const std::vector<graph::VertexId>& members,
+                           graph::PartId source,
+                           const std::int64_t* move_row);
+
+/// Move moves(i, j) vertices from partition i to partition j using
+/// select_partition_transfers.  Throws pigp::CheckError when a pair lacks
+/// enough labeled vertices (the LP bounds guarantee this never happens with
+/// a layering computed on the same partitioning).
+void apply_balance_transfers(const graph::Graph& g,
+                             graph::Partitioning& partitioning,
+                             const LayeringResult& layering,
+                             const pigp::DenseMatrix<std::int64_t>& moves);
+
+/// One refinement candidate: vertex v (in partition i) with its cut gain
+/// out(v, j) - in(v) for moving to partition j.
+struct GainCandidate {
+  graph::VertexId vertex = graph::kInvalidVertex;
+  double gain = 0.0;
+};
+
+/// Move moves(i, j) vertices using the candidate lists produced by the
+/// refinement analysis, best gain first (ties on vertex id).
+void apply_gain_transfers(
+    graph::Partitioning& partitioning,
+    const pigp::DenseMatrix<std::vector<GainCandidate>>& candidates,
+    const pigp::DenseMatrix<std::int64_t>& moves);
+
+}  // namespace pigp::core

@@ -1,0 +1,78 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pigp::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : vertex_weights_(static_cast<std::size_t>(num_vertices), 1.0) {
+  PIGP_CHECK(num_vertices >= 0, "vertex count must be non-negative");
+}
+
+VertexId GraphBuilder::add_vertex(double weight) {
+  PIGP_CHECK(weight >= 0.0, "vertex weight must be non-negative");
+  vertex_weights_.push_back(weight);
+  return static_cast<VertexId>(vertex_weights_.size() - 1);
+}
+
+void GraphBuilder::reserve_vertices(VertexId n) {
+  PIGP_CHECK(n >= 0, "vertex count must be non-negative");
+  if (static_cast<std::size_t>(n) > vertex_weights_.size()) {
+    vertex_weights_.resize(static_cast<std::size_t>(n), 1.0);
+  }
+}
+
+void GraphBuilder::set_vertex_weight(VertexId v, double weight) {
+  PIGP_CHECK(v >= 0 && v < num_vertices(), "vertex id out of range");
+  PIGP_CHECK(weight >= 0.0, "vertex weight must be non-negative");
+  vertex_weights_[static_cast<std::size_t>(v)] = weight;
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, double weight) {
+  PIGP_CHECK(u >= 0 && u < num_vertices(), "edge endpoint u out of range");
+  PIGP_CHECK(v >= 0 && v < num_vertices(), "edge endpoint v out of range");
+  PIGP_CHECK(u != v, "self-loops are not allowed");
+  PIGP_CHECK(weight >= 0.0, "edge weight must be non-negative");
+  half_edges_.push_back({u, v, weight});
+  half_edges_.push_back({v, u, weight});
+}
+
+Graph GraphBuilder::build() const {
+  const auto n = static_cast<std::size_t>(num_vertices());
+  std::vector<HalfEdge> edges = half_edges_;
+  std::sort(edges.begin(), edges.end(),
+            [](const HalfEdge& a, const HalfEdge& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+
+  // Merge duplicates (same from/to) by summing weights.
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (merged > 0 && edges[merged - 1].from == edges[i].from &&
+        edges[merged - 1].to == edges[i].to) {
+      edges[merged - 1].weight += edges[i].weight;
+    } else {
+      edges[merged++] = edges[i];
+    }
+  }
+  edges.resize(merged);
+
+  std::vector<EdgeIndex> xadj(n + 1, 0);
+  std::vector<VertexId> adjncy(edges.size());
+  std::vector<double> eweights(edges.size());
+  for (const HalfEdge& e : edges) {
+    ++xadj[static_cast<std::size_t>(e.from) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) xadj[v + 1] += xadj[v];
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    adjncy[i] = edges[i].to;
+    eweights[i] = edges[i].weight;
+  }
+
+  return Graph(std::move(xadj), std::move(adjncy), vertex_weights_,
+               std::move(eweights));
+}
+
+}  // namespace pigp::graph

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file builder.hpp
+/// Mutable accumulator that produces an immutable CSR Graph.
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pigp::graph {
+
+/// Collects vertices and undirected edges, then finalizes into a Graph.
+/// Duplicate edges are merged by summing their weights; self-loops are
+/// rejected at insertion time.
+class GraphBuilder {
+ public:
+  /// Start with \p num_vertices unit-weight vertices.
+  explicit GraphBuilder(VertexId num_vertices = 0);
+
+  /// Append one vertex; returns its id.
+  VertexId add_vertex(double weight = 1.0);
+
+  /// Ensure at least \p n vertices exist (new ones get unit weight).
+  void reserve_vertices(VertexId n);
+
+  void set_vertex_weight(VertexId v, double weight);
+
+  /// Record the undirected edge {u, v}.  Both endpoints must already exist.
+  void add_edge(VertexId u, VertexId v, double weight = 1.0);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(vertex_weights_.size());
+  }
+
+  /// Finalize: sort adjacency, merge duplicate edges (summing weights), and
+  /// return the CSR graph.  The builder may be reused afterwards.
+  [[nodiscard]] Graph build() const;
+
+ private:
+  struct HalfEdge {
+    VertexId from;
+    VertexId to;
+    double weight;
+  };
+
+  std::vector<double> vertex_weights_;
+  std::vector<HalfEdge> half_edges_;
+};
+
+}  // namespace pigp::graph

@@ -1,0 +1,44 @@
+#include "graph/components.hpp"
+
+namespace pigp::graph {
+
+std::vector<std::vector<VertexId>> Components::members() const {
+  std::vector<std::vector<VertexId>> groups(static_cast<std::size_t>(count));
+  for (std::size_t v = 0; v < comp.size(); ++v) {
+    groups[static_cast<std::size_t>(comp[v])].push_back(
+        static_cast<VertexId>(v));
+  }
+  return groups;
+}
+
+Components connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Components result;
+  result.comp.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (result.comp[static_cast<std::size_t>(root)] >= 0) continue;
+    const std::int32_t id = result.count++;
+    result.comp[static_cast<std::size_t>(root)] = id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : g.neighbors(u)) {
+        if (result.comp[static_cast<std::size_t>(v)] < 0) {
+          result.comp[static_cast<std::size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+}  // namespace pigp::graph

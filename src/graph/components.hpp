@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file components.hpp
+/// Connected components.  The incremental partitioner needs these to handle
+/// new vertices that attach to no old vertex (§2.1: cluster them and assign
+/// each cluster to the least-loaded partition) and recursive bisection needs
+/// them to split disconnected subgraphs sensibly.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pigp::graph {
+
+/// Component labeling: comp[v] in [0, count), numbered by smallest contained
+/// vertex id (deterministic).
+struct Components {
+  std::vector<std::int32_t> comp;
+  std::int32_t count = 0;
+
+  /// Vertices of every component, grouped; groups ordered by component id.
+  [[nodiscard]] std::vector<std::vector<VertexId>> members() const;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace pigp::graph

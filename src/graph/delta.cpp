@@ -1,0 +1,116 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+/// Sorted (u, v) pair for removed-edge lookups.
+std::pair<VertexId, VertexId> canonical(VertexId u, VertexId v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+}  // namespace
+
+DeltaResult apply_delta(const Graph& g, const GraphDelta& delta) {
+  const VertexId n_old = g.num_vertices();
+
+  std::vector<bool> removed(static_cast<std::size_t>(n_old), false);
+  for (VertexId v : delta.removed_vertices) {
+    PIGP_CHECK(v >= 0 && v < n_old, "removed vertex out of range");
+    removed[static_cast<std::size_t>(v)] = true;
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> removed_edges;
+  removed_edges.reserve(delta.removed_edges.size());
+  for (const auto& [u, v] : delta.removed_edges) {
+    PIGP_CHECK(u >= 0 && u < n_old && v >= 0 && v < n_old,
+               "removed edge endpoint out of range");
+    PIGP_CHECK(g.has_edge(u, v), "removed edge does not exist");
+    removed_edges.push_back(canonical(u, v));
+  }
+  std::sort(removed_edges.begin(), removed_edges.end());
+  const auto edge_removed = [&removed_edges](VertexId u, VertexId v) {
+    return std::binary_search(removed_edges.begin(), removed_edges.end(),
+                              canonical(u, v));
+  };
+
+  // Compact surviving old vertices, then append the new ones.
+  DeltaResult result;
+  result.old_to_new.assign(static_cast<std::size_t>(n_old), kInvalidVertex);
+  GraphBuilder builder;
+  for (VertexId v = 0; v < n_old; ++v) {
+    if (!removed[static_cast<std::size_t>(v)]) {
+      result.old_to_new[static_cast<std::size_t>(v)] =
+          builder.add_vertex(g.vertex_weight(v));
+    }
+  }
+  result.first_new_vertex = builder.num_vertices();
+  result.new_vertex_ids.reserve(delta.added_vertices.size());
+  for (const VertexAddition& add : delta.added_vertices) {
+    result.new_vertex_ids.push_back(builder.add_vertex(add.weight));
+  }
+
+  // Resolve a delta-space id (old id or n_old + index-of-added-vertex) to a
+  // new-graph id.
+  const auto total_ids =
+      n_old + static_cast<VertexId>(delta.added_vertices.size());
+  const auto resolve = [&](VertexId id) -> VertexId {
+    PIGP_CHECK(id >= 0 && id < total_ids, "delta vertex id out of range");
+    if (id < n_old) {
+      const VertexId mapped = result.old_to_new[static_cast<std::size_t>(id)];
+      PIGP_CHECK(mapped != kInvalidVertex, "edge references removed vertex");
+      return mapped;
+    }
+    return result.new_vertex_ids[static_cast<std::size_t>(id - n_old)];
+  };
+
+  // Surviving old edges.
+  for (VertexId u = 0; u < n_old; ++u) {
+    if (removed[static_cast<std::size_t>(u)]) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto weights = g.incident_edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v <= u) continue;  // each undirected edge once
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      if (edge_removed(u, v)) continue;
+      builder.add_edge(result.old_to_new[static_cast<std::size_t>(u)],
+                       result.old_to_new[static_cast<std::size_t>(v)],
+                       weights[i]);
+    }
+  }
+
+  // Edges attached to new vertices.
+  for (std::size_t i = 0; i < delta.added_vertices.size(); ++i) {
+    const VertexId self = result.new_vertex_ids[i];
+    for (const auto& [endpoint, weight] : delta.added_vertices[i].edges) {
+      // Only ids introduced at or before this addition may be referenced, so
+      // each undirected edge appears exactly once.
+      PIGP_CHECK(endpoint < n_old + static_cast<VertexId>(i) + 1,
+                 "vertex addition references a later vertex");
+      const VertexId other = resolve(endpoint);
+      PIGP_CHECK(other != self, "self-loop in vertex addition");
+      builder.add_edge(self, other, weight);
+    }
+  }
+
+  // Standalone added edges.
+  PIGP_CHECK(delta.added_edges.size() == delta.added_edge_weights.size() ||
+                 delta.added_edge_weights.empty(),
+             "added edge weights must be empty or parallel to added_edges");
+  for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
+    const auto [u, v] = delta.added_edges[i];
+    const double w =
+        delta.added_edge_weights.empty() ? 1.0 : delta.added_edge_weights[i];
+    builder.add_edge(resolve(u), resolve(v), w);
+  }
+
+  result.graph = builder.build();
+  return result;
+}
+
+}  // namespace pigp::graph

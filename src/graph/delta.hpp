@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file delta.hpp
+/// Incremental graph modification — the G(V,E) → G'(V',E') step of §1.1.
+///
+/// The paper defines V' = V ∪ V1 − V2 and E' = E ∪ E1 − E2: a small number of
+/// vertices and edges are added or deleted at each adaptation step.
+/// GraphDelta captures one such step; apply_delta() materializes the new
+/// graph and reports the id remapping (deletions compact vertex ids).
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pigp::graph {
+
+/// One vertex being added, together with the edges that attach it.  Edge
+/// endpoints may name existing vertices (id < n_old) or previously listed new
+/// vertices (id >= n_old, in order of appearance in added_vertices).
+struct VertexAddition {
+  double weight = 1.0;
+  std::vector<std::pair<VertexId, double>> edges;  ///< (endpoint, weight)
+};
+
+/// A batch of incremental modifications to a graph.
+struct GraphDelta {
+  std::vector<VertexAddition> added_vertices;  ///< V1 with incident edges
+  /// E1 edges between vertices that both survive the delta (old or new ids).
+  std::vector<std::pair<VertexId, VertexId>> added_edges;
+  std::vector<double> added_edge_weights;  ///< parallel to added_edges
+  std::vector<VertexId> removed_vertices;  ///< V2 (old ids); incident edges go too
+  std::vector<std::pair<VertexId, VertexId>> removed_edges;  ///< E2 (old ids)
+
+  [[nodiscard]] bool has_removals() const noexcept {
+    return !removed_vertices.empty() || !removed_edges.empty();
+  }
+};
+
+/// Result of applying a delta.
+struct DeltaResult {
+  Graph graph;  ///< G'(V', E')
+  /// old_to_new[v] is v's id in the new graph, or kInvalidVertex if deleted.
+  std::vector<VertexId> old_to_new;
+  /// Ids of the added vertices in the new graph, in addition order.
+  std::vector<VertexId> new_vertex_ids;
+  /// All surviving old vertices keep ids < first_new_vertex when there are no
+  /// removals; with removals, ids are compacted in old order.
+  VertexId first_new_vertex = 0;
+};
+
+/// Apply \p delta to \p g.  Throws pigp::CheckError on references to deleted
+/// or out-of-range vertices.  Adding an edge that already exists merges the
+/// weights (sum), mirroring GraphBuilder semantics.
+[[nodiscard]] DeltaResult apply_delta(const Graph& g, const GraphDelta& delta);
+
+}  // namespace pigp::graph

@@ -1,0 +1,172 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::graph {
+
+Graph grid_graph(int rows, int cols) {
+  PIGP_CHECK(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  GraphBuilder b(rows * cols);
+  const auto id = [cols](int r, int c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph torus_graph(int rows, int cols) {
+  PIGP_CHECK(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+  GraphBuilder b(rows * cols);
+  const auto id = [cols](int r, int c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph path_graph(int n) {
+  PIGP_CHECK(n >= 1, "path needs at least one vertex");
+  GraphBuilder b(n);
+  for (int v = 0; v + 1 < n; ++v) {
+    b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(v + 1));
+  }
+  return b.build();
+}
+
+Graph cycle_graph(int n) {
+  PIGP_CHECK(n >= 3, "cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (int v = 0; v < n; ++v) {
+    b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>((v + 1) % n));
+  }
+  return b.build();
+}
+
+Graph complete_graph(int n) {
+  PIGP_CHECK(n >= 1, "complete graph needs at least one vertex");
+  GraphBuilder b(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return b.build();
+}
+
+Graph star_graph(int n) {
+  PIGP_CHECK(n >= 2, "star needs at least two vertices");
+  GraphBuilder b(n);
+  for (int v = 1; v < n; ++v) {
+    b.add_edge(0, static_cast<VertexId>(v));
+  }
+  return b.build();
+}
+
+Graph random_geometric_graph(int n, double radius, std::uint64_t seed,
+                             std::vector<std::array<double, 2>>* coords_out) {
+  PIGP_CHECK(n >= 1, "need at least one vertex");
+  PIGP_CHECK(radius > 0.0, "radius must be positive");
+  SplitMix64 rng(seed);
+  std::vector<std::array<double, 2>> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p = {rng.next_double(), rng.next_double()};
+  }
+
+  // Bucket grid so construction is O(n) for fixed expected degree.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<std::size_t>(cells) * static_cast<std::size_t>(cells));
+  const auto cell_of = [&](double x) {
+    return std::min(cells - 1, static_cast<int>(x * cells));
+  };
+  for (int v = 0; v < n; ++v) {
+    grid[static_cast<std::size_t>(cell_of(pts[static_cast<std::size_t>(v)][0]) *
+                                  cells) +
+         static_cast<std::size_t>(cell_of(pts[static_cast<std::size_t>(v)][1]))]
+        .push_back(static_cast<VertexId>(v));
+  }
+
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (int v = 0; v < n; ++v) {
+    const auto& p = pts[static_cast<std::size_t>(v)];
+    const int cx = cell_of(p[0]);
+    const int cy = cell_of(p[1]);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || nx >= cells || ny < 0 || ny >= cells) continue;
+        for (VertexId u :
+             grid[static_cast<std::size_t>(nx * cells + ny)]) {
+          if (u <= v) continue;
+          const auto& q = pts[static_cast<std::size_t>(u)];
+          const double ddx = p[0] - q[0];
+          const double ddy = p[1] - q[1];
+          if (ddx * ddx + ddy * ddy <= r2) {
+            b.add_edge(static_cast<VertexId>(v), u);
+          }
+        }
+      }
+    }
+  }
+  if (coords_out != nullptr) *coords_out = std::move(pts);
+  return b.build();
+}
+
+Graph erdos_renyi_graph(int n, double p, std::uint64_t seed) {
+  PIGP_CHECK(n >= 1, "need at least one vertex");
+  PIGP_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+  SplitMix64 rng(seed);
+  GraphBuilder b(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_double() < p) {
+        b.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph random_connected_graph(int n, double extra_edge_factor,
+                             std::uint64_t seed) {
+  PIGP_CHECK(n >= 1, "need at least one vertex");
+  PIGP_CHECK(extra_edge_factor >= 0.0, "extra edge factor must be >= 0");
+  SplitMix64 rng(seed);
+  GraphBuilder b(n);
+  // Random spanning tree: attach vertex v to a uniform earlier vertex.
+  for (int v = 1; v < n; ++v) {
+    const auto u = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(v)));
+    b.add_edge(u, static_cast<VertexId>(v));
+  }
+  const auto extras =
+      static_cast<std::int64_t>(extra_edge_factor * static_cast<double>(n));
+  for (std::int64_t i = 0; i < extras && n >= 2; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) v = static_cast<VertexId>((v + 1) % n);
+    b.add_edge(u, v);  // duplicates merge in build()
+  }
+  return b.build();
+}
+
+}  // namespace pigp::graph

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file generators.hpp
+/// Synthetic graph families used by tests, examples, and benchmarks.
+/// Grid/torus/path graphs have analytically known cuts and Fiedler values,
+/// which the spectral tests rely on; random geometric graphs approximate the
+/// irregular-mesh workloads of the paper when a full Delaunay mesh is not
+/// needed.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pigp::graph {
+
+/// rows x cols 4-neighbor grid; vertex (r, c) has id r * cols + c.
+[[nodiscard]] Graph grid_graph(int rows, int cols);
+
+/// rows x cols torus (grid with wraparound); rows, cols >= 3.
+[[nodiscard]] Graph torus_graph(int rows, int cols);
+
+/// Path 0 - 1 - ... - (n-1).
+[[nodiscard]] Graph path_graph(int n);
+
+/// Cycle on n >= 3 vertices.
+[[nodiscard]] Graph cycle_graph(int n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(int n);
+
+/// Star: vertex 0 connected to 1..n-1.
+[[nodiscard]] Graph star_graph(int n);
+
+/// n points uniform in the unit square, edges between pairs closer than
+/// \p radius.  Coordinates are returned through \p coords_out when non-null
+/// (recursive coordinate bisection needs them).
+[[nodiscard]] Graph random_geometric_graph(
+    int n, double radius, std::uint64_t seed,
+    std::vector<std::array<double, 2>>* coords_out = nullptr);
+
+/// G(n, p) Erdős–Rényi graph.
+[[nodiscard]] Graph erdos_renyi_graph(int n, double p, std::uint64_t seed);
+
+/// Random connected graph: a random spanning tree plus
+/// floor(extra_edge_factor * n) random extra edges.  Useful for property
+/// tests that require connectivity.
+[[nodiscard]] Graph random_connected_graph(int n, double extra_edge_factor,
+                                           std::uint64_t seed);
+
+}  // namespace pigp::graph

@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace pigp::graph {
+
+Graph::Graph(std::vector<EdgeIndex> xadj, std::vector<VertexId> adjncy,
+             std::vector<double> vertex_weights,
+             std::vector<double> edge_weights)
+    : xadj_(std::move(xadj)),
+      adjncy_(std::move(adjncy)),
+      vertex_weights_(std::move(vertex_weights)),
+      edge_weights_(std::move(edge_weights)) {
+  PIGP_CHECK(!xadj_.empty(), "xadj must have at least one entry");
+  PIGP_CHECK(xadj_.size() == vertex_weights_.size() + 1,
+             "vertex weight array size mismatch");
+  PIGP_CHECK(adjncy_.size() == edge_weights_.size(),
+             "edge weight array size mismatch");
+  PIGP_CHECK(xadj_.back() == static_cast<EdgeIndex>(adjncy_.size()),
+             "xadj terminator must equal adjncy size");
+  total_vertex_weight_ =
+      std::accumulate(vertex_weights_.begin(), vertex_weights_.end(), 0.0);
+}
+
+std::span<const VertexId> Graph::neighbors(VertexId v) const {
+  PIGP_ASSERT(v >= 0 && v < num_vertices());
+  const auto begin = static_cast<std::size_t>(xadj_[v]);
+  const auto end = static_cast<std::size_t>(xadj_[v + 1]);
+  return {adjncy_.data() + begin, end - begin};
+}
+
+std::span<const double> Graph::incident_edge_weights(VertexId v) const {
+  PIGP_ASSERT(v >= 0 && v < num_vertices());
+  const auto begin = static_cast<std::size_t>(xadj_[v]);
+  const auto end = static_cast<std::size_t>(xadj_[v + 1]);
+  return {edge_weights_.data() + begin, end - begin};
+}
+
+EdgeIndex Graph::degree(VertexId v) const {
+  PIGP_ASSERT(v >= 0 && v < num_vertices());
+  return xadj_[v + 1] - xadj_[v];
+}
+
+double Graph::vertex_weight(VertexId v) const {
+  PIGP_ASSERT(v >= 0 && v < num_vertices());
+  return vertex_weights_[v];
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::edge_weight(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0.0;
+  const auto offset = static_cast<std::size_t>(
+      xadj_[u] + std::distance(nbrs.begin(), it));
+  return edge_weights_[offset];
+}
+
+bool Graph::has_unit_weights() const {
+  const auto is_one = [](double w) { return w == 1.0; };
+  return std::all_of(vertex_weights_.begin(), vertex_weights_.end(), is_one) &&
+         std::all_of(edge_weights_.begin(), edge_weights_.end(), is_one);
+}
+
+void Graph::validate() const {
+  const VertexId n = num_vertices();
+  PIGP_CHECK(xadj_.front() == 0, "xadj must start at 0");
+  for (VertexId v = 0; v < n; ++v) {
+    PIGP_CHECK(xadj_[v] <= xadj_[v + 1], "xadj must be non-decreasing");
+    const auto nbrs = neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      PIGP_CHECK(u >= 0 && u < n, "neighbor id out of range");
+      PIGP_CHECK(u != v, "self-loop");
+      if (i > 0) {
+        PIGP_CHECK(nbrs[i - 1] < u, "adjacency must be sorted and unique");
+      }
+      PIGP_CHECK(has_edge(u, v), "edge must be symmetric");
+      PIGP_CHECK(edge_weight(u, v) == edge_weight(v, u),
+                 "edge weights must be symmetric");
+    }
+  }
+}
+
+}  // namespace pigp::graph

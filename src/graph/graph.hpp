@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file graph.hpp
+/// Immutable undirected graph in compressed-sparse-row (CSR) form.
+///
+/// This is the substrate every other pigp module builds on: the meshes from
+/// pigp::mesh are converted to Graphs, the spectral and incremental
+/// partitioners consume Graphs, and GraphDelta (delta.hpp) produces new
+/// Graphs from old ones.  Vertices carry computation weights w_i and edges
+/// carry communication weights w_e(u,v) exactly as in §1.1 of Ou & Ranka.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pigp::graph {
+
+/// Vertex identifier; dense in [0, num_vertices()).
+using VertexId = std::int32_t;
+/// Index into the CSR adjacency array.
+using EdgeIndex = std::int64_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+
+/// Immutable undirected graph (CSR).  Each undirected edge {u,v} is stored
+/// twice, once in each endpoint's adjacency list; adjacency lists are sorted
+/// by neighbor id and contain no self-loops or duplicates.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Construct from raw CSR arrays.  \p xadj has size n+1, \p adjncy size
+  /// xadj[n]; \p vertex_weights size n; \p edge_weights parallel to
+  /// \p adjncy.  Call validate() afterwards if the arrays come from an
+  /// untrusted source.
+  Graph(std::vector<EdgeIndex> xadj, std::vector<VertexId> adjncy,
+        std::vector<double> vertex_weights, std::vector<double> edge_weights);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return xadj_.empty() ? 0 : static_cast<VertexId>(xadj_.size() - 1);
+  }
+
+  /// Number of undirected edges (each {u,v} counted once).
+  [[nodiscard]] std::int64_t num_edges() const noexcept {
+    return static_cast<std::int64_t>(adjncy_.size()) / 2;
+  }
+
+  /// Number of directed half-edges (== 2 * num_edges()).
+  [[nodiscard]] EdgeIndex num_half_edges() const noexcept {
+    return static_cast<EdgeIndex>(adjncy_.size());
+  }
+
+  /// Sorted neighbor list of \p v.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const;
+
+  /// Edge weights parallel to neighbors(v).
+  [[nodiscard]] std::span<const double> incident_edge_weights(VertexId v) const;
+
+  [[nodiscard]] EdgeIndex degree(VertexId v) const;
+
+  [[nodiscard]] double vertex_weight(VertexId v) const;
+
+  /// Sum of all vertex weights.
+  [[nodiscard]] double total_vertex_weight() const noexcept {
+    return total_vertex_weight_;
+  }
+
+  /// True iff the undirected edge {u, v} exists (binary search).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Weight of edge {u, v}, or 0.0 if the edge does not exist.
+  [[nodiscard]] double edge_weight(VertexId u, VertexId v) const;
+
+  /// True when every vertex and edge weight equals 1 (the paper's default).
+  [[nodiscard]] bool has_unit_weights() const;
+
+  [[nodiscard]] const std::vector<EdgeIndex>& xadj() const noexcept {
+    return xadj_;
+  }
+  [[nodiscard]] const std::vector<VertexId>& adjncy() const noexcept {
+    return adjncy_;
+  }
+  [[nodiscard]] const std::vector<double>& vertex_weights() const noexcept {
+    return vertex_weights_;
+  }
+  [[nodiscard]] const std::vector<double>& edge_weights() const noexcept {
+    return edge_weights_;
+  }
+
+  /// Throws pigp::CheckError if the CSR structure is malformed: non-monotone
+  /// offsets, out-of-range neighbors, self-loops, unsorted or duplicate
+  /// adjacency entries, asymmetric edges, or mismatched weight arrays.
+  void validate() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<EdgeIndex> xadj_ = {0};
+  std::vector<VertexId> adjncy_;
+  std::vector<double> vertex_weights_;
+  std::vector<double> edge_weights_;
+  double total_vertex_weight_ = 0.0;
+};
+
+}  // namespace pigp::graph

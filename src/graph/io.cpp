@@ -1,0 +1,132 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+
+void write_metis(const Graph& g, std::ostream& os) {
+  const bool vwgt = !std::all_of(g.vertex_weights().begin(),
+                                 g.vertex_weights().end(),
+                                 [](double w) { return w == 1.0; });
+  const bool ewgt = !std::all_of(g.edge_weights().begin(),
+                                 g.edge_weights().end(),
+                                 [](double w) { return w == 1.0; });
+  os << g.num_vertices() << ' ' << g.num_edges();
+  if (vwgt || ewgt) {
+    os << ' ' << (vwgt ? '1' : '0') << (ewgt ? '1' : '0');
+  }
+  os << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    if (vwgt) {
+      os << g.vertex_weight(v);
+      first = false;
+    }
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!first) os << ' ';
+      first = false;
+      os << (nbrs[i] + 1);  // METIS is 1-based
+      if (ewgt) os << ' ' << weights[i];
+    }
+    os << '\n';
+  }
+}
+
+Graph read_metis(std::istream& is) {
+  std::string line;
+  const auto next_line = [&is, &line]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '%') return true;
+    }
+    return false;
+  };
+
+  PIGP_CHECK(next_line(), "METIS stream missing header");
+  std::istringstream header(line);
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  std::string fmt = "0";
+  header >> n >> m;
+  PIGP_CHECK(!header.fail(), "malformed METIS header");
+  header >> fmt;  // optional
+  const bool vwgt = fmt.size() >= 2 && fmt[fmt.size() - 2] == '1';
+  const bool ewgt = !fmt.empty() && fmt.back() == '1' && fmt != "0";
+
+  GraphBuilder b(static_cast<VertexId>(n));
+  std::int64_t half_edges = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    PIGP_CHECK(next_line(), "METIS stream truncated");
+    std::istringstream row(line);
+    if (vwgt) {
+      double w = 1.0;
+      row >> w;
+      PIGP_CHECK(!row.fail(), "missing vertex weight");
+      b.set_vertex_weight(static_cast<VertexId>(v), w);
+    }
+    std::int64_t u = 0;
+    while (row >> u) {
+      PIGP_CHECK(u >= 1 && u <= n, "neighbor id out of range");
+      double w = 1.0;
+      if (ewgt) {
+        row >> w;
+        PIGP_CHECK(!row.fail(), "missing edge weight");
+      }
+      ++half_edges;
+      if (u - 1 > v) {  // add each undirected edge once
+        b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(u - 1), w);
+      }
+    }
+  }
+  PIGP_CHECK(half_edges == 2 * m, "edge count does not match header");
+  return b.build();
+}
+
+void save_metis_file(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  PIGP_CHECK(os.good(), "cannot open file for writing: " + path);
+  write_metis(g, os);
+}
+
+Graph load_metis_file(const std::string& path) {
+  std::ifstream is(path);
+  PIGP_CHECK(is.good(), "cannot open file for reading: " + path);
+  return read_metis(is);
+}
+
+void write_partition(const Partitioning& p, std::ostream& os) {
+  for (const PartId q : p.part) os << q << '\n';
+}
+
+Partitioning read_partition(std::istream& is) {
+  Partitioning p;
+  std::int64_t q = 0;
+  while (is >> q) {
+    PIGP_CHECK(q >= 0, "negative partition id");
+    p.part.push_back(static_cast<PartId>(q));
+    p.num_parts = std::max(p.num_parts, static_cast<PartId>(q + 1));
+  }
+  PIGP_CHECK(!p.part.empty(), "empty partition file");
+  return p;
+}
+
+void save_partition_file(const Partitioning& p, const std::string& path) {
+  std::ofstream os(path);
+  PIGP_CHECK(os.good(), "cannot open file for writing: " + path);
+  write_partition(p, os);
+}
+
+Partitioning load_partition_file(const std::string& path) {
+  std::ifstream is(path);
+  PIGP_CHECK(is.good(), "cannot open file for reading: " + path);
+  return read_partition(is);
+}
+
+}  // namespace pigp::graph

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file io.hpp
+/// METIS-format graph serialization so meshes and partitions can be round-
+/// tripped to disk and compared against external tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::graph {
+
+/// Write \p g in METIS .graph format.  The fmt field is chosen from the
+/// weights actually present (011 when both vertex and edge weights are
+/// non-unit, etc.).
+void write_metis(const Graph& g, std::ostream& os);
+
+/// Parse a METIS .graph stream; supports fmt codes 0, 1, 10, 11 and comment
+/// lines starting with '%'.  Throws pigp::CheckError on malformed input.
+[[nodiscard]] Graph read_metis(std::istream& is);
+
+/// File-path conveniences.
+void save_metis_file(const Graph& g, const std::string& path);
+[[nodiscard]] Graph load_metis_file(const std::string& path);
+
+/// METIS-style partition files: one partition id per line, in vertex order.
+void write_partition(const Partitioning& p, std::ostream& os);
+[[nodiscard]] Partitioning read_partition(std::istream& is);
+void save_partition_file(const Partitioning& p, const std::string& path);
+[[nodiscard]] Partitioning load_partition_file(const std::string& path);
+
+}  // namespace pigp::graph

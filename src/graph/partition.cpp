@@ -1,0 +1,77 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace pigp::graph {
+
+void Partitioning::validate(const Graph& g) const {
+  PIGP_CHECK(static_cast<VertexId>(part.size()) == g.num_vertices(),
+             "partitioning size does not match graph");
+  PIGP_CHECK(num_parts >= 1, "need at least one partition");
+  for (PartId q : part) {
+    PIGP_CHECK(q >= 0 && q < num_parts, "partition id out of range");
+  }
+}
+
+PartitionMetrics compute_metrics(const Graph& g, const Partitioning& p) {
+  p.validate(g);
+  PartitionMetrics m;
+  m.boundary_cost.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+  m.weight.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId pv = p.part[static_cast<std::size_t>(v)];
+    m.weight[static_cast<std::size_t>(pv)] += g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId pu = p.part[static_cast<std::size_t>(nbrs[i])];
+      if (pu == pv) continue;
+      m.boundary_cost[static_cast<std::size_t>(pv)] += weights[i];
+      if (nbrs[i] > v) m.cut_total += weights[i];  // count each edge once
+    }
+  }
+
+  m.cut_max = *std::max_element(m.boundary_cost.begin(),
+                                m.boundary_cost.end());
+  m.cut_min = *std::min_element(m.boundary_cost.begin(),
+                                m.boundary_cost.end());
+  m.max_weight = *std::max_element(m.weight.begin(), m.weight.end());
+  m.min_weight = *std::min_element(m.weight.begin(), m.weight.end());
+  m.avg_weight = std::accumulate(m.weight.begin(), m.weight.end(), 0.0) /
+                 static_cast<double>(p.num_parts);
+  m.imbalance = m.avg_weight > 0.0 ? m.max_weight / m.avg_weight : 1.0;
+  return m;
+}
+
+std::vector<double> balance_targets(double total_weight, PartId num_parts) {
+  PIGP_CHECK(num_parts >= 1, "need at least one partition");
+  std::vector<double> targets(static_cast<std::size_t>(num_parts));
+  // Largest-remainder apportionment on the integer part; exact for unit
+  // weights and a sane default otherwise.
+  const double base = std::floor(total_weight / num_parts);
+  double assigned = base * num_parts;
+  for (double& t : targets) t = base;
+  std::int64_t leftover =
+      static_cast<std::int64_t>(std::llround(total_weight - assigned));
+  for (std::size_t q = 0; leftover > 0;
+       q = (q + 1) % targets.size(), --leftover) {
+    targets[q] += 1.0;
+  }
+  return targets;
+}
+
+bool is_balanced(const Graph& g, const Partitioning& p, double tolerance) {
+  const PartitionMetrics m = compute_metrics(g, p);
+  const auto targets = balance_targets(g.total_vertex_weight(), p.num_parts);
+  for (std::size_t q = 0; q < targets.size(); ++q) {
+    if (std::abs(m.weight[q] - targets[q]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace pigp::graph

@@ -1,0 +1,39 @@
+#include "graph/subgraph.hpp"
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+
+Subgraph induced_subgraph(const Graph& g,
+                          std::span<const VertexId> vertices) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> to_local(static_cast<std::size_t>(n),
+                                 kInvalidVertex);
+  Subgraph sub;
+  sub.to_global.assign(vertices.begin(), vertices.end());
+
+  GraphBuilder builder;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    PIGP_CHECK(v >= 0 && v < n, "subgraph vertex out of range");
+    PIGP_CHECK(to_local[static_cast<std::size_t>(v)] == kInvalidVertex,
+               "duplicate vertex in subgraph selection");
+    to_local[static_cast<std::size_t>(v)] =
+        builder.add_vertex(g.vertex_weight(v));
+  }
+  for (const VertexId v : vertices) {
+    const VertexId lv = to_local[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId lu = to_local[static_cast<std::size_t>(nbrs[i])];
+      if (lu == kInvalidVertex || nbrs[i] <= v) continue;
+      builder.add_edge(lv, lu, weights[i]);
+    }
+  }
+  sub.graph = builder.build();
+  return sub;
+}
+
+}  // namespace pigp::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file subgraph.hpp
+/// Induced subgraph extraction with id mappings — recursive bisection
+/// operates on progressively smaller vertex subsets.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pigp::graph {
+
+/// Induced subgraph plus the mapping between local and global ids.
+struct Subgraph {
+  Graph graph;
+  std::vector<VertexId> to_global;  ///< local id -> original id
+};
+
+/// Extract the subgraph induced by \p vertices (must be unique and in
+/// range; order defines local ids).  Vertex and edge weights carry over.
+[[nodiscard]] Subgraph induced_subgraph(const Graph& g,
+                                        std::span<const VertexId> vertices);
+
+}  // namespace pigp::graph

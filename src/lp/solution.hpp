@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file solution.hpp
+/// Solver result type shared by DenseSimplex and BoundedSimplex.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pigp::lp {
+
+enum class SolveStatus {
+  optimal,
+  infeasible,
+  unbounded,
+  iteration_limit,
+};
+
+[[nodiscard]] inline const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::optimal: return "optimal";
+    case SolveStatus::infeasible: return "infeasible";
+    case SolveStatus::unbounded: return "unbounded";
+    case SolveStatus::iteration_limit: return "iteration_limit";
+  }
+  return "unknown";
+}
+
+/// Outcome of a simplex solve.  \c x is meaningful only when status is
+/// optimal; \c objective is in the original sense (max problems report the
+/// maximum).
+struct Solution {
+  SolveStatus status = SolveStatus::infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::int64_t iterations = 0;      ///< total pivots across both phases
+  std::int64_t phase1_iterations = 0;
+};
+
+}  // namespace pigp::lp

@@ -1,0 +1,125 @@
+#include "lp/standard_form.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pigp::lp::detail {
+
+std::vector<double> StandardForm::recover(const std::vector<double>& y) const {
+  PIGP_CHECK(y.size() == cost.size(), "canonical solution size mismatch");
+  std::vector<double> x(static_cast<std::size_t>(num_original_vars), 0.0);
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const ColumnOrigin& col = columns[j];
+    auto& target = x[static_cast<std::size_t>(col.original_var)];
+    switch (col.kind) {
+      case ColumnOrigin::Kind::shifted:
+        target = col.shift + y[j];
+        break;
+      case ColumnOrigin::Kind::mirrored:
+        target = col.shift - y[j];
+        break;
+      case ColumnOrigin::Kind::split_pos:
+        target += y[j];
+        break;
+      case ColumnOrigin::Kind::split_neg:
+        target -= y[j];
+        break;
+    }
+  }
+  return x;
+}
+
+StandardForm make_standard_form(const LinearProgram& lp, bool bounds_as_rows) {
+  StandardForm sf;
+  sf.num_original_vars = lp.num_variables();
+  sf.negated_objective = lp.sense() == Sense::maximize;
+  const double sign = sf.negated_objective ? -1.0 : 1.0;
+
+  // Per original variable: canonical column(s) and the affine substitution
+  // x = a + s*y (s = +1 shifted, -1 mirrored) or x = y_pos - y_neg.
+  struct Substitution {
+    int column = -1;      // primary canonical column
+    int column2 = -1;     // split_neg column if split
+    double shift = 0.0;
+    double scale = 1.0;   // +1 shifted, -1 mirrored
+  };
+  std::vector<Substitution> subs(
+      static_cast<std::size_t>(lp.num_variables()));
+
+  for (int v = 0; v < lp.num_variables(); ++v) {
+    const Variable& var = lp.variables()[static_cast<std::size_t>(v)];
+    Substitution& sub = subs[static_cast<std::size_t>(v)];
+    const double cost = sign * var.objective;
+    if (var.lower > -kInfinity) {
+      // x = lower + y, 0 <= y <= upper - lower.
+      sub.column = sf.num_columns();
+      sub.shift = var.lower;
+      sub.scale = 1.0;
+      sf.cost.push_back(cost);
+      sf.upper.push_back(var.upper == kInfinity ? kInfinity
+                                                : var.upper - var.lower);
+      sf.columns.push_back({ColumnOrigin::Kind::shifted, v, var.lower, -1});
+    } else if (var.upper < kInfinity) {
+      // x = upper - y, y >= 0.
+      sub.column = sf.num_columns();
+      sub.shift = var.upper;
+      sub.scale = -1.0;
+      sf.cost.push_back(-cost);
+      sf.upper.push_back(kInfinity);
+      sf.columns.push_back({ColumnOrigin::Kind::mirrored, v, var.upper, -1});
+    } else {
+      // Free variable: x = y_pos - y_neg.
+      sub.column = sf.num_columns();
+      sub.column2 = sub.column + 1;
+      sub.shift = 0.0;
+      sub.scale = 1.0;
+      sf.cost.push_back(cost);
+      sf.cost.push_back(-cost);
+      sf.upper.push_back(kInfinity);
+      sf.upper.push_back(kInfinity);
+      sf.columns.push_back(
+          {ColumnOrigin::Kind::split_pos, v, 0.0, sub.column + 1});
+      sf.columns.push_back(
+          {ColumnOrigin::Kind::split_neg, v, 0.0, sub.column});
+    }
+  }
+
+  // Substitute into every model row.
+  for (const Row& row : lp.rows()) {
+    CanonicalRow out;
+    out.type = row.type;
+    out.rhs = row.rhs;
+    // Accumulate coefficients per canonical column (duplicates summed).
+    std::vector<std::pair<int, double>> acc;
+    for (const auto& [var, coeff] : row.coeffs) {
+      const Substitution& sub = subs[static_cast<std::size_t>(var)];
+      out.rhs -= coeff * sub.shift;
+      acc.emplace_back(sub.column, coeff * sub.scale);
+      if (sub.column2 >= 0) acc.emplace_back(sub.column2, -coeff);
+    }
+    std::sort(acc.begin(), acc.end());
+    for (const auto& [col, coeff] : acc) {
+      if (!out.coeffs.empty() && out.coeffs.back().first == col) {
+        out.coeffs.back().second += coeff;
+      } else {
+        out.coeffs.emplace_back(col, coeff);
+      }
+    }
+    sf.rows.push_back(std::move(out));
+  }
+
+  if (bounds_as_rows) {
+    for (int j = 0; j < sf.num_columns(); ++j) {
+      double& u = sf.upper[static_cast<std::size_t>(j)];
+      if (u < kInfinity) {
+        sf.rows.push_back({RowType::less_equal, {{j, 1.0}}, u});
+        u = kInfinity;
+      }
+    }
+  }
+  return sf;
+}
+
+}  // namespace pigp::lp::detail

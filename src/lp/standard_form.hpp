@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file standard_form.hpp
+/// Conversion of a LinearProgram into the canonical form the simplex
+/// tableaus operate on:
+///     minimize c'y   subject to  R y (≤|≥|=) r,   0 ≤ y_j ≤ u_j
+/// with every y_j having lower bound zero.  Shifted, mirrored, and split
+/// variables record how to map a canonical solution back to the original
+/// variable space.
+
+#include <vector>
+
+#include "lp/program.hpp"
+
+namespace pigp::lp::detail {
+
+/// How one canonical column maps back to an original variable.
+struct ColumnOrigin {
+  enum class Kind {
+    shifted,    ///< x = shift + y
+    mirrored,   ///< x = shift - y  (variable had only an upper bound)
+    split_pos,  ///< x = y_pos - y_neg; this is y_pos
+    split_neg,  ///< the matching y_neg column
+  };
+  Kind kind = Kind::shifted;
+  int original_var = -1;
+  double shift = 0.0;
+  int partner = -1;  ///< for split columns, index of the sibling column
+};
+
+/// Canonical-form row (same RowType vocabulary as the model).
+struct CanonicalRow {
+  RowType type = RowType::equal;
+  std::vector<std::pair<int, double>> coeffs;  ///< (canonical column, coeff)
+  double rhs = 0.0;
+};
+
+/// Canonical LP plus the recovery mapping.
+struct StandardForm {
+  std::vector<double> cost;           ///< per canonical column (minimize)
+  std::vector<double> upper;          ///< per canonical column; kInfinity allowed
+  std::vector<ColumnOrigin> columns;  ///< per canonical column
+  std::vector<CanonicalRow> rows;
+  int num_original_vars = 0;
+  bool negated_objective = false;  ///< true when the model was a maximize
+
+  [[nodiscard]] int num_columns() const noexcept {
+    return static_cast<int>(cost.size());
+  }
+
+  /// Map canonical values back to the original variable space.
+  [[nodiscard]] std::vector<double> recover(
+      const std::vector<double>& y) const;
+};
+
+/// Build the canonical form.  When \p bounds_as_rows is true, finite upper
+/// bounds are emitted as explicit `y_j <= u_j` rows and the columns carry
+/// upper = +inf (the dense solver has no native bound handling); otherwise
+/// bounds stay on the columns for the bounded-variable solver.
+[[nodiscard]] StandardForm make_standard_form(const LinearProgram& lp,
+                                              bool bounds_as_rows);
+
+}  // namespace pigp::lp::detail

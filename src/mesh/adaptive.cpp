@@ -1,0 +1,103 @@
+#include "mesh/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::mesh {
+
+AdaptiveMesh::AdaptiveMesh(std::span<const Point> initial_points)
+    : triangulation_(initial_points) {}
+
+AdaptiveMesh AdaptiveMesh::random(int n, std::uint64_t seed) {
+  PIGP_CHECK(n >= 3, "need at least three points for a mesh");
+  pigp::SplitMix64 rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double()});
+  }
+  return AdaptiveMesh(pts);
+}
+
+std::vector<PointId> AdaptiveMesh::refine_near(const RefineOptions& options) {
+  PIGP_CHECK(options.count >= 0, "refinement count must be non-negative");
+  PIGP_CHECK(options.radius > 0.0, "refinement radius must be positive");
+  pigp::SplitMix64 rng(options.seed);
+
+  std::vector<PointId> inserted;
+  inserted.reserve(static_cast<std::size_t>(options.count));
+  for (int k = 0; k < options.count; ++k) {
+    bool placed = false;
+    for (int attempt = 0; attempt < options.max_attempts_per_point;
+         ++attempt) {
+      const Point candidate{
+          options.center.x + options.radius * rng.next_gaussian(),
+          options.center.y + options.radius * rng.next_gaussian()};
+      // Keep refinement strictly inside the original cloud so new points
+      // never extend the hull (mirrors DIME refining interior elements).
+      if (candidate.x <= 0.02 || candidate.x >= 0.98 ||
+          candidate.y <= 0.02 || candidate.y >= 0.98) {
+        continue;
+      }
+      const double spacing = triangulation_.local_spacing(candidate);
+      if (!std::isfinite(spacing)) continue;  // hull region, skip
+      // Spacing guard: stay at least a fraction of the local edge length
+      // away from existing vertices so refinement densifies gradually
+      // instead of producing slivers.
+      const double nearest =
+          triangulation_.distance_to_nearest_vertex(candidate);
+      if (nearest < options.min_spacing_factor * spacing) continue;
+      inserted.push_back(triangulation_.insert(candidate));
+      placed = true;
+      break;
+    }
+    PIGP_CHECK(placed, "could not place refinement point; relax options");
+  }
+  return inserted;
+}
+
+graph::GraphDelta graph_delta(const graph::Graph& before,
+                              const graph::Graph& after) {
+  const graph::VertexId n_old = before.num_vertices();
+  PIGP_CHECK(after.num_vertices() >= n_old,
+             "after-graph must extend the before-graph");
+
+  graph::GraphDelta delta;
+
+  // Removed old-old edges: in before, missing in after.
+  for (graph::VertexId u = 0; u < n_old; ++u) {
+    for (graph::VertexId v : before.neighbors(u)) {
+      if (v <= u) continue;
+      if (!after.has_edge(u, v)) {
+        delta.removed_edges.push_back({u, v});
+      }
+    }
+  }
+  // Added old-old edges: in after (both endpoints old), missing in before.
+  for (graph::VertexId u = 0; u < n_old; ++u) {
+    for (graph::VertexId v : after.neighbors(u)) {
+      if (v <= u || v >= n_old) continue;
+      if (!before.has_edge(u, v)) {
+        delta.added_edges.push_back({u, v});
+        delta.added_edge_weights.push_back(after.edge_weight(u, v));
+      }
+    }
+  }
+  // New vertices with edges to old vertices and earlier new vertices.
+  for (graph::VertexId v = n_old; v < after.num_vertices(); ++v) {
+    graph::VertexAddition add;
+    add.weight = after.vertex_weight(v);
+    for (graph::VertexId u : after.neighbors(v)) {
+      if (u < v) {  // old or earlier-new: exactly once per edge
+        add.edges.emplace_back(u, after.edge_weight(u, v));
+      }
+    }
+    delta.added_vertices.push_back(std::move(add));
+  }
+  return delta;
+}
+
+}  // namespace pigp::mesh

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Adaptive mesh driver: localized refinement and graph deltas between
+/// refinement steps — the workload generator for the incremental
+/// partitioner.
+///
+/// The paper's meshes evolve by "making refinements in a localized area of
+/// the initial mesh" (§3).  refine_near() reproduces that: it inserts a
+/// given number of new points clustered around a hotspot, respecting local
+/// spacing so the mesh stays well-shaped, and graph_delta() expresses the
+/// resulting change as a graph::GraphDelta (new vertices V1, new edges E1,
+/// and the old-old edges E2 destroyed by retriangulation).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/delta.hpp"
+#include "graph/graph.hpp"
+#include "mesh/delaunay.hpp"
+#include "mesh/trimesh.hpp"
+
+namespace pigp::mesh {
+
+/// Options for localized refinement.
+struct RefineOptions {
+  Point center{0.5, 0.5};       ///< hotspot location
+  double radius = 0.08;         ///< Gaussian std-dev of the insertion cloud
+  int count = 25;               ///< points to insert
+  std::uint64_t seed = 1;       ///< sampling seed
+  /// Reject candidates closer than this fraction of the local edge length
+  /// to any existing point (keeps triangle quality bounded).
+  double min_spacing_factor = 0.33;
+  int max_attempts_per_point = 400;
+};
+
+/// Adaptive triangular mesh: a Delaunay triangulation plus refinement
+/// bookkeeping.
+class AdaptiveMesh {
+ public:
+  /// Triangulate \p initial_points (ids 0..n-1 in order).
+  explicit AdaptiveMesh(std::span<const Point> initial_points);
+
+  /// n uniform-random points in the unit square (deterministic in seed).
+  [[nodiscard]] static AdaptiveMesh random(int n, std::uint64_t seed);
+
+  /// Insert \p options.count new points near the hotspot; returns their
+  /// point ids.  Throws pigp::CheckError if the spacing constraint makes
+  /// the request unsatisfiable.
+  std::vector<PointId> refine_near(const RefineOptions& options);
+
+  [[nodiscard]] PointId num_points() const noexcept {
+    return triangulation_.num_points();
+  }
+  [[nodiscard]] const DelaunayTriangulation& triangulation() const noexcept {
+    return triangulation_;
+  }
+  [[nodiscard]] TriMesh snapshot() const { return triangulation_.snapshot(); }
+  [[nodiscard]] graph::Graph to_graph() const {
+    return triangulation_.snapshot().to_graph();
+  }
+
+ private:
+  DelaunayTriangulation triangulation_;
+};
+
+/// Express the difference between two nodal graphs as an incremental
+/// GraphDelta: \p before must be a prefix of \p after in vertex numbering
+/// (no deletions of vertices, which is how Delaunay refinement behaves).
+/// Applying the result to \p before reproduces \p after exactly.
+[[nodiscard]] graph::GraphDelta graph_delta(const graph::Graph& before,
+                                            const graph::Graph& after);
+
+}  // namespace pigp::mesh

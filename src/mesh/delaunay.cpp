@@ -1,0 +1,308 @@
+#include "mesh/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace pigp::mesh {
+
+DelaunayTriangulation::DelaunayTriangulation(
+    std::span<const Point> initial_points) {
+  // Bounding box of everything we expect to see; refinement stays inside
+  // the initial cloud's extent, so sizing from it is safe.
+  double lo_x = -1.0;
+  double lo_y = -1.0;
+  double hi_x = 1.0;
+  double hi_y = 1.0;
+  for (const Point& p : initial_points) {
+    lo_x = std::min(lo_x, p.x);
+    lo_y = std::min(lo_y, p.y);
+    hi_x = std::max(hi_x, p.x);
+    hi_y = std::max(hi_y, p.y);
+  }
+  const double cx = 0.5 * (lo_x + hi_x);
+  const double cy = 0.5 * (lo_y + hi_y);
+  const double span = std::max(hi_x - lo_x, hi_y - lo_y);
+  const double r = 24.0 * span;  // generous but float-friendly
+
+  // Super-triangle (CCW) comfortably containing the bounding box.
+  points_.push_back({cx - r, cy - r});
+  points_.push_back({cx + r, cy - r});
+  points_.push_back({cx, cy + r});
+  Tri root;
+  root.v = {0, 1, 2};
+  root.alive = true;
+  tris_.push_back(root);
+  alive_count_ = 1;
+  last_created_ = 0;
+
+  for (const Point& p : initial_points) insert(p);
+}
+
+const Point& DelaunayTriangulation::point(PointId p) const {
+  PIGP_CHECK(p >= 0 && p < num_points(), "point id out of range");
+  return points_[static_cast<std::size_t>(p) + 3];
+}
+
+TriId DelaunayTriangulation::allocate() {
+  if (!free_list_.empty()) {
+    const TriId t = free_list_.back();
+    free_list_.pop_back();
+    tris_[static_cast<std::size_t>(t)] = Tri{};
+    tris_[static_cast<std::size_t>(t)].alive = true;
+    ++alive_count_;
+    return t;
+  }
+  tris_.push_back(Tri{});
+  tris_.back().alive = true;
+  ++alive_count_;
+  return static_cast<TriId>(tris_.size() - 1);
+}
+
+void DelaunayTriangulation::free_triangle(TriId t) {
+  tris_[static_cast<std::size_t>(t)].alive = false;
+  free_list_.push_back(t);
+  --alive_count_;
+}
+
+TriId DelaunayTriangulation::locate(const Point& p) const {
+  // Remembering walk from the last created triangle.
+  TriId current = last_created_;
+  if (current == kNoTriangle ||
+      !tris_[static_cast<std::size_t>(current)].alive) {
+    current = kNoTriangle;
+    for (std::size_t t = 0; t < tris_.size(); ++t) {
+      if (tris_[t].alive) {
+        current = static_cast<TriId>(t);
+        break;
+      }
+    }
+  }
+  PIGP_CHECK(current != kNoTriangle, "no triangles to search");
+
+  const std::int64_t step_limit =
+      4 * static_cast<std::int64_t>(tris_.size()) + 16;
+  for (std::int64_t steps = 0; steps < step_limit; ++steps) {
+    const Tri& tri = tris_[static_cast<std::size_t>(current)];
+    bool moved = false;
+    for (int i = 0; i < 3; ++i) {
+      const Point& a = points_[static_cast<std::size_t>(
+          tri.v[static_cast<std::size_t>((i + 1) % 3)])];
+      const Point& b = points_[static_cast<std::size_t>(
+          tri.v[static_cast<std::size_t>((i + 2) % 3)])];
+      // p strictly on the right of directed edge a->b means it is outside
+      // across that edge (triangles are CCW).
+      if (orient2d(a, b, p) < 0.0) {
+        const TriId next = tri.adj[static_cast<std::size_t>(i)];
+        PIGP_CHECK(next != kNoTriangle,
+                   "point outside the super-triangle domain");
+        current = next;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return current;
+  }
+
+  // Extremely defensive fallback: exhaustive scan (degenerate walks can
+  // cycle on collinear data).
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (!tris_[t].alive) continue;
+    const Tri& tri = tris_[t];
+    bool inside = true;
+    for (int i = 0; i < 3 && inside; ++i) {
+      const Point& a = points_[static_cast<std::size_t>(
+          tri.v[static_cast<std::size_t>((i + 1) % 3)])];
+      const Point& b = points_[static_cast<std::size_t>(
+          tri.v[static_cast<std::size_t>((i + 2) % 3)])];
+      inside = orient2d(a, b, p) >= 0.0;
+    }
+    if (inside) return static_cast<TriId>(t);
+  }
+  PIGP_CHECK(false, "point location failed");
+  return kNoTriangle;
+}
+
+PointId DelaunayTriangulation::insert(const Point& p) {
+  const TriId seed = locate(p);
+
+  // Reject (near-)duplicates: they would create degenerate triangles.
+  {
+    const Tri& tri = tris_[static_cast<std::size_t>(seed)];
+    for (const PointId v : tri.v) {
+      PIGP_CHECK(squared_distance(points_[static_cast<std::size_t>(v)], p) >
+                     1e-24,
+                 "duplicate point insertion");
+    }
+  }
+
+  const PointId internal_id = static_cast<PointId>(points_.size());
+  points_.push_back(p);
+
+  // Grow the cavity: all triangles whose circumcircle contains p.
+  std::vector<TriId> cavity;
+  std::vector<char> in_cavity(tris_.size(), 0);
+  std::vector<TriId> stack = {seed};
+  in_cavity[static_cast<std::size_t>(seed)] = 1;
+  while (!stack.empty()) {
+    const TriId t = stack.back();
+    stack.pop_back();
+    cavity.push_back(t);
+    const Tri tri = tris_[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const TriId n = tri.adj[static_cast<std::size_t>(i)];
+      if (n == kNoTriangle || in_cavity[static_cast<std::size_t>(n)]) {
+        continue;
+      }
+      const Tri& nt = tris_[static_cast<std::size_t>(n)];
+      const double det =
+          incircle(points_[static_cast<std::size_t>(nt.v[0])],
+                   points_[static_cast<std::size_t>(nt.v[1])],
+                   points_[static_cast<std::size_t>(nt.v[2])], p);
+      if (det > 0.0) {
+        in_cavity[static_cast<std::size_t>(n)] = 1;
+        stack.push_back(n);
+      }
+    }
+  }
+
+  // Boundary edges of the cavity, each with the outside neighbor.
+  struct BoundaryEdge {
+    PointId a;
+    PointId b;  // directed so that p is to the left (CCW fan)
+    TriId outside;
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (const TriId t : cavity) {
+    const Tri& tri = tris_[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const TriId n = tri.adj[static_cast<std::size_t>(i)];
+      if (n != kNoTriangle && in_cavity[static_cast<std::size_t>(n)]) {
+        continue;
+      }
+      PointId a = tri.v[static_cast<std::size_t>((i + 1) % 3)];
+      PointId b = tri.v[static_cast<std::size_t>((i + 2) % 3)];
+      if (orient2d(points_[static_cast<std::size_t>(a)],
+                   points_[static_cast<std::size_t>(b)], p) < 0.0) {
+        std::swap(a, b);
+      }
+      boundary.push_back({a, b, n});
+    }
+  }
+  PIGP_CHECK(boundary.size() >= 3, "cavity boundary degenerate");
+
+  for (const TriId t : cavity) free_triangle(t);
+
+  // Re-triangulate as a fan around p; link fan triangles to each other via
+  // their shared (p, x) edges and to the outside across boundary edges.
+  std::map<PointId, TriId> fan_by_first;   // edge (p, a): triangle with a as
+  std::map<PointId, TriId> fan_by_second;  // ... and (b, p) side
+  for (const BoundaryEdge& e : boundary) {
+    const TriId t = allocate();
+    Tri& tri = tris_[static_cast<std::size_t>(t)];
+    tri.v = {internal_id, e.a, e.b};
+    // Edge opposite vertex 0 (internal_id) is (a, b): outside neighbor.
+    tri.adj[0] = e.outside;
+    if (e.outside != kNoTriangle) {
+      Tri& out = tris_[static_cast<std::size_t>(e.outside)];
+      for (int i = 0; i < 3; ++i) {
+        const PointId oa = out.v[static_cast<std::size_t>((i + 1) % 3)];
+        const PointId ob = out.v[static_cast<std::size_t>((i + 2) % 3)];
+        if ((oa == e.a && ob == e.b) || (oa == e.b && ob == e.a)) {
+          out.adj[static_cast<std::size_t>(i)] = t;
+        }
+      }
+    }
+    fan_by_first[e.a] = t;   // this triangle owns directed edge (p -> a)
+    fan_by_second[e.b] = t;  // and directed edge (b -> p)
+    last_created_ = t;
+  }
+  // A valid (star-shaped) cavity boundary is a single closed cycle around
+  // p, so every boundary vertex appears exactly once as a start and once as
+  // an end.
+  PIGP_CHECK(fan_by_first.size() == boundary.size() &&
+                 fan_by_second.size() == boundary.size(),
+             "cavity boundary is not a simple cycle");
+  // Stitch fan neighbors: triangle with boundary edge (a, b) neighbors the
+  // fan triangle whose boundary edge starts at b (shared edge (p, b)) and
+  // the one whose boundary edge ends at a (shared edge (p, a)).
+  for (const BoundaryEdge& e : boundary) {
+    const TriId t = fan_by_first.at(e.a);
+    Tri& tri = tris_[static_cast<std::size_t>(t)];
+    // Edge opposite vertex 1 (= e.a) is (e.b, p): neighbor starts at e.b.
+    tri.adj[1] = fan_by_first.at(e.b);
+    // Edge opposite vertex 2 (= e.b) is (p, e.a): neighbor ends at e.a.
+    tri.adj[2] = fan_by_second.at(e.a);
+  }
+
+  return internal_id - 3;
+}
+
+double DelaunayTriangulation::local_spacing(const Point& p) const {
+  const TriId t = locate(p);
+  const Tri& tri = tris_[static_cast<std::size_t>(t)];
+  double shortest = std::numeric_limits<double>::infinity();
+  bool touches_super = false;
+  for (int i = 0; i < 3; ++i) {
+    if (is_super(tri.v[static_cast<std::size_t>(i)])) touches_super = true;
+  }
+  if (touches_super) return shortest;
+  for (int i = 0; i < 3; ++i) {
+    const Point& a = points_[static_cast<std::size_t>(
+        tri.v[static_cast<std::size_t>(i)])];
+    const Point& b = points_[static_cast<std::size_t>(
+        tri.v[static_cast<std::size_t>((i + 1) % 3)])];
+    shortest = std::min(shortest, distance(a, b));
+  }
+  return shortest;
+}
+
+double DelaunayTriangulation::distance_to_nearest_vertex(
+    const Point& p) const {
+  const TriId t = locate(p);
+  const Tri& tri = tris_[static_cast<std::size_t>(t)];
+  double nearest = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 3; ++i) {
+    const PointId v = tri.v[static_cast<std::size_t>(i)];
+    if (is_super(v)) return std::numeric_limits<double>::infinity();
+    nearest = std::min(nearest,
+                       distance(points_[static_cast<std::size_t>(v)], p));
+  }
+  return nearest;
+}
+
+TriMesh DelaunayTriangulation::snapshot() const {
+  // Keep only triangles not touching the super-triangle; renumber.
+  std::vector<TriId> new_id(tris_.size(), kNoTriangle);
+  std::vector<Triangle> out;
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    const Tri& tri = tris_[t];
+    if (!tri.alive) continue;
+    if (is_super(tri.v[0]) || is_super(tri.v[1]) || is_super(tri.v[2])) {
+      continue;
+    }
+    new_id[t] = static_cast<TriId>(out.size());
+    out.push_back(Triangle{});
+  }
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    if (new_id[t] == kNoTriangle) continue;
+    const Tri& tri = tris_[t];
+    Triangle& dst = out[cursor++];
+    for (int i = 0; i < 3; ++i) {
+      dst.vertices[static_cast<std::size_t>(i)] =
+          tri.v[static_cast<std::size_t>(i)] - 3;
+      const TriId n = tri.adj[static_cast<std::size_t>(i)];
+      dst.adjacent[static_cast<std::size_t>(i)] =
+          (n == kNoTriangle) ? kNoTriangle : new_id[static_cast<std::size_t>(n)];
+    }
+  }
+
+  std::vector<Point> pts(points_.begin() + 3, points_.end());
+  return TriMesh(std::move(pts), std::move(out));
+}
+
+}  // namespace pigp::mesh

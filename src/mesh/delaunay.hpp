@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file delaunay.hpp
+/// Incremental Bowyer–Watson Delaunay triangulation.
+///
+/// This is the library's stand-in for the DIME adaptive-mesh environment
+/// the paper used (Williams 1990): it builds irregular planar triangulations
+/// and supports *incremental* point insertion, which is exactly the
+/// "refinements in a localized area" operation that produces the paper's
+/// mesh sequences.  Insertions after the initial build are first-class, so
+/// an adaptive-computation driver can interleave refinement and
+/// repartitioning.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/trimesh.hpp"
+
+namespace pigp::mesh {
+
+/// Mutable Delaunay triangulation.  Point ids are assigned in insertion
+/// order starting at 0 and remain stable forever (the enclosing
+/// super-triangle is internal and invisible to callers).
+class DelaunayTriangulation {
+ public:
+  /// Start with an enclosing super-triangle sized from \p bounding_hint
+  /// (all future points must fall inside the hinted box) and insert
+  /// \p initial_points.
+  explicit DelaunayTriangulation(std::span<const Point> initial_points);
+
+  /// Insert one point; returns its id.  The point must lie within the
+  /// original bounding hint region.  Throws pigp::CheckError if an
+  /// (effectively) duplicate point is inserted.
+  PointId insert(const Point& p);
+
+  [[nodiscard]] PointId num_points() const noexcept {
+    return static_cast<PointId>(points_.size()) - 3;
+  }
+
+  [[nodiscard]] const Point& point(PointId p) const;
+
+  /// Export the current triangulation (super-triangle removed, triangles
+  /// renumbered densely).
+  [[nodiscard]] TriMesh snapshot() const;
+
+  /// Smallest edge length among the edges of the triangle containing \p p
+  /// (used by refinement to respect local density).  Returns +inf when the
+  /// containing triangle touches the super-triangle.
+  [[nodiscard]] double local_spacing(const Point& p) const;
+
+  /// Distance from \p p to the nearest corner of its containing triangle —
+  /// a cheap, locally exact proxy for nearest-vertex distance used by the
+  /// refinement spacing guard.  +inf when the triangle touches the
+  /// super-triangle.
+  [[nodiscard]] double distance_to_nearest_vertex(const Point& p) const;
+
+ private:
+  struct Tri {
+    std::array<PointId, 3> v{};  // internal ids (0..2 are super vertices)
+    std::array<TriId, 3> adj{kNoTriangle, kNoTriangle, kNoTriangle};
+    bool alive = false;
+  };
+
+  [[nodiscard]] bool is_super(PointId internal_id) const noexcept {
+    return internal_id < 3;
+  }
+  [[nodiscard]] TriId locate(const Point& p) const;
+  [[nodiscard]] TriId allocate();
+  void free_triangle(TriId t);
+
+  std::vector<Point> points_;  // [0..2] = super-triangle vertices
+  std::vector<Tri> tris_;
+  std::vector<TriId> free_list_;
+  TriId last_created_ = kNoTriangle;  // locate() walk hint
+  std::int64_t alive_count_ = 0;
+};
+
+}  // namespace pigp::mesh

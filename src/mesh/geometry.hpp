@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file geometry.hpp
+/// 2-D geometric predicates for the Delaunay triangulator.
+
+#include <array>
+#include <cmath>
+
+namespace pigp::mesh {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Twice the signed area of triangle (a, b, c): positive when the points
+/// turn counter-clockwise, negative clockwise, ~0 collinear.
+[[nodiscard]] inline double orient2d(const Point& a, const Point& b,
+                                     const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// In-circumcircle test: > 0 when d lies strictly inside the circumcircle
+/// of CCW triangle (a, b, c).  Standard 3x3 lifted determinant.
+[[nodiscard]] inline double incircle(const Point& a, const Point& b,
+                                     const Point& c, const Point& d) {
+  const double adx = a.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdx = b.x - d.x;
+  const double bdy = b.y - d.y;
+  const double cdx = c.x - d.x;
+  const double cdy = c.y - d.y;
+
+  const double ad2 = adx * adx + ady * ady;
+  const double bd2 = bdx * bdx + bdy * bdy;
+  const double cd2 = cdx * cdx + cdy * cdy;
+
+  return adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx) +
+         ad2 * (bdx * cdy - bdy * cdx);
+}
+
+[[nodiscard]] inline double squared_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace pigp::mesh

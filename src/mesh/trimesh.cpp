@@ -1,0 +1,99 @@
+#include "mesh/trimesh.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+namespace pigp::mesh {
+
+TriMesh::TriMesh(std::vector<Point> points, std::vector<Triangle> triangles)
+    : points_(std::move(points)), triangles_(std::move(triangles)) {}
+
+const Point& TriMesh::point(PointId p) const {
+  PIGP_CHECK(p >= 0 && p < num_points(), "point id out of range");
+  return points_[static_cast<std::size_t>(p)];
+}
+
+std::vector<std::pair<PointId, PointId>> TriMesh::edges() const {
+  std::vector<std::pair<PointId, PointId>> all;
+  all.reserve(static_cast<std::size_t>(triangles_.size()) * 3);
+  for (const Triangle& t : triangles_) {
+    for (int i = 0; i < 3; ++i) {
+      const PointId u = t.vertices[static_cast<std::size_t>(i)];
+      const PointId v = t.vertices[static_cast<std::size_t>((i + 1) % 3)];
+      all.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::int64_t TriMesh::num_boundary_edges() const {
+  std::int64_t count = 0;
+  for (const Triangle& t : triangles_) {
+    for (int i = 0; i < 3; ++i) {
+      if (t.adjacent[static_cast<std::size_t>(i)] == kNoTriangle) ++count;
+    }
+  }
+  return count;
+}
+
+graph::Graph TriMesh::to_graph() const {
+  graph::GraphBuilder builder(num_points());
+  for (const auto& [u, v] : edges()) {
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+std::vector<std::array<double, 2>> TriMesh::coordinates() const {
+  std::vector<std::array<double, 2>> coords;
+  coords.reserve(points_.size());
+  for (const Point& p : points_) coords.push_back({p.x, p.y});
+  return coords;
+}
+
+void TriMesh::validate() const {
+  const TriId nt = num_triangles();
+  std::map<std::pair<PointId, PointId>, int> edge_uses;
+  for (TriId t = 0; t < nt; ++t) {
+    const Triangle& tri = triangles_[static_cast<std::size_t>(t)];
+    for (PointId v : tri.vertices) {
+      PIGP_CHECK(v >= 0 && v < num_points(), "triangle vertex out of range");
+    }
+    PIGP_CHECK(orient2d(point(tri.vertices[0]), point(tri.vertices[1]),
+                        point(tri.vertices[2])) > 0.0,
+               "triangle must be counter-clockwise");
+    for (int i = 0; i < 3; ++i) {
+      const PointId a = tri.vertices[static_cast<std::size_t>((i + 1) % 3)];
+      const PointId b = tri.vertices[static_cast<std::size_t>((i + 2) % 3)];
+      ++edge_uses[{std::min(a, b), std::max(a, b)}];
+
+      const TriId n = tri.adjacent[static_cast<std::size_t>(i)];
+      if (n == kNoTriangle) continue;
+      PIGP_CHECK(n >= 0 && n < nt, "adjacency out of range");
+      // The neighbor must reference t back across the shared edge.
+      const Triangle& other = triangles_[static_cast<std::size_t>(n)];
+      bool mutual = false;
+      for (int j = 0; j < 3; ++j) {
+        if (other.adjacent[static_cast<std::size_t>(j)] == t) mutual = true;
+      }
+      PIGP_CHECK(mutual, "adjacency must be mutual");
+    }
+  }
+  for (const auto& [edge, uses] : edge_uses) {
+    PIGP_CHECK(uses <= 2, "edge shared by more than two triangles");
+  }
+  if (nt > 0) {
+    // Euler: V - E + F = 2 with the unbounded face included.
+    const auto v = static_cast<std::int64_t>(num_points());
+    const auto e = static_cast<std::int64_t>(edge_uses.size());
+    const auto f = static_cast<std::int64_t>(nt) + 1;
+    PIGP_CHECK(v - e + f == 2, "Euler characteristic violated");
+  }
+}
+
+}  // namespace pigp::mesh

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file trimesh.hpp
+/// Immutable snapshot of a 2-D triangular mesh, plus conversion to the
+/// nodal graph the partitioners consume (mesh points become graph vertices,
+/// triangle edges become graph edges — the representation the paper's DIME
+/// meshes use).
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mesh/geometry.hpp"
+
+namespace pigp::mesh {
+
+using PointId = std::int32_t;
+using TriId = std::int32_t;
+inline constexpr TriId kNoTriangle = -1;
+
+/// One triangle: CCW vertex ids and the neighbor across each edge
+/// (adjacent[i] faces the edge opposite vertices[i]).
+struct Triangle {
+  std::array<PointId, 3> vertices{};
+  std::array<TriId, 3> adjacent{kNoTriangle, kNoTriangle, kNoTriangle};
+};
+
+/// Triangular mesh snapshot.
+class TriMesh {
+ public:
+  TriMesh() = default;
+  TriMesh(std::vector<Point> points, std::vector<Triangle> triangles);
+
+  [[nodiscard]] PointId num_points() const noexcept {
+    return static_cast<PointId>(points_.size());
+  }
+  [[nodiscard]] TriId num_triangles() const noexcept {
+    return static_cast<TriId>(triangles_.size());
+  }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] const std::vector<Triangle>& triangles() const noexcept {
+    return triangles_;
+  }
+  [[nodiscard]] const Point& point(PointId p) const;
+
+  /// Unique undirected edges (u < v), sorted.
+  [[nodiscard]] std::vector<std::pair<PointId, PointId>> edges() const;
+
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edges().size());
+  }
+
+  /// Number of boundary edges (edges with only one incident triangle).
+  [[nodiscard]] std::int64_t num_boundary_edges() const;
+
+  /// Nodal graph: one unit-weight vertex per mesh point, one unit-weight
+  /// edge per triangle edge.
+  [[nodiscard]] graph::Graph to_graph() const;
+
+  /// Point coordinates as an array usable by recursive_coordinate_bisection.
+  [[nodiscard]] std::vector<std::array<double, 2>> coordinates() const;
+
+  /// Structural checks: CCW orientation, mutual adjacency links, every edge
+  /// shared by at most two triangles, Euler's formula
+  /// (V - E + F = 2 counting the outer face).  Throws pigp::CheckError.
+  void validate() const;
+
+ private:
+  std::vector<Point> points_;
+  std::vector<Triangle> triangles_;
+};
+
+}  // namespace pigp::mesh

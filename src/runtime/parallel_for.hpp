@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Deterministic blocked parallel loop on top of ThreadPool.
+///
+/// Work is split into contiguous index blocks assigned statically, so the
+/// set of indices each worker touches is a pure function of (range, threads)
+/// — no scheduling nondeterminism leaks into results as long as the body is
+/// data-race-free.
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace pigp::runtime {
+
+/// Invoke body(i) for every i in [begin, end) using \p pool; blocks until
+/// done.  The first exception thrown by any block is rethrown.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  Body&& body) {
+  PIGP_CHECK(begin <= end, "empty-or-forward range required");
+  const std::int64_t count = end - begin;
+  if (count == 0) return;
+  const auto blocks =
+      static_cast<std::int64_t>(std::min<std::int64_t>(pool.size(), count));
+  if (blocks <= 1) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<std::size_t>(blocks));
+  for (std::int64_t blk = 0; blk < blocks; ++blk) {
+    const std::int64_t lo = begin + count * blk / blocks;
+    const std::int64_t hi = begin + count * (blk + 1) / blocks;
+    pending.push_back(pool.submit([lo, hi, &body]() {
+      for (std::int64_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& f : pending) f.get();  // propagates the first exception
+}
+
+/// Map-reduce over [begin, end): combine(acc, map(i)) folded left-to-right
+/// per block, blocks combined in block order — deterministic for
+/// non-associative combines such as floating-point addition.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::int64_t begin,
+                                std::int64_t end, T init, Map&& map,
+                                Combine&& combine) {
+  PIGP_CHECK(begin <= end, "empty-or-forward range required");
+  const std::int64_t count = end - begin;
+  if (count == 0) return init;
+  const auto blocks =
+      static_cast<std::int64_t>(std::min<std::int64_t>(pool.size(), count));
+  if (blocks <= 1) {
+    T acc = init;
+    for (std::int64_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+
+  std::vector<std::future<T>> pending;
+  pending.reserve(static_cast<std::size_t>(blocks));
+  for (std::int64_t blk = 0; blk < blocks; ++blk) {
+    const std::int64_t lo = begin + count * blk / blocks;
+    const std::int64_t hi = begin + count * (blk + 1) / blocks;
+    pending.push_back(pool.submit([lo, hi, &map, &combine]() {
+      T acc = map(lo);
+      for (std::int64_t i = lo + 1; i < hi; ++i) acc = combine(acc, map(i));
+      return acc;
+    }));
+  }
+  T acc = init;
+  for (auto& f : pending) acc = combine(acc, f.get());
+  return acc;
+}
+
+}  // namespace pigp::runtime

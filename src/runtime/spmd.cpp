@@ -1,0 +1,123 @@
+#include "runtime/spmd.hpp"
+
+#include <cstring>
+#include <exception>
+#include <thread>
+
+namespace pigp::runtime {
+
+// ---------------------------------------------------------------- Machine
+
+Machine::Machine(int num_ranks) : num_ranks_(num_ranks) {
+  PIGP_CHECK(num_ranks >= 1, "machine needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    auto box = std::make_unique<Mailbox>();
+    box->queues.resize(static_cast<std::size_t>(num_ranks));
+    mailboxes_.push_back(std::move(box));
+  }
+  reduce_slots_.resize(static_cast<std::size_t>(num_ranks));
+  gather_slots_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+void Machine::run(const std::function<void(RankContext&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_ranks_));
+
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &body, &errors]() {
+      RankContext ctx(this, r, num_ranks_);
+      try {
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Machine::send(int from, int to, Packet packet) {
+  PIGP_CHECK(to >= 0 && to < num_ranks_, "destination rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queues[static_cast<std::size_t>(from)].push_back(std::move(packet));
+  }
+  box.cv.notify_all();
+}
+
+Packet Machine::recv(int self, int from) {
+  PIGP_CHECK(from >= 0 && from < num_ranks_, "source rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock lock(box.mutex);
+  auto& queue = box.queues[static_cast<std::size_t>(from)];
+  box.cv.wait(lock, [&queue]() { return !queue.empty(); });
+  Packet packet = std::move(queue.front());
+  queue.pop_front();
+  return packet;
+}
+
+void Machine::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_arrived_ == num_ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [this, generation]() {
+      return barrier_generation_ != generation;
+    });
+  }
+}
+
+// ------------------------------------------------------------ RankContext
+
+void RankContext::send(int to, Packet packet) {
+  machine_->send(rank_, to, std::move(packet));
+}
+
+Packet RankContext::recv(int from) { return machine_->recv(rank_, from); }
+
+void RankContext::barrier() { machine_->barrier_wait(); }
+
+double RankContext::allreduce(
+    double value, const std::function<double(double, double)>& op) {
+  machine_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
+  barrier();  // all slots written
+  double acc = machine_->reduce_slots_[0];
+  for (int r = 1; r < num_ranks_; ++r) {
+    acc = op(acc, machine_->reduce_slots_[static_cast<std::size_t>(r)]);
+  }
+  barrier();  // all ranks done reading before slots are reused
+  return acc;
+}
+
+std::vector<Packet> RankContext::allgather(Packet packet) {
+  machine_->gather_slots_[static_cast<std::size_t>(rank_)] =
+      std::move(packet);
+  barrier();
+  std::vector<Packet> all = machine_->gather_slots_;  // copy for every rank
+  barrier();
+  return all;
+}
+
+Packet RankContext::broadcast(int root, Packet packet) {
+  PIGP_CHECK(root >= 0 && root < num_ranks_, "broadcast root out of range");
+  if (rank_ == root) {
+    machine_->gather_slots_[static_cast<std::size_t>(root)] =
+        std::move(packet);
+  }
+  barrier();
+  Packet received = machine_->gather_slots_[static_cast<std::size_t>(root)];
+  barrier();
+  return received;
+}
+
+}  // namespace pigp::runtime

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file spmd.hpp
+/// SPMD message-passing machine simulated with threads.
+///
+/// The paper evaluates on a 32-node CM-5, a distributed-memory machine
+/// programmed in a message-passing style.  This Machine stands in for that
+/// hardware: run() launches one thread per rank, each executing the same
+/// body with its own RankContext providing send/recv, barrier, reductions,
+/// gather and broadcast.  The distributed IGP driver (core/spmd_igp) is
+/// written against this interface, so the communication structure of the
+/// parallel algorithm is exercised even though no real network exists.
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pigp::runtime {
+
+/// Wire format: untyped byte packets plus pack/unpack helpers for trivially
+/// copyable values and vectors of them.
+class Packet {
+ public:
+  Packet() = default;
+
+  template <typename T>
+  void pack(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    data_.insert(data_.end(), bytes, bytes + sizeof(T));
+  }
+
+  template <typename T>
+  void pack_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pack(static_cast<std::uint64_t>(values.size()));
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+    data_.insert(data_.end(), bytes, bytes + sizeof(T) * values.size());
+  }
+
+  template <typename T>
+  [[nodiscard]] T unpack() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PIGP_CHECK(cursor_ + sizeof(T) <= data_.size(), "packet underrun");
+    T value;
+    std::memcpy(&value, data_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> unpack_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = static_cast<std::size_t>(unpack<std::uint64_t>());
+    PIGP_CHECK(cursor_ + sizeof(T) * count <= data_.size(), "packet underrun");
+    std::vector<T> values(count);
+    std::memcpy(values.data(), data_.data() + cursor_, sizeof(T) * count);
+    cursor_ += sizeof(T) * count;
+    return values;
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return data_.size();
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t cursor_ = 0;
+};
+
+class Machine;
+
+/// Per-rank communication handle passed to the SPMD body.
+class RankContext {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+
+  /// Point-to-point send (non-blocking; the packet is queued at the target).
+  void send(int to, Packet packet);
+
+  /// Blocking receive of the next packet from \p from (FIFO per sender).
+  [[nodiscard]] Packet recv(int from);
+
+  /// Collective barrier; all ranks must call it.
+  void barrier();
+
+  /// Collective: combine one double per rank with \p op (applied in rank
+  /// order, so non-associative ops are still deterministic).
+  [[nodiscard]] double allreduce(
+      double value, const std::function<double(double, double)>& op);
+
+  /// Collective: every rank receives the per-rank packets in rank order.
+  [[nodiscard]] std::vector<Packet> allgather(Packet packet);
+
+  /// Collective: \p root's packet is delivered to all ranks.
+  [[nodiscard]] Packet broadcast(int root, Packet packet);
+
+ private:
+  friend class Machine;
+  RankContext(Machine* machine, int rank, int num_ranks)
+      : machine_(machine), rank_(rank), num_ranks_(num_ranks) {}
+
+  Machine* machine_;
+  int rank_;
+  int num_ranks_;
+};
+
+/// Thread-backed SPMD machine.  Construct with a rank count, then run() one
+/// or more SPMD programs on it.
+class Machine {
+ public:
+  explicit Machine(int num_ranks);
+
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+
+  /// Execute \p body on every rank; returns when all ranks finish.  The
+  /// first exception thrown by any rank is rethrown (remaining ranks are
+  /// still joined, so deadlock-free bodies are required).
+  void run(const std::function<void(RankContext&)>& body);
+
+ private:
+  friend class RankContext;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // queues[sender] is the FIFO of packets from that sender.
+    std::vector<std::deque<Packet>> queues;
+  };
+
+  void send(int from, int to, Packet packet);
+  Packet recv(int self, int from);
+  void barrier_wait();
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Central barrier (sense-reversing).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Scratch for collectives; guarded by the barrier protocol.
+  std::vector<double> reduce_slots_;
+  std::vector<Packet> gather_slots_;
+};
+
+}  // namespace pigp::runtime

@@ -1,0 +1,201 @@
+#include "spectral/kernighan_lin.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/dense_matrix.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+using graph::Graph;
+using graph::PartId;
+using graph::Partitioning;
+using graph::VertexId;
+
+/// D value of vertex v for the pair (own, other): external minus internal
+/// edge weight, counting only edges within the pair (edges to third
+/// partitions are unaffected by pair swaps).
+double d_value(const Graph& g, const Partitioning& p, VertexId v,
+               PartId own, PartId other) {
+  double internal = 0.0;
+  double external = 0.0;
+  const auto nbrs = g.neighbors(v);
+  const auto weights = g.incident_edge_weights(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
+    if (q == own) {
+      internal += weights[i];
+    } else if (q == other) {
+      external += weights[i];
+    }
+  }
+  return external - internal;
+}
+
+/// One KL pass over the pair (a, b).  Returns the realized (kept) gain.
+double kl_pair_pass(const Graph& g, Partitioning& p, PartId a, PartId b,
+                    const KlOptions& options) {
+  // Candidate sets: boundary vertices of the pair with equal weights
+  // (swapping unequal weights would break balance).
+  std::vector<VertexId> side_a;
+  std::vector<VertexId> side_b;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId q = p.part[static_cast<std::size_t>(v)];
+    if (q != a && q != b) continue;
+    bool touches_other = false;
+    for (const VertexId u : g.neighbors(v)) {
+      const PartId uq = p.part[static_cast<std::size_t>(u)];
+      if ((q == a && uq == b) || (q == b && uq == a)) {
+        touches_other = true;
+        break;
+      }
+    }
+    if (!touches_other) continue;
+    (q == a ? side_a : side_b).push_back(v);
+  }
+  if (side_a.empty() || side_b.empty()) return 0.0;
+
+  std::vector<double> d_a(side_a.size());
+  std::vector<double> d_b(side_b.size());
+  for (std::size_t i = 0; i < side_a.size(); ++i) {
+    d_a[i] = d_value(g, p, side_a[i], a, b);
+  }
+  for (std::size_t i = 0; i < side_b.size(); ++i) {
+    d_b[i] = d_value(g, p, side_b[i], b, a);
+  }
+
+  std::vector<char> locked_a(side_a.size(), 0);
+  std::vector<char> locked_b(side_b.size(), 0);
+
+  // Tentative swap sequence with cumulative gains.
+  struct Swap {
+    std::size_t ia, ib;
+    double gain;
+  };
+  std::vector<Swap> sequence;
+  const int max_swaps = std::min<int>(
+      options.max_swaps_per_pair,
+      static_cast<int>(std::min(side_a.size(), side_b.size())));
+
+  for (int s = 0; s < max_swaps; ++s) {
+    double best_gain = -1e300;
+    std::size_t best_ia = 0;
+    std::size_t best_ib = 0;
+    bool found = false;
+    for (std::size_t ia = 0; ia < side_a.size(); ++ia) {
+      if (locked_a[ia]) continue;
+      for (std::size_t ib = 0; ib < side_b.size(); ++ib) {
+        if (locked_b[ib]) continue;
+        if (g.vertex_weight(side_a[ia]) != g.vertex_weight(side_b[ib])) {
+          continue;  // balance-preserving swaps only
+        }
+        const double w = g.edge_weight(side_a[ia], side_b[ib]);
+        const double gain = d_a[ia] + d_b[ib] - 2.0 * w;
+        if (!found || gain > best_gain) {
+          best_gain = gain;
+          best_ia = ia;
+          best_ib = ib;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+
+    locked_a[best_ia] = 1;
+    locked_b[best_ib] = 1;
+    sequence.push_back({best_ia, best_ib, best_gain});
+
+    // Update D values of unlocked candidates as if the swap happened.
+    const VertexId va = side_a[best_ia];
+    const VertexId vb = side_b[best_ib];
+    const auto update = [&](std::vector<VertexId>& side,
+                            std::vector<double>& d,
+                            std::vector<char>& locked, VertexId moved_away,
+                            VertexId moved_in) {
+      for (std::size_t i = 0; i < side.size(); ++i) {
+        if (locked[i]) continue;
+        const double w_away = g.edge_weight(side[i], moved_away);
+        const double w_in = g.edge_weight(side[i], moved_in);
+        // moved_away leaves this vertex's side (internal -> external);
+        // moved_in joins it (external -> internal).
+        d[i] += 2.0 * w_away - 2.0 * w_in;
+      }
+    };
+    update(side_a, d_a, locked_a, va, vb);
+    update(side_b, d_b, locked_b, vb, va);
+  }
+
+  // Keep the best positive prefix.
+  double best_total = 0.0;
+  std::size_t best_len = 0;
+  double running = 0.0;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    running += sequence[i].gain;
+    if (running > best_total) {
+      best_total = running;
+      best_len = i + 1;
+    }
+  }
+  for (std::size_t i = 0; i < best_len; ++i) {
+    p.part[static_cast<std::size_t>(side_a[sequence[i].ia])] = b;
+    p.part[static_cast<std::size_t>(side_b[sequence[i].ib])] = a;
+  }
+  return best_total;
+}
+
+}  // namespace
+
+KlStats kernighan_lin_refine(const Graph& g, Partitioning& partitioning,
+                             const KlOptions& options) {
+  partitioning.validate(g);
+  KlStats stats;
+  stats.cut_before = graph::compute_metrics(g, partitioning).cut_total;
+  stats.cut_after = stats.cut_before;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    // Adjacent partition pairs under the current assignment.
+    std::vector<std::pair<PartId, PartId>> pairs;
+    {
+      pigp::DenseMatrix<char> adjacent(
+          static_cast<std::size_t>(partitioning.num_parts),
+          static_cast<std::size_t>(partitioning.num_parts), 0);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const PartId pv = partitioning.part[static_cast<std::size_t>(v)];
+        for (const VertexId u : g.neighbors(v)) {
+          const PartId pu = partitioning.part[static_cast<std::size_t>(u)];
+          if (pu > pv) {
+            adjacent(static_cast<std::size_t>(pv),
+                     static_cast<std::size_t>(pu)) = 1;
+          }
+        }
+      }
+      for (PartId i = 0; i < partitioning.num_parts; ++i) {
+        for (PartId j = i + 1; j < partitioning.num_parts; ++j) {
+          if (adjacent(static_cast<std::size_t>(i),
+                       static_cast<std::size_t>(j))) {
+            pairs.emplace_back(i, j);
+          }
+        }
+      }
+    }
+
+    double pass_gain = 0.0;
+    for (const auto& [i, j] : pairs) {
+      const double gain = kl_pair_pass(g, partitioning, i, j, options);
+      if (gain > 0.0) {
+        pass_gain += gain;
+        ++stats.swaps_kept;
+      }
+    }
+    ++stats.passes;
+    if (pass_gain < options.min_pass_gain) break;
+  }
+
+  stats.cut_after = graph::compute_metrics(g, partitioning).cut_total;
+  return stats;
+}
+
+}  // namespace pigp::spectral

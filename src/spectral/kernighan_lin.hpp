@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file kernighan_lin.hpp
+/// Kernighan–Lin pairwise refinement for P-way partitionings.
+///
+/// The paper's introduction cites "mincut-based methods" among the
+/// established partitioning heuristics; KL is their canonical
+/// representative and the natural non-LP comparison for the refinement
+/// step of §2.4 (bench_ablation and the shootout example use it that way).
+/// This implementation runs classic swap-based KL passes on every adjacent
+/// partition pair: swaps preserve load balance exactly (one vertex each
+/// way), and a pass keeps the best positive prefix of its tentative swap
+/// sequence.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::spectral {
+
+struct KlOptions {
+  int max_passes = 4;            ///< full sweeps over all adjacent pairs
+  int max_swaps_per_pair = 64;   ///< tentative swap sequence length cap
+  double min_pass_gain = 1.0;    ///< stop when a sweep gains less than this
+};
+
+struct KlStats {
+  int passes = 0;
+  std::int64_t swaps_kept = 0;
+  double cut_before = 0.0;
+  double cut_after = 0.0;
+};
+
+/// Refine \p partitioning in place; cut never increases, per-partition
+/// weights are unchanged (unit-weight swaps; for weighted graphs the swap
+/// exchanges weight exactly when vertex weights match, so this pass is
+/// restricted to equal-weight swaps).
+[[nodiscard]] KlStats kernighan_lin_refine(const graph::Graph& g,
+                                           graph::Partitioning& partitioning,
+                                           const KlOptions& options = {});
+
+}  // namespace pigp::spectral

@@ -1,0 +1,166 @@
+#include "spectral/lanczos.hpp"
+
+#include <cmath>
+
+#include "graph/components.hpp"
+#include "spectral/tridiagonal.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+/// Remove the component along the (normalized) all-ones direction.
+void deflate_constant(std::vector<double>& v) {
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  for (double& x : v) x -= mean;
+}
+
+void axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+void laplacian_apply(const graph::Graph& g, const std::vector<double>& x,
+                     std::vector<double>& y) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PIGP_CHECK(x.size() == n, "Laplacian operand size mismatch");
+  y.assign(n, 0.0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    double acc = 0.0;
+    double degree = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      degree += weights[i];
+      acc += weights[i] * x[static_cast<std::size_t>(nbrs[i])];
+    }
+    y[static_cast<std::size_t>(v)] =
+        degree * x[static_cast<std::size_t>(v)] - acc;
+  }
+}
+
+FiedlerResult fiedler_vector(const graph::Graph& g,
+                             const LanczosOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  FiedlerResult result;
+
+  if (n == 0) return result;
+  if (n == 1) {
+    result.vector = {0.0};
+    result.converged = true;
+    return result;
+  }
+  if (n == 2) {
+    // L = [[w, -w], [-w, w]]; λ₂ = 2w, Fiedler = (1, -1)/sqrt(2).
+    const double w = g.edge_weight(0, 1);
+    PIGP_CHECK(w > 0.0, "Fiedler vector of a disconnected graph");
+    result.value = 2.0 * w;
+    result.vector = {1.0 / std::sqrt(2.0), -1.0 / std::sqrt(2.0)};
+    result.converged = true;
+    return result;
+  }
+  PIGP_CHECK(graph::is_connected(g),
+             "Fiedler vector requires a connected graph");
+
+  const int max_k = std::min<int>(options.max_iterations,
+                                  static_cast<int>(n) - 1);
+
+  // Deterministic start vector orthogonal to ones.
+  pigp::SplitMix64 rng(options.seed);
+  std::vector<double> q(n);
+  for (double& x : q) x = rng.next_double() - 0.5;
+  deflate_constant(q);
+  {
+    const double nq = norm(q);
+    PIGP_CHECK(nq > 0.0, "degenerate Lanczos start vector");
+    for (double& x : q) x /= nq;
+  }
+
+  std::vector<std::vector<double>> basis;  // Lanczos vectors q_1 ... q_k
+  basis.push_back(q);
+  std::vector<double> alpha;  // tridiagonal diagonal
+  std::vector<double> beta;   // tridiagonal off-diagonal
+
+  std::vector<double> w(n);
+  double last_value = 0.0;
+  std::vector<double> ritz_in_basis;
+
+  // Convergence test: the Ritz-pair residual for the smallest eigenvalue is
+  // bounded by |β_{k+1}| · |s_k| where β_{k+1} is the norm of the next
+  // Lanczos residual and s_k the last component of the Ritz vector.
+  const auto evaluate = [&](double next_beta) -> bool {
+    const TridiagonalEigen eig = tridiagonal_eigen(alpha, beta);
+    last_value = eig.eigenvalues.front();
+    ritz_in_basis = eig.eigenvectors.front();
+    const double bound = std::abs(next_beta) * std::abs(ritz_in_basis.back());
+    return bound <= options.tolerance * std::max(1.0, std::abs(last_value));
+  };
+
+  bool converged = false;
+  int k = 0;
+  while (k < max_k) {
+    const std::vector<double>& qk = basis.back();
+    laplacian_apply(g, qk, w);
+    const double a = dot(w, qk);
+    alpha.push_back(a);
+    axpy(-a, qk, w);
+    if (basis.size() >= 2) {
+      axpy(-beta.back(), basis[basis.size() - 2], w);
+    }
+    // Full reorthogonalization (also re-deflates the ones direction) keeps
+    // the basis numerically orthogonal; n is small enough to afford it.
+    deflate_constant(w);
+    for (const auto& qi : basis) {
+      axpy(-dot(w, qi), qi, w);
+    }
+    ++k;
+
+    const double b = norm(w);
+    const bool check_now =
+        k % options.check_interval == 0 || k == max_k || b <= 1e-12;
+    if (check_now && evaluate(b)) {
+      converged = true;
+      break;
+    }
+    if (b <= 1e-12 || k == max_k) {
+      // Invariant subspace found (b ~ 0, Ritz pair exact) or the subspace
+      // budget is exhausted; either way alpha/beta stay consistent.
+      break;
+    }
+    beta.push_back(b);
+    std::vector<double> next = w;
+    for (double& x : next) x /= b;
+    basis.push_back(std::move(next));
+  }
+  if (ritz_in_basis.empty()) converged = evaluate(0.0);
+
+  // Assemble the Fiedler vector from the basis.
+  result.vector.assign(n, 0.0);
+  for (std::size_t i = 0; i < ritz_in_basis.size(); ++i) {
+    axpy(ritz_in_basis[i], basis[i], result.vector);
+  }
+  deflate_constant(result.vector);
+  const double nv = norm(result.vector);
+  if (nv > 0.0) {
+    for (double& x : result.vector) x /= nv;
+  }
+  result.value = last_value;
+  result.iterations = k;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace pigp::spectral

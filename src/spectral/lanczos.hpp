@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file lanczos.hpp
+/// Fiedler vector computation via Lanczos iteration on the graph Laplacian.
+///
+/// Recursive spectral bisection (Pothen–Simon–Liou) splits a graph at the
+/// median of the eigenvector for the second-smallest Laplacian eigenvalue
+/// λ₂ (the Fiedler vector).  We run Lanczos on L = D − A with the constant
+/// vector deflated (it spans the λ₁ = 0 eigenspace of a connected graph)
+/// and full reorthogonalization, then extract the smallest Ritz pair of the
+/// tridiagonal projection.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pigp::spectral {
+
+struct LanczosOptions {
+  int max_iterations = 300;      ///< Lanczos subspace dimension cap
+  double tolerance = 1e-7;       ///< Ritz residual bound for convergence
+  int check_interval = 5;        ///< convergence test cadence
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;  ///< start-vector seed
+};
+
+struct FiedlerResult {
+  double value = 0.0;            ///< λ₂ estimate
+  std::vector<double> vector;    ///< unit Fiedler vector (size n)
+  int iterations = 0;
+  bool converged = false;        ///< residual below tolerance at exit
+};
+
+/// y = (D - A) x for the weighted Laplacian of \p g.
+void laplacian_apply(const graph::Graph& g, const std::vector<double>& x,
+                     std::vector<double>& y);
+
+/// Fiedler pair of a *connected* graph (throws on disconnected input for
+/// n > 1; components must be handled by the caller).  For n == 1 returns a
+/// zero vector; for n == 2 the exact pair.
+[[nodiscard]] FiedlerResult fiedler_vector(const graph::Graph& g,
+                                           const LanczosOptions& options = {});
+
+}  // namespace pigp::spectral

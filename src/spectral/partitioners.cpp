@@ -1,0 +1,154 @@
+#include "spectral/partitioners.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/components.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "spectral/recursive_bisection.hpp"
+#include "support/check.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Order disconnected subsets component-major (heaviest component first);
+/// \p within assigns the in-component score.  Scores are offset so that
+/// components never interleave.
+template <typename WithinFn>
+std::vector<double> component_major_scores(const Graph& sub,
+                                           const WithinFn& within) {
+  const graph::Components comps = graph::connected_components(sub);
+  if (comps.count == 1) return within(sub);
+
+  // Heaviest components first so the prefix split packs large pieces
+  // together (fewer split components).
+  std::vector<double> comp_weight(static_cast<std::size_t>(comps.count), 0.0);
+  for (VertexId v = 0; v < sub.num_vertices(); ++v) {
+    comp_weight[static_cast<std::size_t>(
+        comps.comp[static_cast<std::size_t>(v)])] += sub.vertex_weight(v);
+  }
+  std::vector<std::int32_t> rank_of(static_cast<std::size_t>(comps.count));
+  {
+    std::vector<std::int32_t> order(static_cast<std::size_t>(comps.count));
+    for (std::int32_t c = 0; c < comps.count; ++c) {
+      order[static_cast<std::size_t>(c)] = c;
+    }
+    std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+      const double wa = comp_weight[static_cast<std::size_t>(a)];
+      const double wb = comp_weight[static_cast<std::size_t>(b)];
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    for (std::int32_t r = 0; r < comps.count; ++r) {
+      rank_of[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])] =
+          r;
+    }
+  }
+
+  std::vector<double> scores(static_cast<std::size_t>(sub.num_vertices()),
+                             0.0);
+  const auto groups = comps.members();
+  for (std::int32_t c = 0; c < comps.count; ++c) {
+    const auto& members = groups[static_cast<std::size_t>(c)];
+    const graph::Subgraph piece = graph::induced_subgraph(sub, members);
+    const std::vector<double> inner = within(piece.graph);
+    // Normalize inner scores into (0, 1) then shift by component rank.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (double s : inner) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    const double base =
+        2.0 * static_cast<double>(rank_of[static_cast<std::size_t>(c)]);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      scores[static_cast<std::size_t>(members[i])] =
+          base + (inner[i] - lo) / span;
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+graph::Partitioning recursive_spectral_bisection(const Graph& g,
+                                                 graph::PartId num_parts,
+                                                 const RsbOptions& options) {
+  const auto fiedler_scores = [&options](const Graph& sub) {
+    if (sub.num_vertices() <= 2) {
+      std::vector<double> s(static_cast<std::size_t>(sub.num_vertices()));
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i] = static_cast<double>(i);
+      }
+      return s;
+    }
+    return fiedler_vector(sub, options.lanczos).vector;
+  };
+  const ScoreFunction score =
+      [&fiedler_scores](const Graph& sub,
+                        const std::vector<VertexId>& /*to_global*/) {
+        return component_major_scores(sub, fiedler_scores);
+      };
+  return recursive_partition(g, num_parts, score);
+}
+
+graph::Partitioning recursive_coordinate_bisection(
+    const Graph& g, graph::PartId num_parts,
+    const std::vector<std::array<double, 2>>& coords) {
+  PIGP_CHECK(coords.size() == static_cast<std::size_t>(g.num_vertices()),
+             "one coordinate pair per vertex required");
+  const ScoreFunction score =
+      [&coords](const Graph& sub, const std::vector<VertexId>& to_global) {
+        // Pick the axis with the largest spread over this subset.
+        double lo[2] = {std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()};
+        double hi[2] = {-std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()};
+        for (VertexId global : to_global) {
+          for (int axis = 0; axis < 2; ++axis) {
+            const double c =
+                coords[static_cast<std::size_t>(global)][static_cast<std::size_t>(axis)];
+            lo[axis] = std::min(lo[axis], c);
+            hi[axis] = std::max(hi[axis], c);
+          }
+        }
+        const int axis = (hi[0] - lo[0] >= hi[1] - lo[1]) ? 0 : 1;
+        std::vector<double> scores(
+            static_cast<std::size_t>(sub.num_vertices()));
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+          scores[i] =
+              coords[static_cast<std::size_t>(to_global[i])][static_cast<std::size_t>(axis)];
+        }
+        return scores;
+      };
+  return recursive_partition(g, num_parts, score);
+}
+
+graph::Partitioning recursive_graph_bisection(const Graph& g,
+                                              graph::PartId num_parts) {
+  const auto bfs_scores = [](const Graph& sub) {
+    std::vector<double> scores(static_cast<std::size_t>(sub.num_vertices()),
+                               0.0);
+    if (sub.num_vertices() == 0) return scores;
+    const VertexId root = graph::pseudo_peripheral_vertex(sub, 0);
+    const std::vector<VertexId> order = graph::bfs_order(sub, root);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      scores[static_cast<std::size_t>(order[rank])] =
+          static_cast<double>(rank);
+    }
+    return scores;
+  };
+  const ScoreFunction score =
+      [&bfs_scores](const Graph& sub,
+                    const std::vector<VertexId>& /*to_global*/) {
+        return component_major_scores(sub, bfs_scores);
+      };
+  return recursive_partition(g, num_parts, score);
+}
+
+}  // namespace pigp::spectral

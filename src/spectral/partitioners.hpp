@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file partitioners.hpp
+/// From-scratch graph partitioners built on recursive bisection:
+///
+///  * recursive_spectral_bisection (RSB) — the paper's baseline and the
+///    provider of the initial partition for the incremental algorithm
+///    ("SB" rows of Figures 11/14),
+///  * recursive_coordinate_bisection (RCB) — geometric baseline for graphs
+///    with vertex coordinates,
+///  * recursive_graph_bisection (RGB) — BFS-order baseline needing no
+///    geometry.
+///
+/// All three return balanced partitions for any number of parts >= 1.
+
+#include <array>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace pigp::spectral {
+
+struct RsbOptions {
+  LanczosOptions lanczos;
+};
+
+/// Recursive spectral bisection: split each subset at the weighted median
+/// of its Fiedler vector.  Disconnected subsets are ordered component-major
+/// (largest component first) with the Fiedler order inside each component.
+[[nodiscard]] graph::Partitioning recursive_spectral_bisection(
+    const graph::Graph& g, graph::PartId num_parts,
+    const RsbOptions& options = {});
+
+/// Recursive coordinate bisection along the axis of largest spread.
+/// \p coords has one point per vertex.
+[[nodiscard]] graph::Partitioning recursive_coordinate_bisection(
+    const graph::Graph& g, graph::PartId num_parts,
+    const std::vector<std::array<double, 2>>& coords);
+
+/// Recursive graph bisection: order each subset by BFS level from a
+/// pseudo-peripheral vertex and split the order at the weight target.
+[[nodiscard]] graph::Partitioning recursive_graph_bisection(
+    const graph::Graph& g, graph::PartId num_parts);
+
+}  // namespace pigp::spectral

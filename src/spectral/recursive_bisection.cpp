@@ -1,0 +1,118 @@
+#include "spectral/recursive_bisection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+#include "support/check.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+using graph::Graph;
+using graph::PartId;
+using graph::Partitioning;
+using graph::VertexId;
+
+struct Driver {
+  const Graph& g;
+  const ScoreFunction& score;
+  const std::vector<double>& targets;
+  Partitioning& out;
+
+  void recurse(std::vector<VertexId> vertices, PartId part_begin,
+               PartId part_end) const {
+    if (part_end - part_begin == 1) {
+      for (VertexId v : vertices) {
+        out.part[static_cast<std::size_t>(v)] = part_begin;
+      }
+      return;
+    }
+    const PartId left_parts = (part_end - part_begin + 1) / 2;
+    double target_left = 0.0;
+    for (PartId q = part_begin; q < part_begin + left_parts; ++q) {
+      target_left += targets[static_cast<std::size_t>(q)];
+    }
+
+    const graph::Subgraph sub = graph::induced_subgraph(g, vertices);
+    const std::vector<double> scores = score(sub.graph, sub.to_global);
+    PIGP_CHECK(scores.size() == vertices.size(),
+               "score function returned wrong size");
+
+    // Stable order: score, then global id (deterministic across runs).
+    std::vector<VertexId> order(vertices.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](VertexId a, VertexId b) {
+                const double sa = scores[static_cast<std::size_t>(a)];
+                const double sb = scores[static_cast<std::size_t>(b)];
+                if (sa != sb) return sa < sb;
+                return sub.to_global[static_cast<std::size_t>(a)] <
+                       sub.to_global[static_cast<std::size_t>(b)];
+              });
+
+    // Weighted prefix split: choose the cut position whose prefix weight is
+    // closest to the target, keeping at least one vertex (and enough
+    // vertices for the partition counts) on each side.
+    const auto right_parts = static_cast<std::size_t>(
+        part_end - part_begin - left_parts);
+    const std::size_t min_cut = static_cast<std::size_t>(left_parts);
+    const std::size_t max_cut = order.size() - right_parts;
+    PIGP_CHECK(min_cut <= max_cut, "not enough vertices for partitions");
+
+    std::size_t best_cut = min_cut;
+    double best_diff = std::numeric_limits<double>::infinity();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < max_cut; ++i) {
+      acc += g.vertex_weight(
+          sub.to_global[static_cast<std::size_t>(order[i])]);
+      const std::size_t cut = i + 1;
+      if (cut < min_cut) continue;
+      const double diff = std::abs(acc - target_left);
+      if (diff < best_diff) {
+        best_diff = diff;
+        best_cut = cut;
+      }
+    }
+
+    std::vector<VertexId> left;
+    std::vector<VertexId> right;
+    left.reserve(best_cut);
+    right.reserve(order.size() - best_cut);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const VertexId global =
+          sub.to_global[static_cast<std::size_t>(order[i])];
+      (i < best_cut ? left : right).push_back(global);
+    }
+
+    recurse(std::move(left), part_begin, part_begin + left_parts);
+    recurse(std::move(right), part_begin + left_parts, part_end);
+  }
+};
+
+}  // namespace
+
+Partitioning recursive_partition(const Graph& g, PartId num_parts,
+                                 const ScoreFunction& score) {
+  PIGP_CHECK(num_parts >= 1, "need at least one partition");
+  PIGP_CHECK(g.num_vertices() >= num_parts,
+             "more partitions than vertices");
+  Partitioning out;
+  out.num_parts = num_parts;
+  out.part.assign(static_cast<std::size_t>(g.num_vertices()),
+                  graph::kUnassigned);
+
+  const std::vector<double> targets =
+      graph::balance_targets(g.total_vertex_weight(), num_parts);
+
+  std::vector<VertexId> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), 0);
+  const Driver driver{g, score, targets, out};
+  driver.recurse(std::move(all), 0, num_parts);
+  out.validate(g);
+  return out;
+}
+
+}  // namespace pigp::spectral

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file recursive_bisection.hpp
+/// Generic recursive bisection driver.
+///
+/// All three from-scratch partitioners in this library (spectral, coordinate,
+/// graph/BFS) share the same skeleton: recursively order the current vertex
+/// subset by a scalar score, split the ordering at a weight target derived
+/// from the final per-partition targets, and recurse on both sides.  Only
+/// the score function differs.
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::spectral {
+
+/// Produces one scalar score per local vertex of the induced subgraph;
+/// \p to_global maps local ids back to the original graph (for coordinate
+/// lookups).  Lower scores go to the left side of the split.
+using ScoreFunction = std::function<std::vector<double>(
+    const graph::Graph& sub, const std::vector<graph::VertexId>& to_global)>;
+
+/// Recursively partition \p g into \p num_parts parts (any value >= 1, not
+/// just powers of two) using \p score to order each subset.  Weight targets
+/// come from graph::balance_targets, so unit-weight graphs end up balanced
+/// to within one vertex per partition.
+[[nodiscard]] graph::Partitioning recursive_partition(
+    const graph::Graph& g, graph::PartId num_parts,
+    const ScoreFunction& score);
+
+}  // namespace pigp::spectral

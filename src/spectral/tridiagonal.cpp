@@ -1,0 +1,117 @@
+#include "spectral/tridiagonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/dense_matrix.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+/// sqrt(a^2 + b^2) without destructive underflow or overflow.
+double pythag(double a, double b) {
+  const double absa = std::abs(a);
+  const double absb = std::abs(b);
+  if (absa > absb) {
+    const double r = absb / absa;
+    return absa * std::sqrt(1.0 + r * r);
+  }
+  if (absb == 0.0) return 0.0;
+  const double r = absa / absb;
+  return absb * std::sqrt(1.0 + r * r);
+}
+
+}  // namespace
+
+TridiagonalEigen tridiagonal_eigen(const std::vector<double>& diag,
+                                   const std::vector<double>& offdiag) {
+  const std::size_t k = diag.size();
+  PIGP_CHECK(k >= 1, "empty tridiagonal matrix");
+  PIGP_CHECK(offdiag.size() + 1 == k, "off-diagonal size must be k-1");
+
+  // Work arrays: d = diagonal (becomes eigenvalues), e = subdiagonal padded
+  // with a leading slot as in the classic tqli formulation.
+  std::vector<double> d = diag;
+  std::vector<double> e(k, 0.0);
+  for (std::size_t i = 1; i < k; ++i) e[i - 1] = offdiag[i - 1];
+  e[k - 1] = 0.0;
+
+  // z accumulates the orthogonal transformations; starts as identity.
+  pigp::DenseMatrix<double> z(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) z(i, i) = 1.0;
+
+  for (std::size_t l = 0; l < k; ++l) {
+    int iterations = 0;
+    std::size_t m = l;
+    do {
+      // Find the end of the unreduced block starting at l.
+      for (m = l; m + 1 < k; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 ||
+            std::abs(e[m]) <= 1e-15 * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        PIGP_CHECK(++iterations <= 64,
+                   "tridiagonal QL failed to converge");
+        // Implicit shift from the 2x2 trailing block.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = pythag(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = pythag(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          // Accumulate the rotation into the eigenvector matrix.
+          for (std::size_t row = 0; row < k; ++row) {
+            f = z(row, i + 1);
+            z(row, i + 1) = s * z(row, i) + c * f;
+            z(row, i) = c * z(row, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending, carrying eigenvectors along.
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagonalEigen result;
+  result.eigenvalues.resize(k);
+  result.eigenvectors.assign(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    result.eigenvalues[i] = d[order[i]];
+    for (std::size_t row = 0; row < k; ++row) {
+      result.eigenvectors[i][row] = z(row, order[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace pigp::spectral

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file tridiagonal.hpp
+/// Symmetric tridiagonal eigensolver (implicit-shift QL), the inner kernel
+/// of the Lanczos Fiedler computation.
+
+#include <vector>
+
+namespace pigp::spectral {
+
+/// Full eigendecomposition of the symmetric tridiagonal matrix with
+/// diagonal \p diag (size k) and off-diagonal \p offdiag (size k-1).
+/// Eigenvalues ascend; eigenvectors[i] is the unit eigenvector for
+/// eigenvalues[i] expressed in the input basis.
+struct TridiagonalEigen {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+};
+
+/// Implicit-shift QL with eigenvector accumulation.  Throws
+/// pigp::CheckError if the iteration fails to converge (pathological
+/// input); k up to a few thousand is fine.
+[[nodiscard]] TridiagonalEigen tridiagonal_eigen(
+    const std::vector<double>& diag, const std::vector<double>& offdiag);
+
+}  // namespace pigp::spectral

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file check.hpp
+/// Error-checking primitives shared by every pigp module.
+///
+/// PIGP_CHECK is for preconditions that depend on caller input and is always
+/// active; violations throw pigp::CheckError with file/line context so callers
+/// can recover or report.  PIGP_ASSERT is for internal invariants and compiles
+/// away in NDEBUG builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pigp {
+
+/// Exception thrown when a PIGP_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "PIGP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pigp
+
+/// Verify a caller-facing precondition; throws pigp::CheckError on failure.
+#define PIGP_CHECK(cond, message)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::pigp::detail::check_failed(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define PIGP_ASSERT(cond) \
+  do {                    \
+  } while (false)
+#else
+#define PIGP_ASSERT(cond) PIGP_CHECK(cond, "internal invariant")
+#endif

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seed-stable random number generation.
+///
+/// All stochastic pieces of the library (graph generators, mesh point clouds,
+/// property tests) use SplitMix64 so that results are reproducible across
+/// platforms and standard-library versions; std::mt19937 distributions are
+/// not bit-stable across implementations.
+
+#include <cstdint>
+
+namespace pigp {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) for bound >= 1 (unbiased via rejection).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal variate (Box–Muller; consumes two raw values).
+  double next_gaussian() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+inline double SplitMix64::next_gaussian() noexcept {
+  // Box–Muller on (0,1] to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  // std::sqrt/std::log are constexpr-unfriendly pre-C++26; plain calls.
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(kTwoPi * u2);
+}
+
+}  // namespace pigp

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width text table writer used by the benchmark binaries to print
+/// paper-style result tables (Figure 11 / Figure 14 layouts).
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pigp {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    PIGP_CHECK(row.size() == header_.size(), "row width mismatch");
+    rows_.push_back(std::move(row));
+  }
+
+  void add_separator() { rows_.push_back({}); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(os, header_, width);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+      if (row.empty()) {
+        os << std::string(total, '-') << '\n';
+      } else {
+        print_row(os, row, width);
+      }
+    }
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c] << "  ";
+    }
+    os << '\n';
+  }
+
+  template <typename T>
+  static std::string to_cell(T&& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(value));
+    } else if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << value;
+      return os.str();
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pigp

@@ -1,0 +1,148 @@
+// Step 1: initial assignment of new vertices (§2.1).
+
+#include "core/assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/delta.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace pigp::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::Partitioning;
+using graph::VertexId;
+
+TEST(ExtendAssignment, OldVerticesKeepTheirPartitions) {
+  const Graph g = graph::path_graph(6);
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 0, 0, 1, 1, 1};
+  const Partitioning p = extend_assignment(g, old_p, 6);
+  EXPECT_EQ(p.part, old_p.part);
+}
+
+TEST(ExtendAssignment, NewVertexJoinsNearestOldPartition) {
+  // Path 0-1-2-3 partitioned {0,0 | 1,1}; append 4 attached to 3.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 0, 1, 1};
+  const Partitioning p = extend_assignment(g, old_p, 4);
+  EXPECT_EQ(p.part[4], 1);
+}
+
+TEST(ExtendAssignment, ChainOfNewVerticesPropagates) {
+  // New vertices 3 - 4 - 5 hang off old vertex 2 (partition 1): all new
+  // vertices are closest to partition 1.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 0, 1};
+  const Partitioning p = extend_assignment(g, old_p, 3);
+  EXPECT_EQ(p.part[3], 1);
+  EXPECT_EQ(p.part[4], 1);
+  EXPECT_EQ(p.part[5], 1);
+}
+
+TEST(ExtendAssignment, EquidistantTieGoesToSmallerPartition) {
+  // New vertex 2 adjacent to old 0 (part 1) and old 1 (part 0): both at
+  // distance 1; deterministic rule picks the smaller partition id.
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {1, 0};
+  const Partitioning p = extend_assignment(g, old_p, 2);
+  EXPECT_EQ(p.part[2], 0);
+}
+
+TEST(ExtendAssignment, DisconnectedClusterGoesToLightestPartition) {
+  // Old: 0 (part 0), 1 (part 1), 2 (part 1).  New: isolated pair {3,4}.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);  // disconnected from the old graph
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 1, 1};
+  const Partitioning p = extend_assignment(g, old_p, 3);
+  // Partition 0 has weight 1 vs partition 1's 2: the cluster goes to 0.
+  EXPECT_EQ(p.part[3], 0);
+  EXPECT_EQ(p.part[4], 0);
+}
+
+TEST(ExtendAssignment, MultipleClustersBalanceGreedily) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);   // old, parts 0 and 1
+  b.add_edge(2, 3);   // new cluster A
+  b.add_edge(4, 5);   // new cluster B
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 1};
+  const Partitioning p = extend_assignment(g, old_p, 2);
+  // Each partition should receive one cluster.
+  EXPECT_NE(p.part[2], p.part[4]);
+  EXPECT_EQ(p.part[2], p.part[3]);
+  EXPECT_EQ(p.part[4], p.part[5]);
+}
+
+TEST(ExtendAssignment, ParallelMatchesSerial) {
+  const Graph base = graph::random_geometric_graph(2000, 0.04, 3);
+  // Treat the first 1500 vertices as old with a striped partitioning.
+  graph::GraphBuilder b(base.num_vertices());
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (VertexId u : base.neighbors(v)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 8;
+  for (VertexId v = 0; v < 1500; ++v) {
+    old_p.part.push_back(v % 8);
+  }
+  AssignOptions serial;
+  AssignOptions parallel;
+  parallel.num_threads = 8;
+  const Partitioning a = extend_assignment(g, old_p, 1500, serial);
+  const Partitioning c = extend_assignment(g, old_p, 1500, parallel);
+  EXPECT_EQ(a.part, c.part);
+}
+
+TEST(ExtendAssignment, RejectsEmptyOldSet) {
+  const Graph g = graph::path_graph(3);
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  EXPECT_THROW(extend_assignment(g, old_p, 0), CheckError);
+}
+
+TEST(ExtendAssignment, RejectsMismatchedSizes) {
+  const Graph g = graph::path_graph(5);
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 1};  // claims 2 old vertices
+  EXPECT_THROW(extend_assignment(g, old_p, 3), CheckError);
+}
+
+}  // namespace
+}  // namespace pigp::core

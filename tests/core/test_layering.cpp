@@ -1,0 +1,193 @@
+// Step 2: the layering algorithm of Figure 3 (§2.2).
+
+#include "core/layering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pigp::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::Partitioning;
+using graph::VertexId;
+
+TEST(Layering, TwoBlockPathLabelsTowardTheOtherSide) {
+  // Path 0-1-2-3-4-5 split {0,1,2 | 3,4,5}: every vertex's closest outside
+  // partition is the other one; layers count distance to the boundary.
+  const Graph g = graph::path_graph(6);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 0, 1, 1, 1};
+  const LayeringResult r = layer_partitions(g, p);
+
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(r.label[static_cast<std::size_t>(v)], 1) << v;
+  }
+  for (int v = 3; v < 6; ++v) {
+    EXPECT_EQ(r.label[static_cast<std::size_t>(v)], 0) << v;
+  }
+  EXPECT_EQ(r.layer[2], 0);  // boundary
+  EXPECT_EQ(r.layer[1], 1);
+  EXPECT_EQ(r.layer[0], 2);
+  EXPECT_EQ(r.layer[3], 0);
+  EXPECT_EQ(r.layer[5], 2);
+
+  EXPECT_EQ(r.eps(0, 1), 3);
+  EXPECT_EQ(r.eps(1, 0), 3);
+  EXPECT_EQ(r.eps(0, 0), 0);
+}
+
+TEST(Layering, BoundaryTagFollowsMajorityEdgeCount) {
+  // Vertex 0 (part 0) has two edges into part 2 and one into part 1: its
+  // label must be 2.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);  // part 1
+  b.add_edge(0, 2);  // part 2
+  b.add_edge(0, 3);  // part 2
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 3;
+  p.part = {0, 1, 2, 2};
+  const LayeringResult r = layer_partitions(g, p);
+  EXPECT_EQ(r.label[0], 2);
+  EXPECT_EQ(r.eps(0, 2), 1);
+  EXPECT_EQ(r.eps(0, 1), 0);
+}
+
+TEST(Layering, MajorityTieBreaksToSmallerPartition) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);  // part 2
+  b.add_edge(0, 2);  // part 1
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 3;
+  p.part = {0, 2, 1};
+  const LayeringResult r = layer_partitions(g, p);
+  EXPECT_EQ(r.label[0], 1);  // tie between 1 and 2 -> smaller id
+}
+
+TEST(Layering, EdgeWeightsDriveTheMajority) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 5.0);  // heavy edge into part 2
+  b.add_edge(0, 2, 1.0);  // light edge into part 1
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 3;
+  p.part = {0, 2, 1};
+  const LayeringResult r = layer_partitions(g, p);
+  EXPECT_EQ(r.label[0], 2);
+}
+
+TEST(Layering, InnerLayersInheritFromPreviousLayer) {
+  // Grid strip: part 0 is a 3x3 block neighboring part 1 on the right.
+  // Column x=2 is layer 0, x=1 layer 1, x=0 layer 2, all labeled 1.
+  const Graph g = graph::grid_graph(3, 6);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.assign(18, 0);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 3; c < 6; ++c) {
+      p.part[static_cast<std::size_t>(r * 6 + c)] = 1;
+    }
+  }
+  const LayeringResult res = layer_partitions(g, p);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(res.layer[static_cast<std::size_t>(r * 6 + 2)], 0);
+    EXPECT_EQ(res.layer[static_cast<std::size_t>(r * 6 + 1)], 1);
+    EXPECT_EQ(res.layer[static_cast<std::size_t>(r * 6 + 0)], 2);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(res.label[static_cast<std::size_t>(r * 6 + c)], 1);
+    }
+  }
+  EXPECT_EQ(res.eps(0, 1), 9);
+  EXPECT_EQ(res.eps(1, 0), 9);
+}
+
+TEST(Layering, EpsRowSumsEqualPartitionSizesWhenConnected) {
+  const Graph g = graph::random_geometric_graph(800, 0.06, 41);
+  Partitioning p;
+  p.num_parts = 8;
+  p.part.resize(800);
+  for (VertexId v = 0; v < 800; ++v) {
+    p.part[static_cast<std::size_t>(v)] = v % 8;
+  }
+  const LayeringResult r = layer_partitions(g, p);
+  // Every labeled vertex contributes to exactly one eps entry.
+  std::vector<std::int64_t> labeled(8, 0);
+  for (VertexId v = 0; v < 800; ++v) {
+    if (r.label[static_cast<std::size_t>(v)] >= 0) {
+      ++labeled[static_cast<std::size_t>(p.part[static_cast<std::size_t>(v)])];
+    }
+  }
+  for (int q = 0; q < 8; ++q) {
+    std::int64_t row_sum = 0;
+    for (int j = 0; j < 8; ++j) {
+      row_sum += r.eps(static_cast<std::size_t>(q), static_cast<std::size_t>(j));
+    }
+    EXPECT_EQ(row_sum, labeled[static_cast<std::size_t>(q)]);
+  }
+}
+
+TEST(Layering, InteriorOnlyPartitionStaysUnlabeled) {
+  // Two disconnected edges in different partitions: no cross edges at all,
+  // so nothing can be labeled.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+  const LayeringResult r = layer_partitions(g, p);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(r.label[static_cast<std::size_t>(v)], -1);
+    EXPECT_EQ(r.layer[static_cast<std::size_t>(v)], -1);
+  }
+  EXPECT_EQ(r.eps(0, 1), 0);
+}
+
+TEST(Layering, ParallelMatchesSerial) {
+  const Graph g = graph::random_geometric_graph(1500, 0.05, 29);
+  Partitioning p;
+  p.num_parts = 16;
+  p.part.resize(1500);
+  for (VertexId v = 0; v < 1500; ++v) {
+    p.part[static_cast<std::size_t>(v)] = v % 16;
+  }
+  const LayeringResult serial = layer_partitions(g, p, 1);
+  const LayeringResult parallel = layer_partitions(g, p, 8);
+  EXPECT_EQ(serial.label, parallel.label);
+  EXPECT_EQ(serial.layer, parallel.layer);
+  EXPECT_EQ(serial.eps, parallel.eps);
+}
+
+TEST(Layering, MatchesPaperFigure4Shape) {
+  // Reproduce the microscopic structure of Figure 4(a): a partition whose
+  // vertices peel layer by layer toward the closest neighbor partitions.
+  const Graph g = graph::grid_graph(6, 6);
+  Partitioning p;
+  p.num_parts = 4;
+  p.part.resize(36);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      p.part[static_cast<std::size_t>(r * 6 + c)] =
+          (r < 3 ? 0 : 2) + (c < 3 ? 0 : 1);
+    }
+  }
+  const LayeringResult res = layer_partitions(g, p);
+  // Corner vertex of each quadrant block touching the two neighbors has
+  // layer 0; the far corner has the deepest layer (2 within a 3x3 block).
+  EXPECT_EQ(res.layer[0], 2);   // (0,0): farthest from other partitions
+  EXPECT_EQ(res.layer[14], 0);  // (2,2): touches both neighbors
+  // All vertices are labeled (grid is connected).
+  for (int v = 0; v < 36; ++v) {
+    EXPECT_GE(res.label[static_cast<std::size_t>(v)], 0);
+  }
+}
+
+}  // namespace
+}  // namespace pigp::core

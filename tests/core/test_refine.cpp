@@ -1,0 +1,171 @@
+// Step 4: LP refinement (§2.4) — cut never increases, balance is preserved.
+
+#include "core/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::core {
+namespace {
+
+using graph::compute_metrics;
+using graph::Graph;
+using graph::Partitioning;
+using graph::VertexId;
+
+/// A jagged two-block split of a grid: balanced but with a ragged border
+/// that refinement should straighten.
+Partitioning jagged_grid_partitioning(int side) {
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.resize(static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      // Zig-zag boundary around the vertical midline.
+      const int boundary = side / 2 + ((r % 2 == 0) ? 1 : -1);
+      p.part[static_cast<std::size_t>(r * side + c)] = c < boundary ? 0 : 1;
+    }
+  }
+  return p;
+}
+
+TEST(Refine, StraightensJaggedGridBoundary) {
+  const int side = 10;
+  const Graph g = graph::grid_graph(side, side);
+  Partitioning p = jagged_grid_partitioning(side);
+  const double before = compute_metrics(g, p).cut_total;
+
+  const RefineStats stats = refine_partitioning(g, p);
+  const double after = compute_metrics(g, p).cut_total;
+  EXPECT_LE(after, before);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_DOUBLE_EQ(stats.cut_before, before);
+  EXPECT_DOUBLE_EQ(stats.cut_after, after);
+}
+
+TEST(Refine, PreservesLoadBalanceExactly) {
+  const int side = 12;
+  const Graph g = graph::grid_graph(side, side);
+  Partitioning p = jagged_grid_partitioning(side);
+  const auto before = compute_metrics(g, p);
+  (void)refine_partitioning(g, p);
+  const auto after = compute_metrics(g, p);
+  // Zero-net-flow constraints: weights unchanged partition by partition.
+  EXPECT_EQ(before.weight, after.weight);
+}
+
+TEST(Refine, OptimalPartitionIsAFixedPoint) {
+  const Graph g = graph::grid_graph(8, 8);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.resize(64);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      p.part[static_cast<std::size_t>(r * 8 + c)] = c < 4 ? 0 : 1;
+    }
+  }
+  const Partitioning before = p;
+  const RefineStats stats = refine_partitioning(g, p);
+  EXPECT_EQ(compute_metrics(g, p).cut_total, 8.0);
+  EXPECT_LE(stats.vertices_moved, 16);  // zero-gain swaps allowed, no harm
+  EXPECT_EQ(compute_metrics(g, before).cut_total,
+            compute_metrics(g, p).cut_total);
+}
+
+class RefineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RefineProperty, NeverWorsensCutAndKeepsWeights) {
+  const Graph g = graph::random_geometric_graph(
+      500, 0.07, GetParam() * 7 + 1);
+  // Random balanced 4-way partitioning (striped by shuffled index).
+  pigp::SplitMix64 rng(GetParam());
+  std::vector<VertexId> order(500);
+  for (int v = 0; v < 500; ++v) order[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  Partitioning p;
+  p.num_parts = 4;
+  p.part.resize(500);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    p.part[static_cast<std::size_t>(order[i])] =
+        static_cast<graph::PartId>(i % 4);
+  }
+
+  const auto before = compute_metrics(g, p);
+  const RefineStats stats = refine_partitioning(g, p);
+  const auto after = compute_metrics(g, p);
+
+  EXPECT_LE(after.cut_total, before.cut_total);
+  EXPECT_EQ(before.weight, after.weight);
+  EXPECT_LE(stats.cut_after, stats.cut_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(Refine, RandomPartitioningImprovesDramatically) {
+  // A random assignment of a mesh-like graph has a terrible cut; LP
+  // refinement should recover a large fraction.
+  const Graph g = graph::random_geometric_graph(400, 0.08, 99);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.resize(400);
+  pigp::SplitMix64 rng(5);
+  int count0 = 0;
+  for (int v = 0; v < 400; ++v) {
+    const bool zero = (count0 < 200) && (rng.next_double() < 0.5 ||
+                                         400 - v <= 200 - count0);
+    p.part[static_cast<std::size_t>(v)] = zero ? 0 : 1;
+    if (zero) ++count0;
+  }
+  const double before = compute_metrics(g, p).cut_total;
+  RefineOptions opt;
+  opt.max_rounds = 20;
+  (void)refine_partitioning(g, p, opt);
+  const double after = compute_metrics(g, p).cut_total;
+  EXPECT_LT(after, 0.8 * before);
+}
+
+TEST(Refine, RespectsMaxRounds) {
+  const Graph g = graph::grid_graph(10, 10);
+  Partitioning p = jagged_grid_partitioning(10);
+  RefineOptions opt;
+  opt.max_rounds = 1;
+  const RefineStats stats = refine_partitioning(g, p, opt);
+  EXPECT_LE(stats.rounds, 1);
+}
+
+TEST(Refine, SinglePartitionIsNoop) {
+  const Graph g = graph::grid_graph(4, 4);
+  Partitioning p;
+  p.num_parts = 1;
+  p.part.assign(16, 0);
+  const RefineStats stats = refine_partitioning(g, p);
+  EXPECT_EQ(stats.rounds, 0);
+  EXPECT_EQ(stats.vertices_moved, 0);
+}
+
+TEST(Refine, ParallelCandidateCollectionMatchesSerial) {
+  const Graph g = graph::random_geometric_graph(5000, 0.025, 111);
+  Partitioning base;
+  base.num_parts = 8;
+  base.part.resize(5000);
+  for (int v = 0; v < 5000; ++v) {
+    base.part[static_cast<std::size_t>(v)] = v % 8;
+  }
+  Partitioning a = base;
+  Partitioning b = base;
+  RefineOptions serial;
+  RefineOptions parallel;
+  parallel.num_threads = 8;
+  (void)refine_partitioning(g, a, serial);
+  (void)refine_partitioning(g, b, parallel);
+  EXPECT_EQ(a.part, b.part);
+}
+
+}  // namespace
+}  // namespace pigp::core

@@ -1,0 +1,77 @@
+// GraphBuilder: duplicate merging, validation, reuse.
+
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+TEST(GraphBuilder, MergesDuplicateEdgesBySummingWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 0, 3.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 5.0);
+}
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), CheckError);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), CheckError);
+  EXPECT_THROW(b.add_edge(-1, 0), CheckError);
+}
+
+TEST(GraphBuilder, RejectsNegativeWeights) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), CheckError);
+  EXPECT_THROW(b.add_vertex(-2.0), CheckError);
+}
+
+TEST(GraphBuilder, ReserveVerticesGrowsOnly) {
+  GraphBuilder b(3);
+  b.reserve_vertices(5);
+  EXPECT_EQ(b.num_vertices(), 5);
+  b.reserve_vertices(2);  // no shrink
+  EXPECT_EQ(b.num_vertices(), 5);
+}
+
+TEST(GraphBuilder, BuildIsRepeatable) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1, g2);
+  b.add_edge(1, 2);
+  EXPECT_NE(g1, b.build());
+}
+
+TEST(GraphBuilder, IsolatedVerticesSurvive) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  g.validate();
+}
+
+TEST(GraphBuilder, LargeRandomBuildValidates) {
+  GraphBuilder b(500);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>((i * 7919) % 500);
+    const auto v = static_cast<VertexId>((i * 104729 + 1) % 500);
+    if (u != v) b.add_edge(u, v);
+  }
+  b.build().validate();
+}
+
+}  // namespace
+}  // namespace pigp::graph

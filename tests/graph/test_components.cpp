@@ -1,0 +1,67 @@
+// Connected-components labeling.
+
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pigp::graph {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const Graph g = grid_graph(4, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, CountsIsolatedVertices) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4);  // {0,1}, {2}, {3}, {4}
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, NumberingFollowsSmallestVertex) {
+  GraphBuilder b(6);
+  b.add_edge(4, 5);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.comp[0], 0);
+  EXPECT_EQ(c.comp[2], 0);
+  EXPECT_EQ(c.comp[1], 1);
+  EXPECT_EQ(c.comp[3], 2);
+  EXPECT_EQ(c.comp[4], 3);
+  EXPECT_EQ(c.comp[5], 3);
+}
+
+TEST(Components, MembersGroupsVertices) {
+  GraphBuilder b(4);
+  b.add_edge(0, 3);
+  b.add_edge(1, 2);
+  const Components c = connected_components(b.build());
+  const auto groups = c.members();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<VertexId>{0, 3}));
+  EXPECT_EQ(groups[1], (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Components, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(connected_components(g).count, 0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, RandomConnectedGraphIsConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(is_connected(random_connected_graph(200, 0.5, seed)));
+  }
+}
+
+}  // namespace
+}  // namespace pigp::graph

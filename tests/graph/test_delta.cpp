@@ -1,0 +1,138 @@
+// GraphDelta application: additions, deletions, remapping, error handling.
+
+#include "graph/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+Graph square() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  return b.build();
+}
+
+TEST(GraphDelta, AddVertexWithEdges) {
+  GraphDelta delta;
+  delta.added_vertices.push_back({1.0, {{0, 1.0}, {2, 1.0}}});
+  const DeltaResult r = apply_delta(square(), delta);
+
+  EXPECT_EQ(r.graph.num_vertices(), 5);
+  EXPECT_EQ(r.graph.num_edges(), 6);
+  EXPECT_EQ(r.first_new_vertex, 4);
+  ASSERT_EQ(r.new_vertex_ids.size(), 1u);
+  EXPECT_TRUE(r.graph.has_edge(r.new_vertex_ids[0], 0));
+  EXPECT_TRUE(r.graph.has_edge(r.new_vertex_ids[0], 2));
+  r.graph.validate();
+}
+
+TEST(GraphDelta, NewVerticesMayReferenceEachOther) {
+  GraphDelta delta;
+  delta.added_vertices.push_back({1.0, {{0, 1.0}}});
+  delta.added_vertices.push_back({1.0, {{4, 1.0}}});  // edge to first new one
+  const DeltaResult r = apply_delta(square(), delta);
+  EXPECT_EQ(r.graph.num_vertices(), 6);
+  EXPECT_TRUE(r.graph.has_edge(r.new_vertex_ids[0], r.new_vertex_ids[1]));
+}
+
+TEST(GraphDelta, ForwardReferenceRejected) {
+  GraphDelta delta;
+  delta.added_vertices.push_back({1.0, {{5, 1.0}}});  // references 2nd new
+  delta.added_vertices.push_back({1.0, {}});
+  EXPECT_THROW(apply_delta(square(), delta), CheckError);
+}
+
+TEST(GraphDelta, RemoveVertexCompactsIds) {
+  GraphDelta delta;
+  delta.removed_vertices.push_back(1);
+  const DeltaResult r = apply_delta(square(), delta);
+
+  EXPECT_EQ(r.graph.num_vertices(), 3);
+  EXPECT_EQ(r.graph.num_edges(), 2);  // edges 0-1 and 1-2 died
+  EXPECT_EQ(r.old_to_new[0], 0);
+  EXPECT_EQ(r.old_to_new[1], kInvalidVertex);
+  EXPECT_EQ(r.old_to_new[2], 1);
+  EXPECT_EQ(r.old_to_new[3], 2);
+  r.graph.validate();
+}
+
+TEST(GraphDelta, RemoveEdge) {
+  GraphDelta delta;
+  delta.removed_edges.push_back({0, 1});
+  const DeltaResult r = apply_delta(square(), delta);
+  EXPECT_EQ(r.graph.num_edges(), 3);
+  EXPECT_FALSE(r.graph.has_edge(0, 1));
+}
+
+TEST(GraphDelta, RemoveMissingEdgeRejected) {
+  GraphDelta delta;
+  delta.removed_edges.push_back({0, 2});  // diagonal doesn't exist
+  EXPECT_THROW(apply_delta(square(), delta), CheckError);
+}
+
+TEST(GraphDelta, AddedEdgeBetweenOldVertices) {
+  GraphDelta delta;
+  delta.added_edges.push_back({0, 2});
+  const DeltaResult r = apply_delta(square(), delta);
+  EXPECT_TRUE(r.graph.has_edge(0, 2));
+  EXPECT_EQ(r.graph.num_edges(), 5);
+}
+
+TEST(GraphDelta, EdgeToRemovedVertexRejected) {
+  GraphDelta delta;
+  delta.removed_vertices.push_back(0);
+  delta.added_edges.push_back({0, 2});
+  EXPECT_THROW(apply_delta(square(), delta), CheckError);
+}
+
+TEST(GraphDelta, MixedAddRemove) {
+  GraphDelta delta;
+  delta.removed_vertices.push_back(3);
+  delta.added_vertices.push_back({2.0, {{0, 1.0}, {2, 1.0}}});
+  const DeltaResult r = apply_delta(square(), delta);
+
+  EXPECT_EQ(r.graph.num_vertices(), 4);
+  // Old edges 2-3, 3-0 removed; new vertex adds two.
+  EXPECT_EQ(r.graph.num_edges(), 4);
+  EXPECT_DOUBLE_EQ(r.graph.vertex_weight(r.new_vertex_ids[0]), 2.0);
+  r.graph.validate();
+}
+
+TEST(GraphDelta, SequentialDeltasComposeLikeOneBigDelta) {
+  const Graph base = grid_graph(6, 6);
+
+  // Two-step: add vertex A attached to 0, then vertex B attached to A and 1.
+  GraphDelta d1;
+  d1.added_vertices.push_back({1.0, {{0, 1.0}}});
+  const DeltaResult r1 = apply_delta(base, d1);
+  GraphDelta d2;
+  d2.added_vertices.push_back({1.0, {{r1.new_vertex_ids[0], 1.0}, {1, 1.0}}});
+  const DeltaResult r2 = apply_delta(r1.graph, d2);
+
+  // One-step: both vertices at once.
+  GraphDelta combined;
+  combined.added_vertices.push_back({1.0, {{0, 1.0}}});
+  combined.added_vertices.push_back(
+      {1.0, {{base.num_vertices(), 1.0}, {1, 1.0}}});
+  const DeltaResult rc = apply_delta(base, combined);
+
+  EXPECT_EQ(r2.graph, rc.graph);
+}
+
+TEST(GraphDelta, EmptyDeltaIsIdentity) {
+  const Graph base = square();
+  const DeltaResult r = apply_delta(base, GraphDelta{});
+  EXPECT_EQ(r.graph, base);
+  EXPECT_EQ(r.first_new_vertex, base.num_vertices());
+}
+
+}  // namespace
+}  // namespace pigp::graph

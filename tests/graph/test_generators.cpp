@@ -1,0 +1,90 @@
+// Structural properties of the synthetic graph families.
+
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+TEST(Generators, GridCounts) {
+  const Graph g = grid_graph(5, 7);
+  EXPECT_EQ(g.num_vertices(), 35);
+  // Edges: 5*6 horizontal + 4*7 vertical.
+  EXPECT_EQ(g.num_edges(), 5 * 6 + 4 * 7);
+  g.validate();
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = torus_graph(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 4);
+  }
+  g.validate();
+}
+
+TEST(Generators, PathAndCycle) {
+  EXPECT_EQ(path_graph(10).num_edges(), 9);
+  EXPECT_EQ(cycle_graph(10).num_edges(), 10);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = complete_graph(8);
+  EXPECT_EQ(g.num_edges(), 8 * 7 / 2);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 7);
+}
+
+TEST(Generators, StarDegrees) {
+  const Graph g = star_graph(9);
+  EXPECT_EQ(g.degree(0), 8);
+  for (VertexId v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(Generators, RandomGeometricIsDeterministic) {
+  const Graph a = random_geometric_graph(300, 0.08, 7);
+  const Graph b = random_geometric_graph(300, 0.08, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, random_geometric_graph(300, 0.08, 8));
+}
+
+TEST(Generators, RandomGeometricEdgesRespectRadius) {
+  std::vector<std::array<double, 2>> coords;
+  const Graph g = random_geometric_graph(200, 0.1, 3, &coords);
+  ASSERT_EQ(coords.size(), 200u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      const double dx = coords[static_cast<std::size_t>(v)][0] -
+                        coords[static_cast<std::size_t>(u)][0];
+      const double dy = coords[static_cast<std::size_t>(v)][1] -
+                        coords[static_cast<std::size_t>(u)][1];
+      EXPECT_LE(dx * dx + dy * dy, 0.1 * 0.1 + 1e-12);
+    }
+  }
+  g.validate();
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  EXPECT_EQ(erdos_renyi_graph(20, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(erdos_renyi_graph(20, 1.0, 1).num_edges(), 190);
+}
+
+TEST(Generators, RandomConnectedGraphHasSpanningTree) {
+  const Graph g = random_connected_graph(100, 0.0, 11);
+  EXPECT_EQ(g.num_edges(), 99);  // pure tree
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW(grid_graph(0, 3), CheckError);
+  EXPECT_THROW(torus_graph(2, 5), CheckError);
+  EXPECT_THROW(cycle_graph(2), CheckError);
+  EXPECT_THROW(random_geometric_graph(10, 0.0, 1), CheckError);
+  EXPECT_THROW(erdos_renyi_graph(10, 1.5, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace pigp::graph

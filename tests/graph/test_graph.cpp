@@ -1,0 +1,111 @@
+// CSR Graph invariants and accessors.
+
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return b.build();
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  g.validate();
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_half_edges(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  g.validate();
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(4);
+  b.add_edge(2, 3);
+  b.add_edge(2, 0);
+  b.add_edge(2, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 3);
+}
+
+TEST(Graph, WeightsRoundTrip) {
+  GraphBuilder b;
+  const VertexId a = b.add_vertex(2.5);
+  const VertexId c = b.add_vertex(0.5);
+  b.add_edge(a, c, 7.0);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(g.vertex_weight(a), 2.5);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(c), 0.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(a, c), 7.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(c, a), 7.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 3.0);
+  EXPECT_FALSE(g.has_unit_weights());
+}
+
+TEST(Graph, UnitWeightDetection) {
+  EXPECT_TRUE(triangle().has_unit_weights());
+}
+
+TEST(Graph, ValidateRejectsAsymmetry) {
+  // Hand-build a malformed CSR: edge 0->1 without 1->0.
+  std::vector<EdgeIndex> xadj = {0, 1, 1};
+  std::vector<VertexId> adjncy = {1};
+  std::vector<double> vw = {1.0, 1.0};
+  std::vector<double> ew = {1.0};
+  const Graph g(std::move(xadj), std::move(adjncy), std::move(vw),
+                std::move(ew));
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(Graph, ValidateRejectsSelfLoop) {
+  std::vector<EdgeIndex> xadj = {0, 1};
+  std::vector<VertexId> adjncy = {0};
+  std::vector<double> vw = {1.0};
+  std::vector<double> ew = {1.0};
+  const Graph g(std::move(xadj), std::move(adjncy), std::move(vw),
+                std::move(ew));
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(Graph, ConstructorRejectsMismatchedArrays) {
+  std::vector<EdgeIndex> xadj = {0, 0};
+  std::vector<VertexId> adjncy;
+  std::vector<double> vw;  // should have 1 entry
+  std::vector<double> ew;
+  EXPECT_THROW(Graph(std::move(xadj), std::move(adjncy), std::move(vw),
+                     std::move(ew)),
+               CheckError);
+}
+
+TEST(Graph, EqualityComparesStructure) {
+  EXPECT_EQ(triangle(), triangle());
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_NE(triangle(), b.build());
+}
+
+}  // namespace
+}  // namespace pigp::graph

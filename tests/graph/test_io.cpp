@@ -1,0 +1,96 @@
+// METIS-format serialization round-trips.
+
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+TEST(MetisIo, RoundTripUnweighted) {
+  const Graph g = grid_graph(4, 5);
+  std::stringstream ss;
+  write_metis(g, ss);
+  EXPECT_EQ(read_metis(ss), g);
+}
+
+TEST(MetisIo, RoundTripVertexWeights) {
+  GraphBuilder b;
+  const VertexId a = b.add_vertex(3.0);
+  const VertexId c = b.add_vertex(1.0);
+  const VertexId d = b.add_vertex(2.0);
+  b.add_edge(a, c);
+  b.add_edge(c, d);
+  const Graph g = b.build();
+
+  std::stringstream ss;
+  write_metis(g, ss);
+  EXPECT_EQ(read_metis(ss), g);
+}
+
+TEST(MetisIo, RoundTripEdgeWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 4.0);
+  b.add_edge(1, 2, 2.5);
+  const Graph g = b.build();
+
+  std::stringstream ss;
+  write_metis(g, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("01"), std::string::npos);  // fmt code for edge weights
+  EXPECT_EQ(read_metis(ss), g);
+}
+
+TEST(MetisIo, RoundTripBothWeights) {
+  GraphBuilder b;
+  b.add_vertex(2.0);
+  b.add_vertex(5.0);
+  b.add_edge(0, 1, 7.0);
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_metis(g, ss);
+  EXPECT_EQ(read_metis(ss), g);
+}
+
+TEST(MetisIo, SkipsCommentLines) {
+  std::stringstream ss("% a comment\n2 1\n% another\n2\n1\n");
+  const Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(MetisIo, RejectsBadEdgeCount) {
+  std::stringstream ss("2 5\n2\n1\n");  // header claims 5 edges, file has 1
+  EXPECT_THROW(read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, RejectsTruncatedFile) {
+  std::stringstream ss("3 2\n2\n");
+  EXPECT_THROW(read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, RejectsOutOfRangeNeighbor) {
+  std::stringstream ss("2 1\n3\n1\n");
+  EXPECT_THROW(read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, FileRoundTrip) {
+  const Graph g = random_geometric_graph(100, 0.15, 5);
+  const std::string path = ::testing::TempDir() + "/pigp_io_test.graph";
+  save_metis_file(g, path);
+  EXPECT_EQ(load_metis_file(path), g);
+}
+
+TEST(MetisIo, MissingFileThrows) {
+  EXPECT_THROW(load_metis_file("/nonexistent/definitely/missing.graph"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pigp::graph

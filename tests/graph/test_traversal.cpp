@@ -1,0 +1,134 @@
+// BFS distances, nearest-source labeling (serial vs parallel determinism),
+// BFS orders, pseudo-peripheral vertices.
+
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace pigp::graph {
+namespace {
+
+TEST(BfsDistances, PathGraph) {
+  const Graph g = path_graph(5);
+  const std::vector<VertexId> sources = {0};
+  const auto dist = bfs_distances(g, sources);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(BfsDistances, MultiSourceTakesMinimum) {
+  const Graph g = path_graph(7);
+  const std::vector<VertexId> sources = {0, 6};
+  const auto dist = bfs_distances(g, sources);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[6], 0);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(BfsDistances, UnreachableVerticesStayMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);  // 2, 3 isolated
+  const Graph g = b.build();
+  const std::vector<VertexId> sources = {0};
+  const auto dist = bfs_distances(g, sources);
+  EXPECT_EQ(dist[2], kUnreached);
+  EXPECT_EQ(dist[3], kUnreached);
+}
+
+TEST(BfsDistances, GridDistanceIsManhattanFromCorner) {
+  const int n = 8;
+  const Graph g = grid_graph(n, n);
+  const std::vector<VertexId> sources = {0};
+  const auto dist = bfs_distances(g, sources);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(r * n + c)], r + c);
+    }
+  }
+}
+
+TEST(NearestSourceLabels, LabelsFollowNearestSource) {
+  const Graph g = path_graph(10);
+  std::vector<std::int32_t> seeds(10, -1);
+  seeds[0] = 100;
+  seeds[9] = 200;
+  const auto result = nearest_source_labels(g, seeds);
+  EXPECT_EQ(result.label[1], 100);
+  EXPECT_EQ(result.label[8], 200);
+  // Vertex 4 is distance 4 from source 0 and 5 from source 9.
+  EXPECT_EQ(result.label[4], 100);
+  // Equidistant vertex (none on even path of 10: v=4 is 4 vs 5) — vertex at
+  // index 4/5 check tie rule below.
+}
+
+TEST(NearestSourceLabels, TieBreaksToSmallerLabel) {
+  const Graph g = path_graph(9);
+  std::vector<std::int32_t> seeds(9, -1);
+  seeds[0] = 7;
+  seeds[8] = 3;
+  const auto result = nearest_source_labels(g, seeds);
+  // Vertex 4 is equidistant (4 hops) from both sources; smaller label wins.
+  EXPECT_EQ(result.label[4], 3);
+}
+
+TEST(NearestSourceLabels, ParallelMatchesSerial) {
+  const Graph g = random_connected_graph(5000, 1.5, 42);
+  std::vector<std::int32_t> seeds(5000, -1);
+  for (int i = 0; i < 16; ++i) seeds[static_cast<std::size_t>(i * 311)] = i;
+
+  const auto serial = nearest_source_labels(g, seeds, 1);
+  const auto parallel = nearest_source_labels(g, seeds, 8);
+  EXPECT_EQ(serial.distance, parallel.distance);
+  EXPECT_EQ(serial.label, parallel.label);
+}
+
+TEST(NearestSourceLabels, NoSourcesLeavesEverythingUnreached) {
+  const Graph g = path_graph(4);
+  std::vector<std::int32_t> seeds(4, -1);
+  const auto result = nearest_source_labels(g, seeds);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(result.distance[static_cast<std::size_t>(v)], kUnreached);
+    EXPECT_EQ(result.label[static_cast<std::size_t>(v)], -1);
+  }
+}
+
+TEST(BfsOrder, VisitsComponentInBreadthOrder) {
+  const Graph g = path_graph(5);
+  const auto order = bfs_order(g, 2);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 2);
+  // Levels: {2}, {1,3}, {0,4}.
+  EXPECT_TRUE((order[1] == 1 && order[2] == 3) ||
+              (order[1] == 3 && order[2] == 1));
+}
+
+TEST(BfsOrder, RestrictedToComponent) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(bfs_order(g, 0).size(), 2u);
+  EXPECT_EQ(bfs_order(g, 2).size(), 2u);
+  EXPECT_EQ(bfs_order(g, 4).size(), 1u);
+}
+
+TEST(PseudoPeripheral, PathEndsArePeripheral) {
+  const Graph g = path_graph(21);
+  const VertexId v = pseudo_peripheral_vertex(g, 10);
+  EXPECT_TRUE(v == 0 || v == 20);
+}
+
+TEST(PseudoPeripheral, GridCornerFound) {
+  const Graph g = grid_graph(9, 9);
+  const VertexId v = pseudo_peripheral_vertex(g, 40);  // center
+  // Must land on one of the four corners.
+  EXPECT_TRUE(v == 0 || v == 8 || v == 72 || v == 80);
+}
+
+}  // namespace
+}  // namespace pigp::graph

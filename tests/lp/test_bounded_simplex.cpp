@@ -1,0 +1,135 @@
+// Unit tests for the bounded-variable simplex, mirroring the dense-solver
+// suite plus cases that specifically exercise bound flips and flipped-column
+// bookkeeping.
+
+#include "lp/bounded_simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lp/program.hpp"
+
+namespace pigp::lp {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+TEST(BoundedSimplex, TextbookMaximization) {
+  LinearProgram lp(Sense::maximize);
+  const int x = lp.add_variable(3.0);
+  const int y = lp.add_variable(5.0);
+  lp.add_row(RowType::less_equal, {{x, 1.0}}, 4.0);
+  lp.add_row(RowType::less_equal, {{y, 2.0}}, 12.0);
+  lp.add_row(RowType::less_equal, {{x, 3.0}, {y, 2.0}}, 18.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.objective, 36.0, kTol);
+}
+
+TEST(BoundedSimplex, PureBoundProblemNeedsNoRows) {
+  // max 2a + b with a <= 3, b <= 4 given purely as variable bounds.
+  LinearProgram lp(Sense::maximize);
+  const int a = lp.add_variable(2.0, 0.0, 3.0);
+  const int b = lp.add_variable(1.0, 0.0, 4.0);
+  // One slack-ish row so the tableau is non-empty.
+  lp.add_row(RowType::less_equal, {{a, 1.0}, {b, 1.0}}, 100.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.objective, 10.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(a)], 3.0, kTol);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(b)], 4.0, kTol);
+}
+
+TEST(BoundedSimplex, BasicVariableLeavesAtUpperBound) {
+  // Force a pivot where the limiting basic variable hits its *upper* bound:
+  // max x subject to y = x (equality), y <= 2, x <= 10.
+  LinearProgram lp(Sense::maximize);
+  const int x = lp.add_variable(1.0, 0.0, 10.0);
+  const int y = lp.add_variable(0.0, 0.0, 2.0);
+  lp.add_row(RowType::equal, {{x, 1.0}, {y, -1.0}}, 0.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(BoundedSimplex, DetectsInfeasible) {
+  LinearProgram lp(Sense::minimize);
+  const int x = lp.add_variable(1.0, 0.0, 3.0);
+  lp.add_row(RowType::greater_equal, {{x, 1.0}}, 5.0);
+  EXPECT_EQ(BoundedSimplex().solve(lp).status, SolveStatus::infeasible);
+}
+
+TEST(BoundedSimplex, DetectsUnbounded) {
+  LinearProgram lp(Sense::maximize);
+  const int x = lp.add_variable(1.0);
+  lp.add_row(RowType::greater_equal, {{x, 1.0}}, 1.0);
+  EXPECT_EQ(BoundedSimplex().solve(lp).status, SolveStatus::unbounded);
+}
+
+TEST(BoundedSimplex, MinimizationWithGeRows) {
+  LinearProgram lp(Sense::minimize);
+  const int x = lp.add_variable(0.12);
+  const int y = lp.add_variable(0.15);
+  lp.add_row(RowType::greater_equal, {{x, 60.0}, {y, 60.0}}, 300.0);
+  lp.add_row(RowType::greater_equal, {{x, 12.0}, {y, 6.0}}, 36.0);
+  lp.add_row(RowType::greater_equal, {{x, 10.0}, {y, 30.0}}, 90.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.objective, 0.66, kTol);
+}
+
+TEST(BoundedSimplex, FreeVariable) {
+  LinearProgram lp(Sense::minimize);
+  const int x = lp.add_variable(1.0, -kInfinity, kInfinity);
+  lp.add_row(RowType::greater_equal, {{x, 1.0}}, -7.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.objective, -7.0, kTol);
+}
+
+TEST(BoundedSimplex, FixedVariablesAreRespected) {
+  LinearProgram lp(Sense::maximize);
+  const int x = lp.add_variable(5.0, 0.0, 0.0);  // fixed at zero
+  const int y = lp.add_variable(1.0, 0.0, 2.0);
+  lp.add_row(RowType::less_equal, {{x, 1.0}, {y, 1.0}}, 10.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 0.0, kTol);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(BoundedSimplex, MirroredVariable) {
+  // Variable with only an upper bound: x <= 4, minimize -x  => x = 4.
+  LinearProgram lp(Sense::minimize);
+  const int x = lp.add_variable(-1.0, -kInfinity, 4.0);
+  lp.add_row(RowType::greater_equal, {{x, 1.0}}, -100.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 4.0, kTol);
+}
+
+TEST(BoundedSimplex, ManyBoundFlips) {
+  // Knapsack-relaxation shape: all variables end at bounds.
+  LinearProgram lp(Sense::maximize);
+  std::vector<int> vars;
+  for (int j = 0; j < 12; ++j) {
+    vars.push_back(lp.add_variable(1.0 + j, 0.0, 1.0));
+  }
+  std::vector<std::pair<int, double>> coeffs;
+  for (int v : vars) coeffs.emplace_back(v, 1.0);
+  lp.add_row(RowType::less_equal, coeffs, 6.0);
+
+  const Solution s = BoundedSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+  // Greedy: take the 6 largest objective coefficients (7..12).
+  EXPECT_NEAR(s.objective, 12 + 11 + 10 + 9 + 8 + 7, kTol);
+}
+
+}  // namespace
+}  // namespace pigp::lp

@@ -1,0 +1,75 @@
+// Model-layer tests: construction rules, feasibility and objective helpers.
+
+#include "lp/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pigp::lp {
+namespace {
+
+TEST(LinearProgram, AddVariableReturnsDenseIndices) {
+  LinearProgram lp;
+  EXPECT_EQ(lp.add_variable(1.0), 0);
+  EXPECT_EQ(lp.add_variable(2.0), 1);
+  EXPECT_EQ(lp.num_variables(), 2);
+}
+
+TEST(LinearProgram, RejectsInvertedBounds) {
+  LinearProgram lp;
+  EXPECT_THROW(lp.add_variable(1.0, 2.0, 1.0), CheckError);
+}
+
+TEST(LinearProgram, RejectsUnknownVariableInRow) {
+  LinearProgram lp;
+  lp.add_variable(1.0);
+  EXPECT_THROW(lp.add_row(RowType::equal, {{5, 1.0}}, 0.0), CheckError);
+}
+
+TEST(LinearProgram, ObjectiveValue) {
+  LinearProgram lp;
+  lp.add_variable(2.0);
+  lp.add_variable(-1.0);
+  EXPECT_DOUBLE_EQ(lp.objective_value({3.0, 4.0}), 2.0);
+}
+
+TEST(LinearProgram, FeasibilityChecksBoundsAndRows) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0, 0.0, 10.0);
+  lp.add_row(RowType::less_equal, {{x, 1.0}}, 5.0);
+  lp.add_row(RowType::greater_equal, {{x, 1.0}}, 2.0);
+
+  EXPECT_TRUE(lp.is_feasible({3.0}));
+  EXPECT_FALSE(lp.is_feasible({6.0}));   // violates <=
+  EXPECT_FALSE(lp.is_feasible({1.0}));   // violates >=
+  EXPECT_FALSE(lp.is_feasible({-1.0}));  // violates lower bound
+}
+
+TEST(LinearProgram, EqualityFeasibilityUsesTolerance) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_row(RowType::equal, {{x, 1.0}}, 1.0);
+  EXPECT_TRUE(lp.is_feasible({1.0 + 1e-9}));
+  EXPECT_FALSE(lp.is_feasible({1.1}));
+}
+
+TEST(LinearProgram, DuplicateCoefficientsAccumulate) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_row(RowType::equal, {{x, 1.0}, {x, 2.0}}, 6.0);
+  EXPECT_TRUE(lp.is_feasible({2.0}));  // 3x = 6
+}
+
+TEST(LinearProgram, DebugStringMentionsNames) {
+  LinearProgram lp(Sense::maximize);
+  lp.add_variable(1.0, 0.0, 5.0, "flow");
+  lp.add_row(RowType::less_equal, {{0, 2.0}}, 3.0, "cap");
+  const std::string dump = lp.debug_string();
+  EXPECT_NE(dump.find("maximize"), std::string::npos);
+  EXPECT_NE(dump.find("flow"), std::string::npos);
+  EXPECT_NE(dump.find("cap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pigp::lp

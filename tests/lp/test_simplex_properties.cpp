@@ -1,0 +1,159 @@
+// Property-based cross-validation of the two simplex implementations on
+// randomized LP families (parameterized over seeds):
+//
+//  * dense and bounded solvers agree on status and optimal objective;
+//  * the optimum is never worse than any random feasible point we can find;
+//  * network-flow LPs (the family the incremental partitioner emits) get
+//    integral basic solutions (total unimodularity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "lp/bounded_simplex.hpp"
+#include "lp/dense_simplex.hpp"
+#include "lp/program.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::lp {
+namespace {
+
+/// Build a random LP with a known feasible box point so feasibility is
+/// guaranteed; objective and rows are random.
+LinearProgram random_feasible_lp(std::uint64_t seed, int num_vars,
+                                 int num_rows,
+                                 std::vector<double>* witness_out) {
+  SplitMix64 rng(seed);
+  LinearProgram lp(rng.next_double() < 0.5 ? Sense::minimize
+                                           : Sense::maximize);
+  std::vector<double> witness;
+  for (int j = 0; j < num_vars; ++j) {
+    const double upper = 1.0 + rng.next_in(0.0, 9.0);
+    lp.add_variable(rng.next_in(-5.0, 5.0), 0.0, upper);
+    witness.push_back(rng.next_in(0.0, upper));
+  }
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    double lhs_at_witness = 0.0;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng.next_double() < 0.5) continue;
+      const double c = rng.next_in(-3.0, 3.0);
+      coeffs.emplace_back(j, c);
+      lhs_at_witness += c * witness[static_cast<std::size_t>(j)];
+    }
+    if (coeffs.empty()) continue;
+    // Choose rhs so the witness satisfies the row with slack.
+    if (rng.next_double() < 0.5) {
+      lp.add_row(RowType::less_equal, coeffs,
+                 lhs_at_witness + rng.next_in(0.0, 4.0));
+    } else {
+      lp.add_row(RowType::greater_equal, coeffs,
+                 lhs_at_witness - rng.next_in(0.0, 4.0));
+    }
+  }
+  if (witness_out != nullptr) *witness_out = std::move(witness);
+  return lp;
+}
+
+class SimplexAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexAgreement, DenseAndBoundedAgree) {
+  std::vector<double> witness;
+  const LinearProgram lp =
+      random_feasible_lp(GetParam(), 8 + GetParam() % 7,
+                         5 + static_cast<int>(GetParam() % 5), &witness);
+
+  const Solution dense = DenseSimplex().solve(lp);
+  const Solution bounded = BoundedSimplex().solve(lp);
+
+  // Bounded variables and a feasible witness => never infeasible, and all
+  // variables are boxed => never unbounded.
+  ASSERT_EQ(dense.status, SolveStatus::optimal);
+  ASSERT_EQ(bounded.status, SolveStatus::optimal);
+  EXPECT_NEAR(dense.objective, bounded.objective, 1e-6);
+  EXPECT_TRUE(lp.is_feasible(dense.x));
+  EXPECT_TRUE(lp.is_feasible(bounded.x));
+}
+
+TEST_P(SimplexAgreement, OptimumDominatesRandomFeasiblePoints) {
+  std::vector<double> witness;
+  const LinearProgram lp = random_feasible_lp(GetParam() * 7919 + 13, 6, 4,
+                                              &witness);
+  const Solution s = DenseSimplex().solve(lp);
+  ASSERT_EQ(s.status, SolveStatus::optimal);
+
+  // The witness is feasible by construction; scaled copies often are too.
+  SplitMix64 rng(GetParam() ^ 0xDEADBEEF);
+  std::vector<std::vector<double>> candidates = {witness};
+  for (int k = 0; k < 32; ++k) {
+    std::vector<double> c = witness;
+    for (double& v : c) v *= rng.next_double();
+    candidates.push_back(std::move(c));
+  }
+  for (const auto& c : candidates) {
+    if (!lp.is_feasible(c)) continue;
+    const double value = lp.objective_value(c);
+    if (lp.sense() == Sense::minimize) {
+      EXPECT_LE(s.objective, value + 1e-6);
+    } else {
+      EXPECT_GE(s.objective, value - 1e-6);
+    }
+  }
+}
+
+/// Random balanced transshipment LP in the exact shape of the paper's
+/// balance program: variables l_ij with capacities, equality net-flow rows.
+TEST_P(SimplexAgreement, NetworkFlowSolutionsAreIntegral) {
+  SplitMix64 rng(GetParam() * 104729 + 7);
+  const int parts = 3 + static_cast<int>(rng.next_below(5));
+
+  // Random integer excesses summing to zero.
+  std::vector<double> excess(static_cast<std::size_t>(parts), 0.0);
+  for (int q = 0; q + 1 < parts; ++q) {
+    excess[static_cast<std::size_t>(q)] =
+        static_cast<double>(rng.next_below(9)) - 4.0;
+  }
+  double sum = 0.0;
+  for (int q = 0; q + 1 < parts; ++q) sum += excess[static_cast<std::size_t>(q)];
+  excess[static_cast<std::size_t>(parts - 1)] = -sum;
+
+  LinearProgram lp(Sense::minimize);
+  std::vector<std::vector<int>> var(
+      static_cast<std::size_t>(parts),
+      std::vector<int>(static_cast<std::size_t>(parts), -1));
+  for (int i = 0; i < parts; ++i) {
+    for (int j = 0; j < parts; ++j) {
+      if (i == j) continue;
+      const double cap = 4.0 + static_cast<double>(rng.next_below(10));
+      var[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          lp.add_variable(1.0, 0.0, cap);
+    }
+  }
+  for (int q = 0; q < parts; ++q) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int k = 0; k < parts; ++k) {
+      if (k == q) continue;
+      coeffs.emplace_back(
+          var[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)], 1.0);
+      coeffs.emplace_back(
+          var[static_cast<std::size_t>(k)][static_cast<std::size_t>(q)], -1.0);
+    }
+    lp.add_row(RowType::equal, coeffs, excess[static_cast<std::size_t>(q)]);
+  }
+
+  for (const bool use_bounded : {false, true}) {
+    const Solution s = use_bounded ? BoundedSimplex().solve(lp)
+                                   : DenseSimplex().solve(lp);
+    ASSERT_EQ(s.status, SolveStatus::optimal) << "bounded=" << use_bounded;
+    for (double v : s.x) {
+      EXPECT_NEAR(v, std::round(v), 1e-6) << "bounded=" << use_bounded;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexAgreement,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace pigp::lp

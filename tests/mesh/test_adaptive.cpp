@@ -1,0 +1,120 @@
+// Adaptive refinement and graph-delta extraction.
+
+#include "mesh/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/delta.hpp"
+#include "support/check.hpp"
+
+namespace pigp::mesh {
+namespace {
+
+TEST(AdaptiveMesh, RandomMeshHasRequestedPoints) {
+  const AdaptiveMesh mesh = AdaptiveMesh::random(200, 7);
+  EXPECT_EQ(mesh.num_points(), 200);
+  mesh.snapshot().validate();
+}
+
+TEST(AdaptiveMesh, RandomIsDeterministic) {
+  const AdaptiveMesh a = AdaptiveMesh::random(150, 3);
+  const AdaptiveMesh b = AdaptiveMesh::random(150, 3);
+  EXPECT_EQ(a.to_graph(), b.to_graph());
+}
+
+TEST(AdaptiveMesh, RefineNearAddsExactCount) {
+  AdaptiveMesh mesh = AdaptiveMesh::random(300, 11);
+  RefineOptions opt;
+  opt.center = {0.4, 0.55};
+  opt.radius = 0.07;
+  opt.count = 37;
+  opt.seed = 5;
+  const auto added = mesh.refine_near(opt);
+  EXPECT_EQ(added.size(), 37u);
+  EXPECT_EQ(mesh.num_points(), 337);
+  mesh.snapshot().validate();
+}
+
+TEST(AdaptiveMesh, RefinementIsLocalized) {
+  AdaptiveMesh mesh = AdaptiveMesh::random(400, 13);
+  RefineOptions opt;
+  opt.center = {0.3, 0.3};
+  opt.radius = 0.05;
+  opt.count = 50;
+  opt.seed = 2;
+  const auto added = mesh.refine_near(opt);
+  const TriMesh snap = mesh.snapshot();
+  int far_count = 0;
+  for (const PointId p : added) {
+    if (distance(snap.point(p), {0.3, 0.3}) > 0.3) ++far_count;
+  }
+  // A Gaussian with sigma 0.05 puts essentially nothing past 6 sigma.
+  EXPECT_LE(far_count, 1);
+}
+
+TEST(AdaptiveMesh, RefinementKeepsMeshValid) {
+  AdaptiveMesh mesh = AdaptiveMesh::random(250, 19);
+  for (int round = 0; round < 4; ++round) {
+    RefineOptions opt;
+    opt.center = {0.6, 0.45};
+    opt.radius = 0.06;
+    opt.count = 20;
+    opt.seed = static_cast<std::uint64_t>(round + 1);
+    (void)mesh.refine_near(opt);
+    mesh.snapshot().validate();
+  }
+  EXPECT_EQ(mesh.num_points(), 330);
+}
+
+TEST(GraphDeltaExtraction, RoundTripsThroughApplyDelta) {
+  AdaptiveMesh mesh = AdaptiveMesh::random(300, 23);
+  const graph::Graph before = mesh.to_graph();
+
+  RefineOptions opt;
+  opt.center = {0.5, 0.5};
+  opt.radius = 0.08;
+  opt.count = 40;
+  opt.seed = 9;
+  (void)mesh.refine_near(opt);
+  const graph::Graph after = mesh.to_graph();
+
+  const graph::GraphDelta delta = graph_delta(before, after);
+  const graph::DeltaResult result = graph::apply_delta(before, delta);
+  EXPECT_EQ(result.graph, after);
+  EXPECT_EQ(result.first_new_vertex, before.num_vertices());
+}
+
+TEST(GraphDeltaExtraction, RetriangulationRemovesOldEdges) {
+  // Inserting into a cavity destroys its interior old-old edges, so the
+  // delta must contain removed edges (the paper's E2 set).
+  AdaptiveMesh mesh = AdaptiveMesh::random(300, 29);
+  const graph::Graph before = mesh.to_graph();
+  RefineOptions opt;
+  opt.center = {0.5, 0.5};
+  opt.radius = 0.05;
+  opt.count = 30;
+  opt.seed = 4;
+  (void)mesh.refine_near(opt);
+  const graph::GraphDelta delta = graph_delta(before, mesh.to_graph());
+  EXPECT_GT(delta.removed_edges.size(), 0u);
+  EXPECT_EQ(delta.added_vertices.size(), 30u);
+}
+
+TEST(GraphDeltaExtraction, IdenticalGraphsGiveEmptyDelta) {
+  const AdaptiveMesh mesh = AdaptiveMesh::random(100, 31);
+  const graph::Graph g = mesh.to_graph();
+  const graph::GraphDelta delta = graph_delta(g, g);
+  EXPECT_TRUE(delta.added_vertices.empty());
+  EXPECT_TRUE(delta.added_edges.empty());
+  EXPECT_TRUE(delta.removed_edges.empty());
+}
+
+TEST(GraphDeltaExtraction, RejectsShrinkingGraphs) {
+  const AdaptiveMesh small = AdaptiveMesh::random(50, 1);
+  const AdaptiveMesh large = AdaptiveMesh::random(60, 1);
+  EXPECT_THROW((void)graph_delta(large.to_graph(), small.to_graph()),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pigp::mesh

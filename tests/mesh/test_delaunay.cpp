@@ -1,0 +1,131 @@
+// Delaunay triangulation: structural validity, empty-circumcircle property
+// (parameterized over seeds), Euler relations, incremental insertion.
+
+#include "mesh/delaunay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/adaptive.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::mesh {
+namespace {
+
+std::vector<Point> random_points(int n, std::uint64_t seed) {
+  pigp::SplitMix64 rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double()});
+  }
+  return pts;
+}
+
+TEST(Delaunay, TriangleOfThreePoints) {
+  const std::vector<Point> pts = {{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.8}};
+  DelaunayTriangulation dt(pts);
+  const TriMesh mesh = dt.snapshot();
+  EXPECT_EQ(mesh.num_points(), 3);
+  EXPECT_EQ(mesh.num_triangles(), 1);
+  mesh.validate();
+}
+
+TEST(Delaunay, SquareOfFourPoints) {
+  const std::vector<Point> pts = {
+      {0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.85}};
+  DelaunayTriangulation dt(pts);
+  const TriMesh mesh = dt.snapshot();
+  EXPECT_EQ(mesh.num_points(), 4);
+  EXPECT_EQ(mesh.num_triangles(), 2);
+  EXPECT_EQ(mesh.num_edges(), 5);
+  mesh.validate();
+}
+
+TEST(Delaunay, PointIdsFollowInsertionOrder) {
+  const std::vector<Point> pts = random_points(20, 5);
+  DelaunayTriangulation dt(pts);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dt.point(static_cast<PointId>(i)).x,
+              pts[static_cast<std::size_t>(i)].x);
+  }
+  const PointId added = dt.insert({0.5, 0.5001});
+  EXPECT_EQ(added, 20);
+}
+
+TEST(Delaunay, DuplicateInsertionRejected) {
+  const std::vector<Point> pts = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.7}};
+  DelaunayTriangulation dt(pts);
+  EXPECT_THROW(dt.insert({0.2, 0.2}), CheckError);
+}
+
+class DelaunayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelaunayProperty, EulerRelationsHold) {
+  const int n = 150 + static_cast<int>(GetParam() % 80);
+  DelaunayTriangulation dt(random_points(n, GetParam()));
+  const TriMesh mesh = dt.snapshot();
+  mesh.validate();
+
+  // For a triangulation of a planar point set with h hull vertices:
+  // T = 2n - 2 - h and E = 3n - 3 - h.
+  const std::int64_t hull = mesh.num_boundary_edges();  // hull edges == h
+  EXPECT_EQ(mesh.num_triangles(), 2 * n - 2 - hull);
+  EXPECT_EQ(mesh.num_edges(), 3 * n - 3 - hull);
+}
+
+TEST_P(DelaunayProperty, EmptyCircumcircles) {
+  const int n = 120;
+  DelaunayTriangulation dt(random_points(n, GetParam() * 37 + 5));
+  const TriMesh mesh = dt.snapshot();
+
+  // No mesh point may lie strictly inside any triangle's circumcircle
+  // (within floating-point tolerance).
+  for (const Triangle& t : mesh.triangles()) {
+    const Point& a = mesh.point(t.vertices[0]);
+    const Point& b = mesh.point(t.vertices[1]);
+    const Point& c = mesh.point(t.vertices[2]);
+    for (PointId p = 0; p < mesh.num_points(); ++p) {
+      if (p == t.vertices[0] || p == t.vertices[1] || p == t.vertices[2]) {
+        continue;
+      }
+      EXPECT_LE(incircle(a, b, c, mesh.point(p)), 1e-9)
+          << "seed " << GetParam() << " point " << p;
+    }
+  }
+}
+
+TEST_P(DelaunayProperty, IncrementalEqualsBatch) {
+  // Inserting points one by one must give the same triangulation as any
+  // other insertion order up to Delaunay non-uniqueness; with jittered
+  // random points the triangulation is unique, so edge sets must match.
+  const std::vector<Point> pts = random_points(80, GetParam() * 911 + 3);
+  DelaunayTriangulation all(pts);
+
+  const std::span<const Point> half(pts.data(), 40);
+  DelaunayTriangulation incremental(half);
+  for (std::size_t i = 40; i < pts.size(); ++i) {
+    incremental.insert(pts[i]);
+  }
+  EXPECT_EQ(all.snapshot().edges(), incremental.snapshot().edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Delaunay, LocalSpacingReflectsDensity) {
+  // A dense cluster plus sparse far field: spacing near the cluster must be
+  // much smaller than near the sparse area.
+  std::vector<Point> pts = random_points(60, 9);
+  pigp::SplitMix64 rng(17);
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({0.5 + 0.02 * (rng.next_double() - 0.5),
+                   0.5 + 0.02 * (rng.next_double() - 0.5)});
+  }
+  DelaunayTriangulation dt(pts);
+  const double dense = dt.local_spacing({0.5, 0.5});
+  EXPECT_LT(dense, 0.05);
+}
+
+}  // namespace
+}  // namespace pigp::mesh

@@ -1,0 +1,93 @@
+// Paper workload generators: exact node counts, edge counts near the
+// paper's, deltas that round-trip.  Mesh B (10k nodes) is exercised through
+// the scaled-down family here to keep test time short; the full-size
+// generator runs in the benchmarks.
+
+#include "mesh/paper_meshes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/delta.hpp"
+
+namespace pigp::mesh {
+namespace {
+
+TEST(PaperMeshA, NodeCountsMatchFigure11) {
+  const MeshSequence seq = make_paper_mesh_a();
+  ASSERT_EQ(seq.graphs.size(), 5u);
+  EXPECT_EQ(seq.graphs[0].num_vertices(), 1071);
+  EXPECT_EQ(seq.graphs[1].num_vertices(), 1096);
+  EXPECT_EQ(seq.graphs[2].num_vertices(), 1121);
+  EXPECT_EQ(seq.graphs[3].num_vertices(), 1152);
+  EXPECT_EQ(seq.graphs[4].num_vertices(), 1192);
+}
+
+TEST(PaperMeshA, EdgeCountsNearFigure11) {
+  // Paper: 3185 edges at 1071 nodes, 3548 at 1192.  A Delaunay mesh of a
+  // random cloud has E = 3n - 3 - h; h (hull size) is the only wiggle.
+  const MeshSequence seq = make_paper_mesh_a();
+  EXPECT_NEAR(static_cast<double>(seq.graphs[0].num_edges()), 3185.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(seq.graphs[4].num_edges()), 3548.0, 60.0);
+}
+
+TEST(PaperMeshA, GraphsAreConnectedMeshes) {
+  const MeshSequence seq = make_paper_mesh_a();
+  for (const auto& g : seq.graphs) {
+    EXPECT_TRUE(graph::is_connected(g));
+    g.validate();
+  }
+  for (const auto& m : seq.meshes) m.validate();
+}
+
+TEST(PaperMeshA, DeltasRoundTrip) {
+  const MeshSequence seq = make_paper_mesh_a();
+  for (std::size_t i = 0; i < seq.deltas.size(); ++i) {
+    const auto result = graph::apply_delta(seq.graphs[i], seq.deltas[i]);
+    EXPECT_EQ(result.graph, seq.graphs[i + 1]) << "step " << i;
+  }
+}
+
+TEST(SmallMeshFamily, IndependentDeltasShareBase) {
+  const MeshFamily family = make_small_mesh_family(500, {10, 25, 60}, 77);
+  ASSERT_EQ(family.refined.size(), 3u);
+  EXPECT_EQ(family.base.num_vertices(), 500);
+  EXPECT_EQ(family.refined[0].num_vertices(), 510);
+  EXPECT_EQ(family.refined[1].num_vertices(), 525);
+  EXPECT_EQ(family.refined[2].num_vertices(), 560);
+  for (std::size_t i = 0; i < family.deltas.size(); ++i) {
+    const auto result = graph::apply_delta(family.base, family.deltas[i]);
+    EXPECT_EQ(result.graph, family.refined[i]) << "delta " << i;
+  }
+}
+
+TEST(SmallMeshSequence, ChainsLikeMeshA) {
+  const MeshSequence seq = make_small_mesh_sequence(400, {20, 20}, 5);
+  ASSERT_EQ(seq.graphs.size(), 3u);
+  EXPECT_EQ(seq.graphs[2].num_vertices(), 440);
+  for (std::size_t i = 0; i < seq.deltas.size(); ++i) {
+    const auto result = graph::apply_delta(seq.graphs[i], seq.deltas[i]);
+    EXPECT_EQ(result.graph, seq.graphs[i + 1]);
+  }
+}
+
+TEST(SmallMeshFamily, RefinementConcentratesLoad) {
+  // The added vertices must cluster: most land within a small disc, which
+  // is what makes the incremental load imbalance "severe" (§3).
+  const MeshFamily family = make_small_mesh_family(800, {120}, 13);
+  const auto& delta = family.deltas[0];
+  ASSERT_EQ(delta.added_vertices.size(), 120u);
+  // Count neighbors of new vertices that are themselves new: high adjacency
+  // among new vertices indicates clustering.
+  int new_new_edges = 0;
+  const graph::VertexId n_old = family.base.num_vertices();
+  for (std::size_t i = 0; i < delta.added_vertices.size(); ++i) {
+    for (const auto& [endpoint, w] : delta.added_vertices[i].edges) {
+      if (endpoint >= n_old) ++new_new_edges;
+    }
+  }
+  EXPECT_GT(new_new_edges, 120);  // far above what a uniform spread gives
+}
+
+}  // namespace
+}  // namespace pigp::mesh

@@ -1,0 +1,73 @@
+// parallel_for / parallel_reduce correctness and determinism.
+
+#include "runtime/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace pigp::runtime {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&hits](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&touched](std::int64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, NonZeroBase) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(pool, 10, 20, [&sum](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::int64_t i) {
+                              if (i == 37) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsDeterministically) {
+  ThreadPool pool(8);
+  const auto map = [](std::int64_t i) { return 0.1 * static_cast<double>(i); };
+  const auto combine = [](double a, double b) { return a + b; };
+  const double r1 = parallel_reduce(pool, 0, 100000, 0.0, map, combine);
+  const double r2 = parallel_reduce(pool, 0, 100000, 0.0, map, combine);
+  EXPECT_EQ(r1, r2);  // bitwise identical across runs
+}
+
+TEST(ParallelReduce, MatchesSerialForIntegers) {
+  ThreadPool pool(6);
+  const auto value = parallel_reduce(
+      pool, 1, 1001, std::int64_t{0},
+      [](std::int64_t i) { return i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(value, 500500);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(4);
+  const auto value = parallel_reduce(
+      pool, 0, 1000, std::int64_t{-1},
+      [](std::int64_t i) { return (i * 7919) % 1000; },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  EXPECT_EQ(value, 999);
+}
+
+}  // namespace
+}  // namespace pigp::runtime

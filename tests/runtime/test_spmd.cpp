@@ -1,0 +1,147 @@
+// SPMD Machine: message passing, barrier, collectives.
+
+#include "runtime/spmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace pigp::runtime {
+namespace {
+
+TEST(Spmd, RingPass) {
+  Machine machine(8);
+  std::vector<int> received(8, -1);
+  machine.run([&received](RankContext& ctx) {
+    Packet p;
+    p.pack(ctx.rank());
+    ctx.send((ctx.rank() + 1) % ctx.num_ranks(), std::move(p));
+    Packet in = ctx.recv((ctx.rank() + ctx.num_ranks() - 1) %
+                         ctx.num_ranks());
+    received[static_cast<std::size_t>(ctx.rank())] = in.unpack<int>();
+  });
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(received[static_cast<std::size_t>(r)], (r + 7) % 8);
+  }
+}
+
+TEST(Spmd, FifoPerSender) {
+  Machine machine(2);
+  std::vector<int> order;
+  machine.run([&order](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        Packet p;
+        p.pack(i);
+        ctx.send(1, std::move(p));
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        Packet p = ctx.recv(0);
+        order.push_back(p.unpack<int>());
+      }
+    }
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Spmd, AllreduceSum) {
+  Machine machine(16);
+  std::vector<double> results(16, 0.0);
+  machine.run([&results](RankContext& ctx) {
+    const double total = ctx.allreduce(
+        static_cast<double>(ctx.rank() + 1),
+        [](double a, double b) { return a + b; });
+    results[static_cast<std::size_t>(ctx.rank())] = total;
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 136.0);  // 1 + ... + 16
+}
+
+TEST(Spmd, AllreduceMax) {
+  Machine machine(5);
+  machine.run([](RankContext& ctx) {
+    const double mx =
+        ctx.allreduce(static_cast<double>((ctx.rank() * 13) % 5),
+                      [](double a, double b) { return std::max(a, b); });
+    EXPECT_DOUBLE_EQ(mx, 4.0);
+  });
+}
+
+TEST(Spmd, AllgatherDeliversRankOrder) {
+  Machine machine(6);
+  machine.run([](RankContext& ctx) {
+    Packet p;
+    p.pack(ctx.rank() * 100);
+    auto all = ctx.allgather(std::move(p));
+    ASSERT_EQ(all.size(), 6u);
+    for (int r = 0; r < 6; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].unpack<int>(), r * 100);
+    }
+  });
+}
+
+TEST(Spmd, BroadcastFromNonzeroRoot) {
+  Machine machine(4);
+  machine.run([](RankContext& ctx) {
+    Packet p;
+    if (ctx.rank() == 2) p.pack_vector(std::vector<int>{1, 2, 3});
+    Packet out = ctx.broadcast(2, std::move(p));
+    EXPECT_EQ(out.unpack_vector<int>(), (std::vector<int>{1, 2, 3}));
+  });
+}
+
+TEST(Spmd, BarrierSeparatesPhases) {
+  Machine machine(8);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  machine.run([&phase1, &violated](RankContext& ctx) {
+    ++phase1;
+    ctx.barrier();
+    if (phase1.load() != 8) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Spmd, PacketVectorRoundTrip) {
+  Packet p;
+  p.pack(3.25);
+  p.pack_vector(std::vector<std::int64_t>{10, 20, 30});
+  p.pack(7);
+  EXPECT_DOUBLE_EQ(p.unpack<double>(), 3.25);
+  EXPECT_EQ(p.unpack_vector<std::int64_t>(),
+            (std::vector<std::int64_t>{10, 20, 30}));
+  EXPECT_EQ(p.unpack<int>(), 7);
+}
+
+TEST(Spmd, PacketUnderrunThrows) {
+  Packet p;
+  p.pack(1);
+  (void)p.unpack<int>();
+  EXPECT_THROW((void)p.unpack<int>(), CheckError);
+}
+
+TEST(Spmd, ExceptionInOneRankPropagates) {
+  Machine machine(3);
+  EXPECT_THROW(machine.run([](RankContext& ctx) {
+    if (ctx.rank() == 1) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(Spmd, ReusableAcrossRuns) {
+  Machine machine(4);
+  for (int round = 0; round < 3; ++round) {
+    machine.run([round](RankContext& ctx) {
+      const double s = ctx.allreduce(1.0, [](double a, double b) {
+        return a + b;
+      });
+      EXPECT_DOUBLE_EQ(s, 4.0) << "round " << round;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace pigp::runtime

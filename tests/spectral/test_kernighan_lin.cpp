@@ -1,0 +1,139 @@
+// Kernighan–Lin pairwise refinement: cut never increases, balance is
+// preserved, known-optimal partitions are fixed points.
+
+#include "spectral/kernighan_lin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "spectral/partitioners.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+using graph::compute_metrics;
+using graph::Graph;
+using graph::Partitioning;
+using graph::VertexId;
+
+TEST(KernighanLin, FixesASingleBadSwap) {
+  // Grid split down the middle but with one vertex swapped across: KL must
+  // swap it back.
+  const int side = 8;
+  const Graph g = graph::grid_graph(side, side);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.resize(64);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      p.part[static_cast<std::size_t>(r * side + c)] = c < 4 ? 0 : 1;
+    }
+  }
+  std::swap(p.part[3 * side + 0], p.part[3 * side + 7]);  // deep swap
+  const double before = compute_metrics(g, p).cut_total;
+
+  const KlStats stats = kernighan_lin_refine(g, p);
+  const double after = compute_metrics(g, p).cut_total;
+  EXPECT_LT(after, before);
+  EXPECT_DOUBLE_EQ(after, 8.0);  // back to the optimal straight cut
+  EXPECT_DOUBLE_EQ(stats.cut_after, after);
+}
+
+TEST(KernighanLin, OptimalCutIsAFixedPoint) {
+  const Graph g = graph::grid_graph(10, 10);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.resize(100);
+  for (int v = 0; v < 100; ++v) {
+    p.part[static_cast<std::size_t>(v)] = (v % 10) < 5 ? 0 : 1;
+  }
+  const KlStats stats = kernighan_lin_refine(g, p);
+  EXPECT_DOUBLE_EQ(stats.cut_after, 10.0);
+  EXPECT_DOUBLE_EQ(stats.cut_before, stats.cut_after);
+}
+
+class KlProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KlProperty, NeverWorsensAndPreservesWeights) {
+  const Graph g =
+      graph::random_geometric_graph(400, 0.08, GetParam() * 3 + 1);
+  // Shuffled balanced 4-way assignment.
+  pigp::SplitMix64 rng(GetParam());
+  std::vector<VertexId> order(400);
+  for (int v = 0; v < 400; ++v) order[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  Partitioning p;
+  p.num_parts = 4;
+  p.part.resize(400);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    p.part[static_cast<std::size_t>(order[i])] =
+        static_cast<graph::PartId>(i % 4);
+  }
+
+  const auto before = compute_metrics(g, p);
+  const KlStats stats = kernighan_lin_refine(g, p);
+  const auto after = compute_metrics(g, p);
+
+  EXPECT_LE(after.cut_total, before.cut_total);
+  EXPECT_EQ(before.weight, after.weight);  // swaps preserve balance exactly
+  EXPECT_LE(stats.cut_after, stats.cut_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(KernighanLin, ImprovesRandomPartitionSubstantially) {
+  const Graph g = graph::random_geometric_graph(500, 0.07, 91);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part.resize(500);
+  for (int v = 0; v < 500; ++v) {
+    p.part[static_cast<std::size_t>(v)] = v % 2;  // striped: terrible cut
+  }
+  const double before = compute_metrics(g, p).cut_total;
+  KlOptions opt;
+  opt.max_passes = 10;
+  (void)kernighan_lin_refine(g, p, opt);
+  const double after = compute_metrics(g, p).cut_total;
+  EXPECT_LT(after, 0.7 * before);
+}
+
+TEST(KernighanLin, RespectsUnequalWeights) {
+  // A heavy vertex cannot be swapped with a light one.
+  graph::GraphBuilder b;
+  b.add_vertex(2.0);
+  b.add_vertex(1.0);
+  b.add_vertex(1.0);
+  b.add_vertex(2.0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 1, 0, 1};  // cut = 3, but weights are already balanced
+  const auto before = compute_metrics(g, p);
+  (void)kernighan_lin_refine(g, p);
+  const auto after = compute_metrics(g, p);
+  EXPECT_EQ(before.weight, after.weight);
+  EXPECT_LE(after.cut_total, before.cut_total);
+}
+
+TEST(KernighanLin, MultiwayPairSweep) {
+  const Graph g = graph::grid_graph(12, 12);
+  Partitioning p = recursive_graph_bisection(g, 6);
+  const auto before = compute_metrics(g, p);
+  const KlStats stats = kernighan_lin_refine(g, p);
+  const auto after = compute_metrics(g, p);
+  EXPECT_LE(after.cut_total, before.cut_total);
+  EXPECT_EQ(before.weight, after.weight);
+  EXPECT_GE(stats.passes, 1);
+}
+
+}  // namespace
+}  // namespace pigp::spectral

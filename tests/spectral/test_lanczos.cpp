@@ -1,0 +1,150 @@
+// Fiedler vector/value: analytic graphs, Laplacian apply, convergence.
+
+#include "spectral/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(LaplacianApply, MatchesHandComputation) {
+  // Path 0-1-2 with unit weights: L = [[1,-1,0],[-1,2,-1],[0,-1,1]].
+  const graph::Graph g = graph::path_graph(3);
+  std::vector<double> y;
+  laplacian_apply(g, {1.0, 0.0, -1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(LaplacianApply, ConstantVectorInKernel) {
+  const graph::Graph g = graph::random_connected_graph(50, 1.0, 3);
+  std::vector<double> y;
+  laplacian_apply(g, std::vector<double>(50, 2.5), y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(LaplacianApply, RespectsEdgeWeights) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 3.0);
+  std::vector<double> y;
+  laplacian_apply(b.build(), {1.0, 0.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+}
+
+TEST(Fiedler, PathGraphAnalyticValue) {
+  // Path P_n: λ₂ = 2 - 2 cos(pi / n).
+  const int n = 24;
+  const auto r = fiedler_vector(graph::path_graph(n));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 2.0 - 2.0 * std::cos(kPi / n), 1e-6);
+}
+
+TEST(Fiedler, PathVectorIsMonotone) {
+  const int n = 17;
+  const auto r = fiedler_vector(graph::path_graph(n));
+  ASSERT_EQ(r.vector.size(), static_cast<std::size_t>(n));
+  // The Fiedler vector of a path is cos((i + 1/2) pi / n), monotone.
+  const double direction = r.vector[1] - r.vector[0];
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_GT((r.vector[static_cast<std::size_t>(i + 1)] -
+               r.vector[static_cast<std::size_t>(i)]) *
+                  direction,
+              0.0);
+  }
+}
+
+TEST(Fiedler, CompleteGraphValue) {
+  // K_n has λ₂ = n.
+  const int n = 9;
+  const auto r = fiedler_vector(graph::complete_graph(n));
+  EXPECT_NEAR(r.value, static_cast<double>(n), 1e-6);
+}
+
+TEST(Fiedler, CycleGraphValue) {
+  // C_n: λ₂ = 2 - 2 cos(2 pi / n).
+  const int n = 20;
+  const auto r = fiedler_vector(graph::cycle_graph(n));
+  EXPECT_NEAR(r.value, 2.0 - 2.0 * std::cos(2.0 * kPi / n), 1e-6);
+}
+
+TEST(Fiedler, StarGraphValue) {
+  // Star K_{1,n-1}: λ₂ = 1.
+  const auto r = fiedler_vector(graph::star_graph(12));
+  EXPECT_NEAR(r.value, 1.0, 1e-6);
+}
+
+TEST(Fiedler, GridGraphValue) {
+  // Grid m x m: λ₂ = 2 - 2 cos(pi / m).
+  const int m = 10;
+  const auto r = fiedler_vector(graph::grid_graph(m, m));
+  EXPECT_NEAR(r.value, 2.0 - 2.0 * std::cos(kPi / m), 1e-6);
+}
+
+TEST(Fiedler, VectorIsUnitAndMeanFree) {
+  const auto r = fiedler_vector(graph::random_connected_graph(200, 1.0, 9));
+  double sum = 0.0;
+  double norm2 = 0.0;
+  for (double v : r.vector) {
+    sum += v;
+    norm2 += v * v;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-8);
+  EXPECT_NEAR(norm2, 1.0, 1e-8);
+}
+
+TEST(Fiedler, ResidualIsSmall) {
+  const graph::Graph g = graph::random_connected_graph(300, 1.5, 17);
+  const auto r = fiedler_vector(g);
+  ASSERT_TRUE(r.converged);
+  std::vector<double> lx;
+  laplacian_apply(g, r.vector, lx);
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    const double d = lx[i] - r.value * r.vector[i];
+    res2 += d * d;
+  }
+  EXPECT_LT(std::sqrt(res2), 1e-4);
+}
+
+TEST(Fiedler, TwoVertexExact) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 2.0);
+  const auto r = fiedler_vector(b.build());
+  EXPECT_DOUBLE_EQ(r.value, 4.0);
+  EXPECT_NEAR(r.vector[0], -r.vector[1], 1e-12);
+}
+
+TEST(Fiedler, SingleVertex) {
+  graph::GraphBuilder b(1);
+  const auto r = fiedler_vector(b.build());
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(Fiedler, DisconnectedGraphRejected) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_THROW(fiedler_vector(b.build()), CheckError);
+}
+
+TEST(Fiedler, DeterministicAcrossCalls) {
+  const graph::Graph g = graph::random_connected_graph(150, 1.2, 5);
+  const auto a = fiedler_vector(g);
+  const auto b = fiedler_vector(g);
+  EXPECT_EQ(a.vector, b.vector);
+  EXPECT_EQ(a.value, b.value);
+}
+
+}  // namespace
+}  // namespace pigp::spectral

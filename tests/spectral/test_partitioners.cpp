@@ -1,0 +1,158 @@
+// RSB / RCB / RGB partitioners: balance, cut quality on graphs with known
+// optimal structure, determinism, odd partition counts, disconnected input.
+
+#include "spectral/partitioners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "support/check.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+using graph::compute_metrics;
+using graph::Graph;
+using graph::Partitioning;
+
+TEST(Rsb, BisectsPathAtTheMiddle) {
+  const Graph g = graph::path_graph(20);
+  const Partitioning p = recursive_spectral_bisection(g, 2);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.cut_total, 1.0);  // optimal single-edge cut
+  EXPECT_DOUBLE_EQ(m.max_weight, 10.0);
+}
+
+TEST(Rsb, GridFourWayIsNearOptimal) {
+  const int side = 12;
+  const Graph g = graph::grid_graph(side, side);
+  const Partitioning p = recursive_spectral_bisection(g, 4);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.max_weight, 36.0);
+  EXPECT_DOUBLE_EQ(m.min_weight, 36.0);
+  // Optimal quadrant cut is 2 * side = 24; allow modest slack.
+  EXPECT_LE(m.cut_total, 1.5 * 2 * side);
+}
+
+TEST(Rsb, ThirtyTwoPartsOnMeshLikeGraph) {
+  const Graph g = graph::random_geometric_graph(1200, 0.045, 11);
+  // Geometric graphs can have isolated vertices; partitioners must cope.
+  const Partitioning p = recursive_spectral_bisection(g, 32);
+  const auto m = compute_metrics(g, p);
+  EXPECT_EQ(p.num_parts, 32);
+  EXPECT_LE(m.max_weight - m.min_weight, 1.0);  // unit weights: off by <= 1
+}
+
+TEST(Rsb, OddPartitionCount) {
+  const Graph g = graph::grid_graph(9, 10);
+  const Partitioning p = recursive_spectral_bisection(g, 5);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.max_weight, 18.0);
+  EXPECT_DOUBLE_EQ(m.min_weight, 18.0);
+}
+
+TEST(Rsb, SinglePartition) {
+  const Graph g = graph::path_graph(7);
+  const Partitioning p = recursive_spectral_bisection(g, 1);
+  for (auto q : p.part) EXPECT_EQ(q, 0);
+}
+
+TEST(Rsb, HandlesDisconnectedGraph) {
+  graph::GraphBuilder b(0);
+  // Two separate 8-vertex paths.
+  for (int c = 0; c < 2; ++c) {
+    const auto base = b.num_vertices();
+    for (int i = 0; i < 8; ++i) b.add_vertex();
+    for (int i = 0; i + 1 < 8; ++i) {
+      b.add_edge(base + i, base + i + 1);
+    }
+  }
+  const Graph g = b.build();
+  const Partitioning p = recursive_spectral_bisection(g, 2);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.max_weight, 8.0);
+  // The two components are the optimal sides: zero cut.
+  EXPECT_DOUBLE_EQ(m.cut_total, 0.0);
+}
+
+TEST(Rsb, DeterministicAcrossRuns) {
+  const Graph g = graph::random_geometric_graph(600, 0.06, 23);
+  const Partitioning a = recursive_spectral_bisection(g, 8);
+  const Partitioning b = recursive_spectral_bisection(g, 8);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(Rsb, RespectsVertexWeights) {
+  // Path of 4 with weights 3,1,1,3: balanced 2-cut must split 4|4.
+  graph::GraphBuilder b;
+  b.add_vertex(3.0);
+  b.add_vertex(1.0);
+  b.add_vertex(1.0);
+  b.add_vertex(3.0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const Partitioning p = recursive_spectral_bisection(g, 2);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.max_weight, 4.0);
+  EXPECT_DOUBLE_EQ(m.min_weight, 4.0);
+}
+
+TEST(Rcb, GridQuadrants) {
+  std::vector<std::array<double, 2>> coords;
+  const int side = 10;
+  graph::GraphBuilder b(side * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      coords.push_back({static_cast<double>(c), static_cast<double>(r)});
+      if (c + 1 < side) b.add_edge(r * side + c, r * side + c + 1);
+      if (r + 1 < side) b.add_edge(r * side + c, (r + 1) * side + c);
+    }
+  }
+  const Graph g = b.build();
+  const Partitioning p = recursive_coordinate_bisection(g, 4, coords);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.max_weight, 25.0);
+  EXPECT_DOUBLE_EQ(m.cut_total, 2.0 * side);  // exact quadrant cut
+}
+
+TEST(Rcb, RejectsWrongCoordinateCount) {
+  const Graph g = graph::path_graph(5);
+  std::vector<std::array<double, 2>> coords(3);
+  EXPECT_THROW(recursive_coordinate_bisection(g, 2, coords), CheckError);
+}
+
+TEST(Rgb, PathIsCutOnce) {
+  const Graph g = graph::path_graph(30);
+  const Partitioning p = recursive_graph_bisection(g, 2);
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.cut_total, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_weight, 15.0);
+}
+
+TEST(Rgb, BalancedOnRandomConnected) {
+  const Graph g = graph::random_connected_graph(500, 1.0, 31);
+  const Partitioning p = recursive_graph_bisection(g, 8);
+  const auto m = compute_metrics(g, p);
+  EXPECT_LE(m.max_weight - m.min_weight, 1.0);
+}
+
+TEST(Partitioners, MorePartsThanVerticesRejected) {
+  const Graph g = graph::path_graph(3);
+  EXPECT_THROW(recursive_spectral_bisection(g, 5), CheckError);
+}
+
+TEST(Partitioners, RsbBeatsRgbOnGeometricCut) {
+  // Spectral should be at least as good as BFS bisection on mesh-like
+  // graphs (this is precisely why the paper uses RSB as its baseline).
+  const Graph g = graph::random_geometric_graph(900, 0.05, 77);
+  const auto rsb = compute_metrics(g, recursive_spectral_bisection(g, 8));
+  const auto rgb = compute_metrics(g, recursive_graph_bisection(g, 8));
+  EXPECT_LE(rsb.cut_total, rgb.cut_total * 1.10);
+}
+
+}  // namespace
+}  // namespace pigp::spectral

@@ -1,0 +1,110 @@
+// Subgraph extraction and partition metrics (graph-module additions used by
+// the partitioners; tested here alongside their main consumer).
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/subgraph.hpp"
+#include "support/check.hpp"
+
+namespace pigp::graph {
+namespace {
+
+TEST(Subgraph, ExtractsInducedEdges) {
+  const Graph g = grid_graph(3, 3);
+  // Take the left 3x2 block: vertices 0,1,3,4,6,7.
+  const std::vector<VertexId> sel = {0, 1, 3, 4, 6, 7};
+  const Subgraph s = induced_subgraph(g, sel);
+  EXPECT_EQ(s.graph.num_vertices(), 6);
+  EXPECT_EQ(s.graph.num_edges(), 7);  // 3x2 grid
+  EXPECT_EQ(s.to_global, sel);
+  s.graph.validate();
+}
+
+TEST(Subgraph, PreservesWeights) {
+  GraphBuilder b;
+  b.add_vertex(2.0);
+  b.add_vertex(3.0);
+  b.add_vertex(4.0);
+  b.add_edge(0, 1, 5.0);
+  b.add_edge(1, 2, 6.0);
+  const Graph g = b.build();
+  const std::vector<VertexId> sel = {1, 2};
+  const Subgraph s = induced_subgraph(g, sel);
+  EXPECT_DOUBLE_EQ(s.graph.vertex_weight(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.graph.edge_weight(0, 1), 6.0);
+}
+
+TEST(Subgraph, RejectsDuplicates) {
+  const Graph g = path_graph(4);
+  const std::vector<VertexId> sel = {1, 1};
+  EXPECT_THROW(induced_subgraph(g, sel), CheckError);
+}
+
+TEST(PartitionMetrics, HandComputedExample) {
+  // Path 0-1-2-3 split as {0,1 | 2,3}: one cut edge.
+  const Graph g = path_graph(4);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.cut_total, 1.0);
+  EXPECT_DOUBLE_EQ(m.cut_max, 1.0);
+  EXPECT_DOUBLE_EQ(m.cut_min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_weight, 2.0);
+  EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+}
+
+TEST(PartitionMetrics, WeightedEdgesCountOnce) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.5);
+  b.add_edge(1, 2, 4.0);
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 3;
+  p.part = {0, 1, 2};
+  const auto m = compute_metrics(g, p);
+  EXPECT_DOUBLE_EQ(m.cut_total, 6.5);
+  EXPECT_DOUBLE_EQ(m.cut_max, 6.5);   // partition 1 touches both cut edges
+  EXPECT_DOUBLE_EQ(m.cut_min, 2.5);
+}
+
+TEST(PartitionMetrics, ValidationCatchesBadLabels) {
+  const Graph g = path_graph(3);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 1, 2};  // 2 is out of range
+  EXPECT_THROW(compute_metrics(g, p), CheckError);
+  p.part = {0, 1};  // size mismatch
+  EXPECT_THROW(compute_metrics(g, p), CheckError);
+}
+
+TEST(BalanceTargets, LargestRemainderSumsExactly) {
+  const auto t = balance_targets(10.0, 3);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0] + t[1] + t[2], 10.0);
+  for (double x : t) EXPECT_TRUE(x == 3.0 || x == 4.0);
+}
+
+TEST(BalanceTargets, ExactDivision) {
+  const auto t = balance_targets(32.0, 32);
+  for (double x : t) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(IsBalanced, DetectsImbalance) {
+  const Graph g = path_graph(4);
+  Partitioning balanced;
+  balanced.num_parts = 2;
+  balanced.part = {0, 0, 1, 1};
+  EXPECT_TRUE(is_balanced(g, balanced, 0.5));
+
+  Partitioning skewed;
+  skewed.num_parts = 2;
+  skewed.part = {0, 0, 0, 1};
+  EXPECT_FALSE(is_balanced(g, skewed, 0.5));
+}
+
+}  // namespace
+}  // namespace pigp::graph

@@ -1,0 +1,94 @@
+// Symmetric tridiagonal QL eigensolver vs closed-form spectra.
+
+#include "spectral/tridiagonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pigp::spectral {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Tridiagonal, OneByOne) {
+  const auto eig = tridiagonal_eigen({5.0}, {});
+  ASSERT_EQ(eig.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 5.0);
+  EXPECT_DOUBLE_EQ(std::abs(eig.eigenvectors[0][0]), 1.0);
+}
+
+TEST(Tridiagonal, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] -> eigenvalues 1 and 3.
+  const auto eig = tridiagonal_eigen({2.0, 2.0}, {1.0});
+  ASSERT_EQ(eig.eigenvalues.size(), 2u);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, ToeplitzSpectrum) {
+  // diag a, offdiag b: eigenvalues a + 2b cos(j*pi/(k+1)), j = 1..k.
+  const int k = 12;
+  const double a = 4.0;
+  const double b = -1.5;
+  std::vector<double> diag(k, a);
+  std::vector<double> off(k - 1, b);
+  const auto eig = tridiagonal_eigen(diag, off);
+
+  std::vector<double> expected;
+  for (int j = 1; j <= k; ++j) {
+    expected.push_back(a + 2.0 * b * std::cos(j * kPi / (k + 1)));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (int j = 0; j < k; ++j) {
+    EXPECT_NEAR(eig.eigenvalues[static_cast<std::size_t>(j)],
+                expected[static_cast<std::size_t>(j)], 1e-9);
+  }
+}
+
+TEST(Tridiagonal, EigenvectorsSatisfyDefinition) {
+  const std::vector<double> diag = {3.0, 1.0, 4.0, 1.0, 5.0};
+  const std::vector<double> off = {0.5, -2.0, 0.0, 1.5};
+  const auto eig = tridiagonal_eigen(diag, off);
+
+  for (std::size_t p = 0; p < diag.size(); ++p) {
+    const auto& v = eig.eigenvectors[p];
+    const double lambda = eig.eigenvalues[p];
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      double tv = diag[i] * v[i];
+      if (i > 0) tv += off[i - 1] * v[i - 1];
+      if (i + 1 < diag.size()) tv += off[i] * v[i + 1];
+      EXPECT_NEAR(tv, lambda * v[i], 1e-9);
+    }
+    double norm2 = 0.0;
+    for (double x : v) norm2 += x * x;
+    EXPECT_NEAR(norm2, 1.0, 1e-9);
+  }
+}
+
+TEST(Tridiagonal, ZeroOffdiagGivesDiagonal) {
+  const auto eig = tridiagonal_eigen({3.0, -1.0, 2.0}, {0.0, 0.0});
+  EXPECT_NEAR(eig.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, RejectsSizeMismatch) {
+  EXPECT_THROW(tridiagonal_eigen({1.0, 2.0}, {}), CheckError);
+  EXPECT_THROW(tridiagonal_eigen({}, {}), CheckError);
+}
+
+TEST(Tridiagonal, LargeMatrixConverges) {
+  const int k = 400;
+  std::vector<double> diag(k, 2.0);
+  std::vector<double> off(k - 1, -1.0);
+  const auto eig = tridiagonal_eigen(diag, off);
+  // Smallest eigenvalue of the discrete Laplacian stencil.
+  EXPECT_NEAR(eig.eigenvalues[0],
+              2.0 - 2.0 * std::cos(kPi / (k + 1)), 1e-9);
+}
+
+}  // namespace
+}  // namespace pigp::spectral
