@@ -10,6 +10,7 @@
 // modern core, so Amdahl effects bite sooner); the shape to verify is that
 // parallel time is well below serial time and scales with workers.
 
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -20,8 +21,22 @@
 #include "graph/generators.hpp"
 #include "mesh/paper_meshes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pigp;
+
+  // --smoke: seconds-scale CI run — single rep, {1,2} workers, and a much
+  // smaller "scaled" graph; the full sweep is for real measurements.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int reps = smoke ? 1 : 3;
+  const std::vector<int> thread_points =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8, 16, 24, 32};
+  const std::vector<int> rank_points =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8, 16, 32};
+  const std::vector<int> big_thread_points =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8, 16, 24};
   std::cout << "=== Speedup: IGPR on mesh B +672 nodes, P = "
             << bench::kPaperPartitions << " ===\n";
   std::cout << "(paper: 15-20x on a 32-node CM-5)\n\n";
@@ -39,7 +54,7 @@ int main() {
   // Warm-up + serial baseline (best of 3 to de-noise).
   const auto measure = [&](int threads) {
     double best = 1e9;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       const bench::TimedPartition t =
           bench::run_igp(g, initial, n_old, /*refine=*/true, threads);
       best = std::min(best, t.seconds);
@@ -49,7 +64,7 @@ int main() {
   const double serial = measure(1);
 
   TextTable table({"threads", "time (s)", "speedup"});
-  for (const int threads : {1, 2, 4, 8, 16, 24, 32}) {
+  for (const int threads : thread_points) {
     if (threads > 2 * hw) break;
     const double t = measure(threads);
     char buf[32];
@@ -61,12 +76,12 @@ int main() {
   std::cout << "\n=== SPMD (message-passing) engine, same workload ===\n";
   TextTable spmd_table({"ranks", "time (s)", "speedup vs 1 rank"});
   double spmd_serial = 0.0;
-  for (const int ranks : {1, 2, 4, 8, 16, 32}) {
+  for (const int ranks : rank_points) {
     runtime::Machine machine(ranks);
     core::IgpOptions options;
     options.refine = true;
     double best = 1e9;
-    for (int rep = 0; rep < 2; ++rep) {
+    for (int rep = 0; rep < std::min(reps, 2); ++rep) {
       runtime::WallTimer timer;
       const core::IgpResult result =
           core::spmd_repartition(machine, g, initial, n_old, options);
@@ -85,9 +100,9 @@ int main() {
   // the parallel phases scale when the problem is large enough — the
   // regime the paper's CM-5 was actually in relative to its CPUs — repeat
   // on a 40x larger mesh-like graph.
-  std::cout << "\n=== Scaled workload: 400k-vertex geometric graph, "
-               "P = 32, 5% new vertices ===\n";
-  const int big_n = 400000;
+  const int big_n = smoke ? 20000 : 400000;
+  std::cout << "\n=== Scaled workload: " << big_n
+            << "-vertex geometric graph, P = 32, 5% new vertices ===\n";
   const graph::Graph big = graph::random_geometric_graph(
       big_n, 1.2 / std::sqrt(static_cast<double>(big_n)), 9);
   const graph::VertexId big_old = big_n - big_n / 20;
@@ -105,7 +120,7 @@ int main() {
   };
   const double big_serial = measure_big(1);
   TextTable big_table({"threads", "time (s)", "speedup"});
-  for (const int threads : {1, 2, 4, 8, 16, 24}) {
+  for (const int threads : big_thread_points) {
     if (threads > hw) break;
     const double t = threads == 1 ? big_serial : measure_big(threads);
     char buf[32];

@@ -1,0 +1,21 @@
+# Provide GTest::gtest_main: prefer FetchContent; fall back to the distro
+# source package (/usr/src/googletest on Debian/Ubuntu) so offline builds
+# still work.
+include(FetchContent)
+
+set(PIGP_GTEST_SOURCE_DIR "/usr/src/googletest" CACHE PATH
+  "Local GoogleTest source tree used when downloads are unavailable")
+
+if(EXISTS "${PIGP_GTEST_SOURCE_DIR}/CMakeLists.txt")
+  FetchContent_Declare(googletest SOURCE_DIR "${PIGP_GTEST_SOURCE_DIR}")
+else()
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+endif()
+
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)  # MSVC runtime match
+FetchContent_MakeAvailable(googletest)

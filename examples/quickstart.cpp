@@ -6,6 +6,7 @@
 // initial assignment, layering, LP load balancing, LP refinement — printing
 // what each step does.
 
+#include <cstring>
 #include <iostream>
 
 #include "core/igp.hpp"
@@ -15,12 +16,21 @@
 #include "spectral/partitioners.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pigp;
   constexpr graph::PartId kParts = 4;
 
+  // --smoke: a few-hundred-millisecond run for CI; same pipeline, smaller
+  // mesh and refinement burst.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int mesh_size = smoke ? 120 : 400;
+  const int refine_count = smoke ? 16 : 40;
+
   // --- the "initial graph" (Figure 2a) ---
-  mesh::AdaptiveMesh amesh = mesh::AdaptiveMesh::random(400, /*seed=*/7);
+  mesh::AdaptiveMesh amesh = mesh::AdaptiveMesh::random(mesh_size, /*seed=*/7);
   const graph::Graph before = amesh.to_graph();
   std::cout << "initial mesh: |V|=" << before.num_vertices()
             << " |E|=" << before.num_edges() << "\n";
@@ -36,7 +46,7 @@ int main() {
   mesh::RefineOptions refine;
   refine.center = {0.3, 0.6};
   refine.radius = 0.06;
-  refine.count = 40;
+  refine.count = refine_count;
   refine.seed = 11;
   (void)amesh.refine_near(refine);
   const graph::Graph after = amesh.to_graph();

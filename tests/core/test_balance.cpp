@@ -73,10 +73,7 @@ Partitioning skewed_path_partitioning(int n, int split, int parts) {
 TEST(BalanceLoad, RebalancesSkewedPath) {
   const Graph g = graph::path_graph(40);
   // Partition 0 holds 28 of 40 vertices; 2 partitions total.
-  Partitioning p;
-  p.num_parts = 2;
-  p.part.assign(40, 0);
-  for (int v = 28; v < 40; ++v) p.part[static_cast<std::size_t>(v)] = 1;
+  Partitioning p = skewed_path_partitioning(40, 28, 2);
 
   BalanceOptions opt;
   const BalanceResult r = balance_load(g, p, opt);

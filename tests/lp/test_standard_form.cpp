@@ -1,0 +1,156 @@
+// Canonical-form conversion tests: shifted / mirrored / split substitutions,
+// row rewriting, bounds-as-rows mode, and recover() round-trips.
+
+#include "lp/standard_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lp/program.hpp"
+#include "support/check.hpp"
+
+namespace pigp::lp::detail {
+namespace {
+
+TEST(StandardForm, NonNegativeVariablePassesThrough) {
+  LinearProgram lp;
+  const int x = lp.add_variable(3.0);
+  lp.add_row(RowType::less_equal, {{x, 2.0}}, 8.0);
+
+  const StandardForm sf = make_standard_form(lp, /*bounds_as_rows=*/false);
+  ASSERT_EQ(sf.num_columns(), 1);
+  EXPECT_EQ(sf.columns[0].kind, ColumnOrigin::Kind::shifted);
+  EXPECT_DOUBLE_EQ(sf.columns[0].shift, 0.0);
+  EXPECT_DOUBLE_EQ(sf.cost[0], 3.0);
+  EXPECT_EQ(sf.upper[0], kInfinity);
+  ASSERT_EQ(sf.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(sf.rows[0].rhs, 8.0);
+  EXPECT_FALSE(sf.negated_objective);
+}
+
+TEST(StandardForm, ShiftedVariableAdjustsRhsAndBound) {
+  // 2 <= x <= 7 becomes 0 <= y <= 5 with x = 2 + y; row rhs shifts by -2a.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0, 2.0, 7.0);
+  lp.add_row(RowType::equal, {{x, 2.0}}, 10.0);
+
+  const StandardForm sf = make_standard_form(lp, false);
+  ASSERT_EQ(sf.num_columns(), 1);
+  EXPECT_DOUBLE_EQ(sf.columns[0].shift, 2.0);
+  EXPECT_DOUBLE_EQ(sf.upper[0], 5.0);
+  EXPECT_DOUBLE_EQ(sf.rows[0].rhs, 6.0);
+
+  // y = 3 maps back to x = 5, which satisfies the original row exactly.
+  const std::vector<double> x_back = sf.recover({3.0});
+  ASSERT_EQ(x_back.size(), 1u);
+  EXPECT_DOUBLE_EQ(x_back[0], 5.0);
+  EXPECT_TRUE(lp.is_feasible(x_back));
+}
+
+TEST(StandardForm, MirroredVariableFlipsCostAndCoefficients) {
+  // x <= 4 with no lower bound becomes x = 4 - y, y >= 0.
+  LinearProgram lp;
+  const int x = lp.add_variable(2.0, -kInfinity, 4.0);
+  lp.add_row(RowType::less_equal, {{x, 3.0}}, 9.0);
+
+  const StandardForm sf = make_standard_form(lp, false);
+  ASSERT_EQ(sf.num_columns(), 1);
+  EXPECT_EQ(sf.columns[0].kind, ColumnOrigin::Kind::mirrored);
+  EXPECT_DOUBLE_EQ(sf.columns[0].shift, 4.0);
+  EXPECT_DOUBLE_EQ(sf.cost[0], -2.0);
+  ASSERT_EQ(sf.rows[0].coeffs.size(), 1u);
+  EXPECT_DOUBLE_EQ(sf.rows[0].coeffs[0].second, -3.0);
+  EXPECT_DOUBLE_EQ(sf.rows[0].rhs, 9.0 - 3.0 * 4.0);
+
+  EXPECT_DOUBLE_EQ(sf.recover({1.0})[0], 3.0);
+}
+
+TEST(StandardForm, FreeVariableSplitsIntoPairedColumns) {
+  LinearProgram lp;
+  const int x = lp.add_variable(5.0, -kInfinity, kInfinity);
+  lp.add_row(RowType::equal, {{x, 1.0}}, -2.0);
+
+  const StandardForm sf = make_standard_form(lp, false);
+  ASSERT_EQ(sf.num_columns(), 2);
+  EXPECT_EQ(sf.columns[0].kind, ColumnOrigin::Kind::split_pos);
+  EXPECT_EQ(sf.columns[1].kind, ColumnOrigin::Kind::split_neg);
+  EXPECT_EQ(sf.columns[0].partner, 1);
+  EXPECT_EQ(sf.columns[1].partner, 0);
+  EXPECT_DOUBLE_EQ(sf.cost[0], 5.0);
+  EXPECT_DOUBLE_EQ(sf.cost[1], -5.0);
+  // Row picks up both columns with opposite signs.
+  ASSERT_EQ(sf.rows[0].coeffs.size(), 2u);
+  EXPECT_DOUBLE_EQ(sf.rows[0].coeffs[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(sf.rows[0].coeffs[1].second, -1.0);
+
+  // y_pos = 1, y_neg = 3 recovers x = -2: original row holds.
+  const std::vector<double> x_back = sf.recover({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(x_back[0], -2.0);
+  EXPECT_TRUE(lp.is_feasible(x_back));
+}
+
+TEST(StandardForm, MaximizeNegatesObjective) {
+  LinearProgram lp(Sense::maximize);
+  lp.add_variable(4.0);
+
+  const StandardForm sf = make_standard_form(lp, false);
+  EXPECT_TRUE(sf.negated_objective);
+  EXPECT_DOUBLE_EQ(sf.cost[0], -4.0);
+}
+
+TEST(StandardForm, BoundsAsRowsEmitsExplicitUpperRows) {
+  LinearProgram lp;
+  lp.add_variable(1.0, 0.0, 6.0);
+  lp.add_variable(1.0);  // unbounded: no extra row
+  lp.add_row(RowType::equal, {{0, 1.0}, {1, 1.0}}, 4.0);
+
+  const StandardForm sf = make_standard_form(lp, /*bounds_as_rows=*/true);
+  ASSERT_EQ(sf.rows.size(), 2u);
+  EXPECT_EQ(sf.rows[1].type, RowType::less_equal);
+  ASSERT_EQ(sf.rows[1].coeffs.size(), 1u);
+  EXPECT_EQ(sf.rows[1].coeffs[0].first, 0);
+  EXPECT_DOUBLE_EQ(sf.rows[1].rhs, 6.0);
+  // The column bound moves onto the row.
+  EXPECT_EQ(sf.upper[0], kInfinity);
+  EXPECT_EQ(sf.upper[1], kInfinity);
+}
+
+TEST(StandardForm, DuplicateCoefficientsMergePerColumn) {
+  // The same variable twice in a row must collapse to one canonical entry.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_row(RowType::equal, {{x, 1.0}, {x, 2.5}}, 7.0);
+
+  const StandardForm sf = make_standard_form(lp, false);
+  ASSERT_EQ(sf.rows[0].coeffs.size(), 1u);
+  EXPECT_DOUBLE_EQ(sf.rows[0].coeffs[0].second, 3.5);
+}
+
+TEST(StandardForm, MixedVariablesRoundTrip) {
+  // One of each substitution kind in a single row; a canonical point maps
+  // back to a feasible original point.
+  LinearProgram lp;
+  const int a = lp.add_variable(1.0, 1.0, 3.0);              // shifted
+  const int b = lp.add_variable(1.0, -kInfinity, 2.0);       // mirrored
+  const int c = lp.add_variable(1.0, -kInfinity, kInfinity); // split
+  lp.add_row(RowType::less_equal, {{a, 1.0}, {b, 1.0}, {c, 1.0}}, 10.0);
+
+  const StandardForm sf = make_standard_form(lp, false);
+  ASSERT_EQ(sf.num_columns(), 4);
+  EXPECT_EQ(sf.num_original_vars, 3);
+
+  const std::vector<double> x = sf.recover({1.0, 0.5, 2.0, 0.25});
+  EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(a)], 2.0);   // 1 + 1
+  EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(b)], 1.5);   // 2 - 0.5
+  EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(c)], 1.75);  // 2 - 0.25
+  EXPECT_TRUE(lp.is_feasible(x));
+}
+
+TEST(StandardForm, RecoverRejectsSizeMismatch) {
+  LinearProgram lp;
+  lp.add_variable(1.0);
+  const StandardForm sf = make_standard_form(lp, false);
+  EXPECT_THROW((void)sf.recover({1.0, 2.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace pigp::lp::detail
