@@ -10,6 +10,7 @@
 //
 // Run on the mesh-A sequence at 32 partitions; prints paper-style tables.
 
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -53,21 +54,32 @@ AblationOutcome run_variant(const mesh::MeshSequence& seq,
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Ablations on mesh A, P = " << kPaperPartitions
-            << " (4 chained increments) ===\n\n";
-  const mesh::MeshSequence seq = mesh::make_paper_mesh_a();
+int main(int argc, char** argv) {
+  // --smoke: seconds-scale CI run — fewer partitions, one increment, and
+  // the expensive mesh-B section D skipped.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const graph::PartId parts = smoke ? 8 : kPaperPartitions;
+
+  mesh::MeshSequence seq = mesh::make_paper_mesh_a();
+  if (smoke && seq.graphs.size() > 2) {
+    seq.graphs.resize(2);  // one increment is enough to rot-check the paths
+  }
+  std::cout << "=== Ablations on mesh A, P = " << parts << " ("
+            << seq.graphs.size() - 1 << " chained increment(s)"
+            << (smoke ? ", smoke" : "") << ") ===\n\n";
   const graph::Partitioning initial =
-      spectral::recursive_spectral_bisection(seq.graphs[0],
-                                             kPaperPartitions);
+      spectral::recursive_spectral_bisection(seq.graphs[0], parts);
 
   // ------------------------------------------------ A: solver choice
   {
     TextTable table({"solver", "time (s)", "final cut", "LP pivots"});
     for (const auto kind :
          {core::LpSolverKind::dense, core::LpSolverKind::bounded}) {
-      core::IgpOptions options;
-      options.set_solver(kind);
+      const core::IgpOptions options =
+          bench::make_igp_options(parts, /*refine=*/true, /*threads=*/1, kind);
       const AblationOutcome out = run_variant(seq, initial, options);
       table.add_row(kind == core::LpSolverKind::dense
                         ? "dense simplex (paper)"
@@ -168,7 +180,7 @@ int main() {
   }
 
   // ------------------------------------------------ D: flat vs multilevel
-  {
+  if (!smoke) {
     // The paper's §3 future-work extension: apply incremental partitioning
     // recursively through a coarsening hierarchy.  Compare on the large
     // mesh-B workload where coarsening has something to save.

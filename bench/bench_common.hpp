@@ -6,6 +6,7 @@
 #include <iostream>
 #include <string>
 
+#include "api/config.hpp"
 #include "core/igp.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
@@ -40,14 +41,29 @@ inline TimedPartition run_sb(const graph::Graph& g, graph::PartId parts) {
   return out;
 }
 
+/// Fully-propagated IgpOptions via the canonical SessionConfig::resolve()
+/// derivation path.
+inline core::IgpOptions make_igp_options(graph::PartId num_parts, bool refine,
+                                         int threads,
+                                         core::LpSolverKind solver =
+                                             core::LpSolverKind::dense) {
+  SessionConfig config;
+  config.num_parts = num_parts;
+  config.backend = refine ? "igpr" : "igp";
+  config.num_threads = threads;
+  config.solver = solver;
+  core::IgpOptions options = config.resolve().igp;
+  options.refine = refine;
+  return options;
+}
+
 /// One IGP/IGPR repartitioning, timed.
 inline TimedPartition run_igp(const graph::Graph& g_new,
                               const graph::Partitioning& old_p,
                               graph::VertexId n_old, bool refine,
                               int threads) {
-  core::IgpOptions options;
-  options.refine = refine;
-  options.set_threads(threads);
+  const core::IgpOptions options =
+      make_igp_options(old_p.num_parts, refine, threads);
   const core::IncrementalPartitioner igp(options);
   runtime::WallTimer timer;
   TimedPartition out;

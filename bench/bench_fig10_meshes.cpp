@@ -5,6 +5,7 @@
 // binary reports against the paper's numbers.
 
 #include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "graph/partition.hpp"
@@ -38,7 +39,14 @@ double new_point_spread(const mesh::TriMesh& m, mesh::PointId first_new) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: CI-sized run — mesh A only (the 10166-node mesh-B family is
+  // the expensive part of the full report).
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   std::cout << "=== Figure 10: test graph A and its refinements ===\n";
   const mesh::MeshSequence a = mesh::make_paper_mesh_a();
   {
@@ -57,6 +65,11 @@ int main() {
     table.print(std::cout);
     std::cout << "(spread ~0.1 on a unit-square mesh => refinement is "
                  "localized, matching the figure)\n\n";
+  }
+
+  if (smoke) {
+    std::cout << "(--smoke: skipping the Figures 12/13 mesh-B family)\n";
+    return 0;
   }
 
   std::cout << "=== Figures 12/13: the large irregular mesh family ===\n";

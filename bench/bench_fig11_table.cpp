@@ -15,6 +15,7 @@
 // times are incomparable (1994 CM-5 vs this machine); the shape to verify
 // is Time(IGP) << Time(SB), cut(IGP) slightly above SB, cut(IGPR) ~ SB.
 
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -61,11 +62,18 @@ std::string fmt_time(double seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: CI-sized run — first refinement step only, 2 parallel threads.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   std::cout << "=== Figure 11: mesh A refinement sequence, P = "
-            << kPaperPartitions << " ===\n";
-  const mesh::MeshSequence seq = mesh::make_paper_mesh_a();
-  const int threads = bench::parallel_threads();
+            << kPaperPartitions << (smoke ? " (smoke)" : "") << " ===\n";
+  mesh::MeshSequence seq = mesh::make_paper_mesh_a();
+  if (smoke && seq.graphs.size() > 2) seq.graphs.resize(2);
+  const int threads = smoke ? 2 : bench::parallel_threads();
   std::cout << "meshes:";
   for (const auto& g : seq.graphs) {
     std::cout << " |V|=" << g.num_vertices() << "/|E|=" << g.num_edges();

@@ -11,6 +11,7 @@
 //  * IGP's cut degrades with increment size (max cut inflates) and IGPR
 //    recovers most of the gap to SB.
 
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -57,18 +58,38 @@ std::string fmt_time(double seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: CI-sized run — the from-scratch rows use the cheap BFS
+  // bisection instead of spectral, only the first (smallest) refinement is
+  // repartitioned, and Time-p uses 2 threads.  Rot-checks every code path
+  // of the full table in seconds.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto run_scratch = [&](const graph::Graph& g) {
+    if (!smoke) return bench::run_sb(g, kPaperPartitions);
+    runtime::WallTimer timer;
+    bench::TimedPartition out;
+    out.partitioning =
+        spectral::recursive_graph_bisection(g, kPaperPartitions);
+    out.seconds = timer.seconds();
+    return out;
+  };
+
   std::cout << "=== Figure 14: large mesh, independent refinements, P = "
-            << kPaperPartitions << " ===\n";
-  const mesh::MeshFamily family = mesh::make_paper_mesh_b();
-  const int threads = bench::parallel_threads();
+            << kPaperPartitions << (smoke ? " (smoke: RGB scratch rows)" : "")
+            << " ===\n";
+  mesh::MeshFamily family = mesh::make_paper_mesh_b();
+  if (smoke && family.refined.size() > 1) family.refined.resize(1);
+  const int threads = smoke ? 2 : bench::parallel_threads();
   std::cout << "base mesh: |V|=" << family.base.num_vertices()
             << " |E|=" << family.base.num_edges()
             << " (paper: 10166/30471)\n"
             << "parallel threads for Time-p: " << threads << "\n\n";
 
   const bench::TimedPartition initial =
-      bench::run_sb(family.base, kPaperPartitions);
+      run_scratch(family.base);
   const auto m0 = graph::compute_metrics(family.base, initial.partitioning);
   TextTable init_table(
       {"Initial graph", "Time-s", "Total", "Max", "Min"});
@@ -83,7 +104,7 @@ int main() {
     const graph::VertexId n_old = family.base.num_vertices();
     const PaperBlock& paper = kPaperFig14[i];
 
-    const bench::TimedPartition sb = bench::run_sb(g, kPaperPartitions);
+    const bench::TimedPartition sb = run_scratch(g);
     const bench::TimedPartition igp_s =
         bench::run_igp(g, initial.partitioning, n_old, false, 1);
     const bench::TimedPartition igp_p =

@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/assign.hpp"
 #include "core/layering.hpp"
@@ -73,4 +76,29 @@ BENCHMARK(BM_AssignNewVertices)->Arg(4000)->Arg(16000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so --smoke can map onto a benchmark filter + short min-time:
+// CI runs one small instance of each benchmark family in a few seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter =
+      "--benchmark_filter=(BM_LayeringSerial/1000$|BM_LayeringThreads/2$|"
+      "BM_AssignNewVertices/4000$)";
+  std::string min_time = "--benchmark_min_time=0.05s";
+  if (smoke) {
+    args.push_back(filter.data());
+    args.push_back(min_time.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

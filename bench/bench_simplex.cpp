@@ -15,8 +15,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
-
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/balance.hpp"
 #include "core/layering.hpp"
@@ -134,8 +136,28 @@ void print_paper_lp_accounting() {
 
 }  // namespace
 
+// --smoke maps onto a benchmark filter + short min-time so CI rot-checks
+// one small instance of each benchmark family in a few seconds.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter =
+      "--benchmark_filter=(BM_BalanceLpDense/8$|BM_BalanceLpBounded/8$|"
+      "BM_DensePivot/2$)";
+  std::string min_time = "--benchmark_min_time=0.05s";
+  if (smoke) {
+    args.push_back(filter.data());
+    args.push_back(min_time.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
   print_paper_lp_accounting();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,10 +1,15 @@
 // Reproduction of the paper's parallel-speedup claim (§3): "The algorithm
 // provides speedup of around 15 to 20 on a 32 node CM-5."
 //
-// Two experiments on the largest workload (mesh B, +672 nodes):
-//  1. shared-memory engine: IGPR wall time vs OpenMP thread count;
+// Three experiments, all through the pigp::Session API:
+//  1. shared-memory engine: IGPR wall time vs thread count on the largest
+//     paper workload (mesh B, +672 nodes);
 //  2. SPMD engine: the same pipeline on the thread-backed message-passing
-//     Machine vs rank count (the communication structure of the CM-5 code).
+//     Machine vs rank count (the communication structure of the CM-5 code),
+//     selected via the "spmd" backend;
+//  3. session streaming throughput: deltas absorbed per second on the
+//     scaled 400k-vertex workload, with and without batching — the
+//     baseline number for streaming-path perf PRs.
 //
 // Absolute speedups differ from a 1994 CM-5 (this problem is tiny for a
 // modern core, so Amdahl effects bite sooner); the shape to verify is that
@@ -17,13 +22,60 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/spmd_igp.hpp"
 #include "graph/generators.hpp"
 #include "mesh/paper_meshes.hpp"
+#include "pigp.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pigp;
+
+/// One timed IGPR repartition through a Session with \p threads workers.
+double timed_session_extend(const graph::Graph& base,
+                            const graph::Partitioning& initial,
+                            const graph::Graph& g_new, int threads,
+                            const char* backend, int spmd_ranks = 1) {
+  SessionConfig config;
+  config.num_parts = initial.num_parts;
+  config.backend = backend;
+  config.num_threads = threads;
+  config.spmd_ranks = spmd_ranks;
+  Session session(config, base, initial);
+  graph::Graph extended = g_new;  // copy outside the timed region
+  runtime::WallTimer timer;
+  (void)session.apply_extended(std::move(extended), base.num_vertices());
+  return timer.seconds();
+}
+
+/// A localized burst of new vertices attached to random existing ones —
+/// the stream unit for the throughput experiment.
+graph::GraphDelta make_stream_delta(graph::VertexId current_vertices,
+                                    int burst, SplitMix64& rng) {
+  graph::GraphDelta delta;
+  delta.added_vertices.reserve(static_cast<std::size_t>(burst));
+  // Anchor the burst near one random vertex so it is localized, like a
+  // refinement front.
+  const auto anchor = static_cast<graph::VertexId>(
+      rng.next_below(static_cast<std::uint64_t>(current_vertices)));
+  for (int i = 0; i < burst; ++i) {
+    graph::VertexAddition add;
+    const auto jitter = static_cast<graph::VertexId>(rng.next_below(64));
+    const graph::VertexId a =
+        std::min<graph::VertexId>(current_vertices - 1, anchor + jitter);
+    add.edges.emplace_back(a, 1.0);
+    if (i > 0) {
+      // Chain into the previous new vertex so the burst is connected.
+      add.edges.emplace_back(current_vertices + i - 1, 1.0);
+    }
+    delta.added_vertices.push_back(std::move(add));
+  }
+  return delta;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace pigp;
-
   // --smoke: seconds-scale CI run — single rep, {1,2} workers, and a much
   // smaller "scaled" graph; the full sweep is for real measurements.
   bool smoke = false;
@@ -43,7 +95,6 @@ int main(int argc, char** argv) {
 
   const mesh::MeshFamily family = mesh::make_paper_mesh_b();
   const graph::Graph& g = family.refined.back();
-  const graph::VertexId n_old = family.base.num_vertices();
   const graph::Partitioning initial =
       spectral::recursive_spectral_bisection(family.base,
                                              bench::kPaperPartitions);
@@ -51,13 +102,12 @@ int main(int argc, char** argv) {
   const int hw = runtime::ThreadPool::hardware_threads();
   std::cout << "hardware threads: " << hw << "\n\n";
 
-  // Warm-up + serial baseline (best of 3 to de-noise).
+  // Warm-up + serial baseline (best of `reps` to de-noise).
   const auto measure = [&](int threads) {
     double best = 1e9;
     for (int rep = 0; rep < reps; ++rep) {
-      const bench::TimedPartition t =
-          bench::run_igp(g, initial, n_old, /*refine=*/true, threads);
-      best = std::min(best, t.seconds);
+      best = std::min(best, timed_session_extend(family.base, initial, g,
+                                                 threads, "igpr"));
     }
     return best;
   };
@@ -73,20 +123,14 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  std::cout << "\n=== SPMD (message-passing) engine, same workload ===\n";
+  std::cout << "\n=== SPMD (message-passing) backend, same workload ===\n";
   TextTable spmd_table({"ranks", "time (s)", "speedup vs 1 rank"});
   double spmd_serial = 0.0;
   for (const int ranks : rank_points) {
-    runtime::Machine machine(ranks);
-    core::IgpOptions options;
-    options.refine = true;
     double best = 1e9;
     for (int rep = 0; rep < std::min(reps, 2); ++rep) {
-      runtime::WallTimer timer;
-      const core::IgpResult result =
-          core::spmd_repartition(machine, g, initial, n_old, options);
-      best = std::min(best, timer.seconds());
-      (void)result;
+      best = std::min(best, timed_session_extend(family.base, initial, g, 1,
+                                                 "spmd", ranks));
     }
     if (ranks == 1) spmd_serial = best;
     char buf[32];
@@ -113,6 +157,8 @@ int main(int argc, char** argv) {
     big_initial.num_parts = full.num_parts;
     big_initial.part.assign(full.part.begin(), full.part.begin() + big_old);
   }
+  // This sweep isolates the repartition kernel (no session bookkeeping), so
+  // it stays on run_igp — the same pipeline the Session backends call.
   const auto measure_big = [&](int threads) {
     const bench::TimedPartition t = bench::run_igp(
         big, big_initial, big_old, /*refine=*/true, threads);
@@ -128,5 +174,51 @@ int main(int argc, char** argv) {
     big_table.add_row(threads, t, buf);
   }
   big_table.print(std::cout);
+
+  // ---------------------------------------------------------------------
+  // Session streaming throughput: the delta-stream path the Session API
+  // adds.  Deltas of `burst` new vertices stream into one session; with
+  // batch_policy=vertex_count only every few deltas triggers the LP
+  // rebalance, so cheap absorption amortizes the repartition cost.
+  const int stream_deltas = smoke ? 8 : 64;
+  const int burst = smoke ? 32 : 128;
+  const int threads = std::min(smoke ? 2 : 8, hw);
+  std::cout << "\n=== Session streaming throughput: " << stream_deltas
+            << " deltas x " << burst << " new vertices on the " << big_n
+            << "-vertex graph ===\n";
+  graph::Partitioning stream_initial =
+      spectral::recursive_graph_bisection(big, bench::kPaperPartitions);
+  TextTable stream_table({"batch policy", "repartitions", "time (s)",
+                          "deltas/s", "final imbalance"});
+  struct PolicyPoint {
+    const char* label;
+    BatchPolicy policy;
+    int vertex_limit;
+  };
+  for (const PolicyPoint point :
+       {PolicyPoint{"every_delta", BatchPolicy::every_delta, 1},
+        PolicyPoint{"vertex_count(8 bursts)", BatchPolicy::vertex_count,
+                    8 * burst}}) {
+    SessionConfig config;
+    config.num_parts = bench::kPaperPartitions;
+    config.backend = "igpr";
+    config.num_threads = threads;
+    config.batch_policy = point.policy;
+    config.batch_vertex_limit = point.vertex_limit;
+    Session session(config, big, stream_initial);
+    SplitMix64 rng(2026);
+    runtime::WallTimer timer;
+    for (int d = 0; d < stream_deltas; ++d) {
+      (void)session.apply(make_stream_delta(session.graph().num_vertices(),
+                                            burst, rng));
+    }
+    // Flush any batched tail so the comparison ends balanced.
+    if (session.pending_updates() > 0) (void)session.repartition();
+    const double seconds = timer.seconds();
+    stream_table.add_row(point.label, session.counters().repartitions,
+                         seconds, stream_deltas / seconds,
+                         session.metrics().imbalance);
+  }
+  stream_table.print(std::cout);
   return 0;
 }

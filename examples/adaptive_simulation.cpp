@@ -2,8 +2,9 @@
 // the paper (§1) — an adaptive mesh whose computational structure changes
 // incrementally between solver phases, with repartitioning after every
 // phase.  A moving refinement front (think a shock sweeping across the
-// domain) adds nodes epoch after epoch; each epoch we repartition
-// incrementally and compare against what a from-scratch RSB would cost.
+// domain) adds nodes epoch after epoch; the stream is absorbed by one
+// stateful pigp::Session and compared against what a from-scratch RSB
+// would cost each epoch.
 //
 // The table shows the paper's core economics: IGPR's per-epoch cost is a
 // tiny fraction of RSB's while the cut stays comparable, so incremental
@@ -13,9 +14,8 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/igp.hpp"
-#include "graph/partition.hpp"
 #include "mesh/adaptive.hpp"
+#include "pigp.hpp"
 #include "runtime/timer.hpp"
 #include "spectral/partitioners.hpp"
 #include "support/table.hpp"
@@ -26,19 +26,20 @@ int main() {
   constexpr int kEpochs = 10;
 
   mesh::AdaptiveMesh amesh = mesh::AdaptiveMesh::random(3000, /*seed=*/101);
-  graph::Graph current = amesh.to_graph();
+  const graph::Graph initial_graph = amesh.to_graph();
+
+  // One session owns the evolving graph + partitioning for the whole run.
+  SessionConfig config;
+  config.num_parts = kParts;
+  config.backend = "igpr";
+  config.num_threads = 4;
+  config.scratch_method = "rsb";
 
   runtime::WallTimer timer;
-  graph::Partitioning partitioning =
-      spectral::recursive_spectral_bisection(current, kParts);
+  Session session(config, initial_graph);  // initial RSB partition
   const double initial_rsb_seconds = timer.seconds();
-  std::cout << "initial mesh |V|=" << current.num_vertices() << ", RSB took "
-            << initial_rsb_seconds << " s\n\n";
-
-  core::IgpOptions options;
-  options.refine = true;
-  options.set_threads(4);
-  const core::IncrementalPartitioner igp(options);
+  std::cout << "initial mesh |V|=" << session.graph().num_vertices()
+            << ", RSB took " << initial_rsb_seconds << " s\n\n";
 
   TextTable table({"epoch", "|V|", "new", "stages", "IGPR (s)", "RSB (s)",
                    "cut IGPR", "cut RSB", "imbalance"});
@@ -55,29 +56,24 @@ int main() {
     refine.seed = static_cast<std::uint64_t>(epoch) * 31 + 5;
     (void)amesh.refine_near(refine);
 
-    const graph::VertexId n_old = current.num_vertices();
+    const graph::VertexId n_old = session.graph().num_vertices();
     const graph::Graph next = amesh.to_graph();
 
-    timer.reset();
-    core::IgpResult result = igp.repartition(next, partitioning, n_old);
-    const double igpr_seconds = timer.seconds();
+    const SessionReport report = session.apply_extended(next, n_old);
 
     timer.reset();
     const graph::Partitioning scratch =
-        spectral::recursive_spectral_bisection(next, kParts);
+        spectral::recursive_spectral_bisection(session.graph(), kParts);
     const double rsb_seconds = timer.seconds();
 
-    const auto m_igpr = graph::compute_metrics(next, result.partitioning);
-    const auto m_rsb = graph::compute_metrics(next, scratch);
-    table.add_row(epoch, next.num_vertices(),
-                  next.num_vertices() - n_old, result.stages, igpr_seconds,
-                  rsb_seconds, m_igpr.cut_total, m_rsb.cut_total,
-                  m_igpr.imbalance);
+    const auto m_rsb = graph::compute_metrics(session.graph(), scratch);
+    table.add_row(epoch, session.graph().num_vertices(),
+                  session.graph().num_vertices() - n_old, report.stages,
+                  report.seconds, rsb_seconds, report.metrics.cut_total,
+                  m_rsb.cut_total, report.metrics.imbalance);
 
-    total_igpr += igpr_seconds;
+    total_igpr += report.seconds;
     total_rsb += rsb_seconds;
-    partitioning = std::move(result.partitioning);
-    current = next;
   }
   table.print(std::cout);
 
@@ -85,6 +81,12 @@ int main() {
             << " epochs: IGPR = " << total_igpr << " s, RSB-from-scratch = "
             << total_rsb << " s (" << total_rsb / total_igpr
             << "x more expensive)\n";
-  std::cout << "final mesh: |V|=" << current.num_vertices() << "\n";
+  const SessionCounters& counters = session.counters();
+  std::cout << "session counters: " << counters.extensions_applied
+            << " updates, " << counters.vertices_added << " vertices added, "
+            << counters.repartitions << " repartitions, "
+            << counters.balance_stages << " balance stages, "
+            << counters.lp_iterations << " LP pivots\n";
+  std::cout << "final mesh: |V|=" << session.graph().num_vertices() << "\n";
   return 0;
 }

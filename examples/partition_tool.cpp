@@ -1,28 +1,30 @@
 // Command-line partitioning tool — the adoption path for external users:
 //
-//   partition_tool <graph.metis> <parts> [method]
+//   partition_tool [--backend=NAME] <graph.metis> <parts> [method]
 //       Partition a METIS-format graph from scratch.
 //       method: rsb (default) | rgb | rsb+kl
 //       Writes <graph.metis>.part.<parts> next to the input.
 //
-//   partition_tool <old.metis> <new.metis> <old.part> [igp|igpr]
+//   partition_tool [--backend=NAME] <old.metis> <new.metis> <old.part>
+//                  [igp|igpr]
 //       Incremental mode: `new` extends `old` (its first |V_old| vertices
-//       are the old graph's).  Repartitions with IGP/IGPR starting from
-//       the partition file and writes <new.metis>.part.<P>.
+//       are the old graph's).  Repartitions starting from the partition
+//       file and writes <new.metis>.part.<P>.
+//
+// --backend selects the repartitioning driver from the registry at runtime
+// (igp | igpr | multilevel | spmd | scratch); without it, incremental mode
+// maps the method argument onto the igp/igpr backends.
 //
 // With no arguments, runs a self-contained demo on a generated mesh so the
 // binary is exercised by the argument-free example loop.
 
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/igp.hpp"
-#include "graph/io.hpp"
-#include "graph/partition.hpp"
 #include "mesh/adaptive.hpp"
+#include "pigp.hpp"
 #include "runtime/timer.hpp"
-#include "spectral/kernighan_lin.hpp"
-#include "spectral/partitioners.hpp"
 
 namespace {
 
@@ -42,21 +44,17 @@ int partition_from_scratch(const std::string& path, int parts,
   const graph::Graph g = graph::load_metis_file(path);
   std::cout << "loaded " << path << ": |V|=" << g.num_vertices()
             << " |E|=" << g.num_edges() << "\n";
+  SessionConfig config;
+  config.num_parts = static_cast<graph::PartId>(parts);
+  config.backend = "scratch";
+  config.scratch_method = method;
   runtime::WallTimer timer;
-  graph::Partitioning p;
-  if (method == "rgb") {
-    p = spectral::recursive_graph_bisection(g, parts);
-  } else {
-    p = spectral::recursive_spectral_bisection(g, parts);
-  }
-  if (method == "rsb+kl") {
-    (void)spectral::kernighan_lin_refine(g, p);
-  }
+  const Session session(config, g);
   const double seconds = timer.seconds();
   std::cout << method << " partitioning into " << parts << " parts:\n";
-  report(g, p, seconds);
+  report(session.graph(), session.partitioning(), seconds);
   const std::string out = path + ".part." + std::to_string(parts);
-  graph::save_partition_file(p, out);
+  graph::save_partition_file(session.partitioning(), out);
   std::cout << "wrote " << out << "\n";
   return 0;
 }
@@ -64,7 +62,7 @@ int partition_from_scratch(const std::string& path, int parts,
 int partition_incremental(const std::string& old_path,
                           const std::string& new_path,
                           const std::string& part_path,
-                          const std::string& method) {
+                          const std::string& backend) {
   const graph::Graph g_old = graph::load_metis_file(old_path);
   const graph::Graph g_new = graph::load_metis_file(new_path);
   graph::Partitioning old_p = graph::load_partition_file(part_path);
@@ -73,35 +71,47 @@ int partition_incremental(const std::string& old_path,
   PIGP_CHECK(g_new.num_vertices() >= g_old.num_vertices(),
              "new graph must extend the old graph");
 
-  core::IgpOptions options;
-  options.refine = method != "igp";
-  const core::IncrementalPartitioner igp(options);
+  SessionConfig config;
+  config.num_parts = old_p.num_parts;
+  config.backend = backend;
+  Session session(config, g_old, std::move(old_p));
   runtime::WallTimer timer;
-  core::IgpResult result =
-      igp.repartition(g_new, old_p, g_old.num_vertices());
+  const SessionReport result =
+      session.apply_extended(g_new, g_old.num_vertices());
   const double seconds = timer.seconds();
-  std::cout << (options.refine ? "IGPR" : "IGP") << " repartitioning ("
-            << result.stages << " balance stage(s)):\n";
-  report(g_new, result.partitioning, seconds);
+  std::cout << backend << " repartitioning (" << result.stages
+            << " balance stage(s)):\n";
+  report(session.graph(), session.partitioning(), seconds);
   const std::string out =
-      new_path + ".part." + std::to_string(old_p.num_parts);
-  graph::save_partition_file(result.partitioning, out);
+      new_path + ".part." + std::to_string(session.config().num_parts);
+  graph::save_partition_file(session.partitioning(), out);
   std::cout << "wrote " << out << "\n";
   return 0;
 }
 
-int demo() {
-  std::cout << "no arguments: running the built-in demo\n"
+int demo(const std::string& backend) {
+  std::cout << "no arguments: running the built-in demo (backend \""
+            << backend << "\")\n"
             << "usage:\n"
-            << "  partition_tool <graph.metis> <parts> [rsb|rgb|rsb+kl]\n"
-            << "  partition_tool <old.metis> <new.metis> <old.part> "
-               "[igp|igpr]\n\n";
+            << "  partition_tool [--backend=NAME] <graph.metis> <parts> "
+               "[rsb|rgb|rsb+kl]\n"
+            << "  partition_tool [--backend=NAME] <old.metis> <new.metis> "
+               "<old.part> [igp|igpr]\n"
+            << "backends:";
+  for (const std::string& name : BackendRegistry::global().names()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << "\n\n";
+
   mesh::AdaptiveMesh amesh = mesh::AdaptiveMesh::random(1500, 3);
   const graph::Graph before = amesh.to_graph();
-  const graph::Partitioning initial =
-      spectral::recursive_spectral_bisection(before, 8);
+
+  SessionConfig config;
+  config.num_parts = 8;
+  config.backend = backend;
+  Session session(config, before);  // initial RSB partition
   std::cout << "demo mesh |V|=" << before.num_vertices() << ", RSB:\n";
-  report(before, initial, 0.0);
+  report(session.graph(), session.partitioning(), 0.0);
 
   mesh::RefineOptions refine;
   refine.center = {0.4, 0.5};
@@ -111,12 +121,11 @@ int demo() {
   (void)amesh.refine_near(refine);
   const graph::Graph after = amesh.to_graph();
 
-  const core::IncrementalPartitioner igp;
-  runtime::WallTimer timer;
-  core::IgpResult result =
-      igp.repartition(after, initial, before.num_vertices());
-  std::cout << "after +120 nodes, IGPR:\n";
-  report(after, result.partitioning, timer.seconds());
+  const SessionReport result =
+      session.apply_extended(after, before.num_vertices());
+  std::cout << "after +" << after.num_vertices() - before.num_vertices()
+            << " nodes, backend \"" << session.backend_name() << "\":\n";
+  report(session.graph(), session.partitioning(), result.seconds);
   return 0;
 }
 
@@ -124,15 +133,45 @@ int demo() {
 
 int main(int argc, char** argv) {
   try {
-    if (argc == 1) return demo();
-    if (argc >= 3 && argc <= 4 && std::string(argv[2]).find('.') ==
-                                      std::string::npos) {
-      return partition_from_scratch(argv[1], std::stoi(argv[2]),
-                                    argc == 4 ? argv[3] : "rsb");
+    // Peel off --backend=NAME wherever it appears.
+    std::string backend_flag;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--backend=", 0) == 0) {
+        backend_flag = arg.substr(std::string("--backend=").size());
+      } else {
+        args.push_back(arg);
+      }
     }
-    if (argc >= 4 && argc <= 5) {
-      return partition_incremental(argv[1], argv[2], argv[3],
-                                   argc == 5 ? argv[4] : "igpr");
+
+    if (args.empty()) {
+      return demo(backend_flag.empty() ? "igpr" : backend_flag);
+    }
+    // From-scratch mode iff the second positional is a part count; any
+    // other 3-argument form is incremental (old, new, part-file).
+    const auto is_integer = [](const std::string& s) {
+      return !s.empty() &&
+             s.find_first_not_of("0123456789") == std::string::npos;
+    };
+    if (args.size() >= 2 && args.size() <= 3 && is_integer(args[1])) {
+      if (!backend_flag.empty() && backend_flag != "scratch") {
+        std::cerr << "error: from-scratch mode always uses the scratch "
+                     "backend; pick the algorithm with the method argument "
+                     "(rsb|rgb|rsb+kl), not --backend=" << backend_flag
+                  << "\n";
+        return 2;
+      }
+      return partition_from_scratch(args[0], std::stoi(args[1]),
+                                    args.size() == 3 ? args[2] : "rsb");
+    }
+    if (args.size() >= 3 && args.size() <= 4) {
+      // The positional method maps onto the igp/igpr backends; --backend
+      // overrides it with any registered name.
+      const std::string method = args.size() == 4 ? args[3] : "igpr";
+      const std::string backend =
+          backend_flag.empty() ? method : backend_flag;
+      return partition_incremental(args[0], args[1], args[2], backend);
     }
     std::cerr << "bad arguments; run without arguments for usage\n";
     return 2;

@@ -6,10 +6,10 @@
 // geometric/BFS alternatives land.
 
 #include <iostream>
+#include <string>
 
-#include "core/igp.hpp"
-#include "graph/partition.hpp"
 #include "mesh/adaptive.hpp"
+#include "pigp.hpp"
 #include "runtime/timer.hpp"
 #include "spectral/partitioners.hpp"
 #include "support/table.hpp"
@@ -62,22 +62,21 @@ int main() {
     report("RGB (BFS)", spectral::recursive_graph_bisection(after, parts),
            timer.seconds());
 
-    core::IgpOptions igp_options;
-    igp_options.refine = false;
-    timer.reset();
-    report("IGP (incremental)",
-           core::IncrementalPartitioner(igp_options)
-               .repartition(after, initial, before.num_vertices())
-               .partitioning,
-           timer.seconds());
-
-    igp_options.refine = true;
-    timer.reset();
-    report("IGPR (incremental)",
-           core::IncrementalPartitioner(igp_options)
-               .repartition(after, initial, before.num_vertices())
-               .partitioning,
-           timer.seconds());
+    // The incremental rows run through the Session API: one session per
+    // backend, seeded with the pre-refinement partitioning.
+    for (const char* backend : {"igp", "igpr"}) {
+      SessionConfig config;
+      config.num_parts = parts;
+      config.backend = backend;
+      Session session(config, before, initial);
+      timer.reset();
+      const SessionReport result =
+          session.apply_extended(after, before.num_vertices());
+      report(backend == std::string("igp") ? "IGP (incremental)"
+                                           : "IGPR (incremental)",
+             session.partitioning(), timer.seconds());
+      (void)result;
+    }
 
     table.print(std::cout);
     std::cout << '\n';

@@ -9,10 +9,10 @@
 #include <cstring>
 #include <iostream>
 
-#include "core/igp.hpp"
+#include "core/assign.hpp"
 #include "core/layering.hpp"
-#include "graph/partition.hpp"
 #include "mesh/adaptive.hpp"
+#include "pigp.hpp"
 #include "spectral/partitioners.hpp"
 #include "support/table.hpp"
 
@@ -86,26 +86,27 @@ int main(int argc, char** argv) {
     std::cout << '\n';
   }
 
-  // --- steps 3 + 4 via the driver (Figures 5-9) ---
-  core::IgpOptions options;
-  options.refine = true;
-  const core::IncrementalPartitioner igp(options);
-  const core::IgpResult result =
-      igp.repartition(after, initial, before.num_vertices());
+  // --- steps 3 + 4 via the Session API (Figures 5-9) ---
+  SessionConfig config;
+  config.num_parts = kParts;
+  config.backend = "igpr";  // the full pipeline with LP refinement
+  Session session(config, before, initial);
+  const SessionReport result =
+      session.apply_extended(after, before.num_vertices());
 
-  const auto m_final = graph::compute_metrics(after, result.partitioning);
+  const auto& m_final = result.metrics;
   std::cout << "step 3 (balance LP): " << result.stages << " stage(s), "
             << (result.balanced ? "balanced" : "NOT balanced") << "\n";
-  if (!result.balance_result.stages.empty()) {
-    const auto& stage = result.balance_result.stages.front();
+  if (!result.balance.stages.empty()) {
+    const auto& stage = result.balance.stages.front();
     std::cout << "  stage 1: alpha=" << stage.alpha
               << " lp_vars=" << stage.lp_variables
               << " lp_rows=" << stage.lp_rows
               << " vertices moved=" << stage.vertices_moved << "\n";
   }
-  std::cout << "step 4 (refinement LP): " << result.refine_stats.rounds
-            << " round(s), cut " << result.refine_stats.cut_before << " -> "
-            << result.refine_stats.cut_after << "\n\n";
+  std::cout << "step 4 (refinement LP): " << result.refine.rounds
+            << " round(s), cut " << result.refine.cut_before << " -> "
+            << result.refine.cut_after << "\n\n";
 
   // --- compare with spectral bisection from scratch ---
   const graph::Partitioning scratch =
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
                 m_scratch.max_weight, m_scratch.min_weight);
   table.print(std::cout);
   std::cout << "\nincremental repartitioning took "
-            << result.timings.total * 1e3 << " ms\n";
+            << result.timings.total * 1e3 << " ms (backend \""
+            << session.backend_name() << "\")\n";
   return 0;
 }

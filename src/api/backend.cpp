@@ -1,0 +1,209 @@
+#include "api/backend.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/multilevel.hpp"
+#include "core/spmd_igp.hpp"
+#include "graph/partition.hpp"
+#include "runtime/spmd.hpp"
+#include "runtime/timer.hpp"
+#include "spectral/kernighan_lin.hpp"
+#include "spectral/partitioners.hpp"
+#include "support/check.hpp"
+
+namespace pigp {
+namespace {
+
+BackendResult from_igp_result(core::IgpResult result) {
+  BackendResult out;
+  out.partitioning = std::move(result.partitioning);
+  out.balanced = result.balanced;
+  out.stages = result.stages;
+  out.balance = std::move(result.balance_result);
+  out.refine = result.refine_stats;
+  out.timings = result.timings;
+  return out;
+}
+
+/// "igp" / "igpr": the paper's flat four-step pipeline.
+class FlatBackend final : public Backend {
+ public:
+  FlatBackend(const ResolvedConfig& config, bool refine)
+      : refine_(refine), driver_([&] {
+          core::IgpOptions options = config.igp;
+          options.refine = refine;
+          return core::IncrementalPartitioner(options);
+        }()) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return refine_ ? "igpr" : "igp";
+  }
+
+  [[nodiscard]] BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old) override {
+    return from_igp_result(driver_.repartition(g_new, old_partitioning, n_old));
+  }
+
+ private:
+  bool refine_;
+  core::IncrementalPartitioner driver_;
+};
+
+/// "multilevel": coarsen, balance at the coarsest level, project + refine.
+class MultilevelBackend final : public Backend {
+ public:
+  explicit MultilevelBackend(const ResolvedConfig& config)
+      : options_(config.multilevel) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "multilevel";
+  }
+
+  [[nodiscard]] BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old) override {
+    return from_igp_result(
+        core::multilevel_repartition(g_new, old_partitioning, n_old, options_));
+  }
+
+ private:
+  core::MultilevelOptions options_;
+};
+
+/// "spmd": the CM-5-style message-passing engine on a thread-backed Machine
+/// owned by the backend (one rank block of partitions per rank).
+class SpmdBackend final : public Backend {
+ public:
+  explicit SpmdBackend(const ResolvedConfig& config)
+      : options_(config.igp), machine_(config.session.spmd_ranks) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "spmd";
+  }
+
+  [[nodiscard]] BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old) override {
+    const runtime::WallTimer timer;
+    BackendResult out = from_igp_result(
+        core::spmd_repartition(machine_, g_new, old_partitioning, n_old,
+                               options_));
+    out.timings.total = timer.seconds();
+    return out;
+  }
+
+ private:
+  core::IgpOptions options_;
+  runtime::Machine machine_;
+};
+
+/// "scratch": ignore the old partitioning and partition from scratch with
+/// the configured method (RSB / RGB / RSB+KL).
+class ScratchBackend final : public Backend {
+ public:
+  explicit ScratchBackend(const ResolvedConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "scratch";
+  }
+
+  [[nodiscard]] bool incremental() const noexcept override { return false; }
+
+  [[nodiscard]] BackendResult repartition(
+      const graph::Graph& g_new,
+      const graph::Partitioning& /*old_partitioning*/,
+      graph::VertexId /*n_old*/) override {
+    const runtime::WallTimer timer;
+    BackendResult out;
+    out.partitioning = partition_from_scratch(g_new, config_);
+    out.timings.total = timer.seconds();
+    out.balanced = graph::is_balanced(g_new, out.partitioning,
+                                      config_.igp.balance.tolerance + 0.5);
+    return out;
+  }
+
+ private:
+  ResolvedConfig config_;
+};
+
+}  // namespace
+
+graph::Partitioning partition_from_scratch(const graph::Graph& g,
+                                           const ResolvedConfig& config) {
+  const graph::PartId parts = config.session.num_parts;
+  const std::string& method = config.session.scratch_method;
+  graph::Partitioning p;
+  if (method == "rgb") {
+    p = spectral::recursive_graph_bisection(g, parts);
+  } else {
+    p = spectral::recursive_spectral_bisection(g, parts);
+  }
+  if (method == "rsb+kl") {
+    (void)spectral::kernighan_lin_refine(g, p);
+  }
+  return p;
+}
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->add("igp", [](const ResolvedConfig& config) {
+      return std::make_unique<FlatBackend>(config, /*refine=*/false);
+    });
+    r->add("igpr", [](const ResolvedConfig& config) {
+      return std::make_unique<FlatBackend>(config, /*refine=*/true);
+    });
+    r->add("multilevel", [](const ResolvedConfig& config) {
+      return std::make_unique<MultilevelBackend>(config);
+    });
+    r->add("spmd", [](const ResolvedConfig& config) {
+      return std::make_unique<SpmdBackend>(config);
+    });
+    r->add("scratch", [](const ResolvedConfig& config) {
+      return std::make_unique<ScratchBackend>(config);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void BackendRegistry::add(std::string name, BackendFactory factory) {
+  PIGP_CHECK(!name.empty(), "backend name must not be empty");
+  PIGP_CHECK(factory != nullptr, "backend factory must not be null");
+  const std::scoped_lock lock(mutex_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool BackendRegistry::contains(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(
+    std::string_view name, const ResolvedConfig& config) const {
+  BackendFactory factory;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "unknown backend \"" << name << "\"; registered backends:";
+    for (const std::string& known : names()) os << ' ' << known;
+    PIGP_CHECK(false, os.str());
+  }
+  return factory(config);
+}
+
+}  // namespace pigp

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file backend.hpp
+/// Pluggable repartitioning backends behind pigp::Session.
+///
+/// A Backend turns (new graph, old partitioning, n_old) into a new
+/// partitioning plus telemetry.  The built-in backends wrap the library's
+/// drivers — the flat IGP/IGPR pipeline, the multilevel V-cycle, the SPMD
+/// message-passing engine, and the from-scratch spectral/BFS partitioners —
+/// and register under the names "igp", "igpr", "multilevel", "spmd", and
+/// "scratch" in a process-wide name-keyed registry, so the driver choice is
+/// a runtime string instead of a compile-time entry point.  External code
+/// can register additional backends through BackendRegistry::add.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/config.hpp"
+#include "core/igp.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp {
+
+/// Outcome of one backend run: the new partitioning plus the telemetry the
+/// flat driver reports (backends without a given phase leave its stats at
+/// their defaults).
+struct BackendResult {
+  graph::Partitioning partitioning;
+  bool balanced = false;
+  int stages = 0;  ///< balance stages used (the paper's IGP(k))
+  core::BalanceResult balance;
+  core::RefineStats refine;
+  core::IgpTimings timings;
+};
+
+/// Strategy interface implemented by every repartitioning driver.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Registry name this backend was created under.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// False for from-scratch backends that ignore the old partitioning.
+  [[nodiscard]] virtual bool incremental() const noexcept { return true; }
+
+  /// Repartition \p g_new given \p old_partitioning over its first
+  /// \p n_old vertices (ids preserved).
+  [[nodiscard]] virtual BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old) = 0;
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<Backend>(const ResolvedConfig&)>;
+
+/// Name-keyed backend factory registry.  Thread-safe.
+class BackendRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in backends.
+  static BackendRegistry& global();
+
+  /// Register (or replace) a factory under \p name.
+  void add(std::string name, BackendFactory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Instantiate the backend registered under \p name.  Throws
+  /// pigp::CheckError listing the known names when \p name is unknown.
+  [[nodiscard]] std::unique_ptr<Backend> create(
+      std::string_view name, const ResolvedConfig& config) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, BackendFactory, std::less<>> factories_;
+};
+
+/// Partition \p g from scratch with \p config.session.scratch_method
+/// ("rsb", "rgb", or "rsb+kl") into config.session.num_parts parts.  Used
+/// by the "scratch" backend and for a Session's initial partitioning.
+[[nodiscard]] graph::Partitioning partition_from_scratch(
+    const graph::Graph& g, const ResolvedConfig& config);
+
+}  // namespace pigp

@@ -1,0 +1,124 @@
+#include "api/config.hpp"
+
+#include <cstddef>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pigp {
+namespace {
+
+// ------------------------------------------------------------------ guards
+//
+// resolve() must touch every nested option struct field that carries a
+// derived value (num_threads, solver, knobs).  These field-count asserts
+// fire at compile time when someone adds a field to one of the structs, so
+// the new field cannot be silently skipped the way IgpOptions::set_threads
+// used to skip future nested structs.
+
+struct AnyField {
+  template <typename T>
+  operator T() const;  // never defined; only used in unevaluated contexts
+};
+
+template <typename T, std::size_t... I>
+constexpr bool brace_constructible(std::index_sequence<I...>) {
+  return requires { T{((void)I, AnyField{})...}; };
+}
+
+template <typename T, std::size_t N>
+constexpr bool has_exactly_n_fields =
+    brace_constructible<T>(std::make_index_sequence<N>{}) &&
+    !brace_constructible<T>(std::make_index_sequence<N + 1>{});
+
+static_assert(has_exactly_n_fields<core::AssignOptions, 1>,
+              "AssignOptions changed — update SessionConfig::resolve()");
+static_assert(has_exactly_n_fields<lp::SimplexOptions, 6>,
+              "SimplexOptions changed — update SessionConfig::resolve()");
+static_assert(has_exactly_n_fields<core::BalanceOptions, 6>,
+              "BalanceOptions changed — update SessionConfig::resolve()");
+static_assert(has_exactly_n_fields<core::RefineOptions, 7>,
+              "RefineOptions changed — update SessionConfig::resolve()");
+static_assert(has_exactly_n_fields<core::IgpOptions, 4>,
+              "IgpOptions changed — update SessionConfig::resolve()");
+static_assert(has_exactly_n_fields<core::MultilevelOptions, 3>,
+              "MultilevelOptions changed — update SessionConfig::resolve()");
+static_assert(has_exactly_n_fields<SessionConfig, 16>,
+              "SessionConfig changed — update SessionConfig::resolve()");
+
+}  // namespace
+
+ResolvedConfig SessionConfig::resolve() const {
+  PIGP_CHECK(num_parts >= 1,
+             "SessionConfig.num_parts must be >= 1 (got " +
+                 std::to_string(num_parts) + ")");
+  PIGP_CHECK(!backend.empty(), "SessionConfig.backend must not be empty");
+  PIGP_CHECK(num_threads >= 1,
+             "SessionConfig.num_threads must be >= 1 (got " +
+                 std::to_string(num_threads) + ")");
+  PIGP_CHECK(alpha_max >= 1.0,
+             "SessionConfig.alpha_max must be >= 1.0 (got " +
+                 std::to_string(alpha_max) + ")");
+  PIGP_CHECK(max_balance_stages >= 1,
+             "SessionConfig.max_balance_stages must be >= 1 (got " +
+                 std::to_string(max_balance_stages) + ")");
+  PIGP_CHECK(balance_tolerance > 0.0,
+             "SessionConfig.balance_tolerance must be > 0 (got " +
+                 std::to_string(balance_tolerance) + ")");
+  PIGP_CHECK(max_refine_rounds >= 0,
+             "SessionConfig.max_refine_rounds must be >= 0 (got " +
+                 std::to_string(max_refine_rounds) + ")");
+  PIGP_CHECK(refine_strict_after_round >= 0,
+             "SessionConfig.refine_strict_after_round must be >= 0 (got " +
+                 std::to_string(refine_strict_after_round) + ")");
+  PIGP_CHECK(multilevel_coarsest_size >= 1,
+             "SessionConfig.multilevel_coarsest_size must be >= 1 (got " +
+                 std::to_string(multilevel_coarsest_size) + ")");
+  PIGP_CHECK(multilevel_max_levels >= 1,
+             "SessionConfig.multilevel_max_levels must be >= 1 (got " +
+                 std::to_string(multilevel_max_levels) + ")");
+  PIGP_CHECK(spmd_ranks >= 1,
+             "SessionConfig.spmd_ranks must be >= 1 (got " +
+                 std::to_string(spmd_ranks) + ")");
+  PIGP_CHECK(scratch_method == "rsb" || scratch_method == "rgb" ||
+                 scratch_method == "rsb+kl",
+             "SessionConfig.scratch_method must be one of rsb, rgb, rsb+kl "
+             "(got \"" +
+                 scratch_method + "\")");
+  PIGP_CHECK(batch_imbalance_limit >= 1.0,
+             "SessionConfig.batch_imbalance_limit must be >= 1.0 (got " +
+                 std::to_string(batch_imbalance_limit) + ")");
+  PIGP_CHECK(batch_vertex_limit >= 1,
+             "SessionConfig.batch_vertex_limit must be >= 1 (got " +
+                 std::to_string(batch_vertex_limit) + ")");
+
+  ResolvedConfig resolved;
+  resolved.session = *this;
+
+  resolved.assign.num_threads = num_threads;
+
+  core::IgpOptions& igp = resolved.igp;
+  igp.refine = true;  // backends without a refinement pass clear this
+  igp.num_threads = num_threads;
+
+  igp.balance.alpha_max = alpha_max;
+  igp.balance.max_stages = max_balance_stages;
+  igp.balance.tolerance = balance_tolerance;
+  igp.balance.solver = solver;
+  igp.balance.num_threads = num_threads;
+  igp.balance.simplex.num_threads = num_threads;
+
+  igp.refinement.max_rounds = max_refine_rounds;
+  igp.refinement.strict_after_round = refine_strict_after_round;
+  igp.refinement.solver = solver;
+  igp.refinement.num_threads = num_threads;
+  igp.refinement.simplex.num_threads = num_threads;
+
+  resolved.multilevel.igp = igp;
+  resolved.multilevel.coarsest_size = multilevel_coarsest_size;
+  resolved.multilevel.max_levels = multilevel_max_levels;
+
+  return resolved;
+}
+
+}  // namespace pigp

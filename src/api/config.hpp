@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file config.hpp
+/// Declarative configuration for a pigp::Session.
+///
+/// SessionConfig is the single place a user states what they want — part
+/// count, backend, solver, threads, balance/refine knobs, batching policy —
+/// and resolve() is the single place those wishes are validated and
+/// propagated into the nested option structs the core drivers consume
+/// (IgpOptions, BalanceOptions, RefineOptions, SimplexOptions,
+/// MultilevelOptions, AssignOptions).  Nothing else in the library derives
+/// one option struct from another; config.cpp carries compile-time
+/// field-count guards so adding a field to any of those structs forces an
+/// update here instead of being silently skipped.
+
+#include <string>
+
+#include "core/assign.hpp"
+#include "core/igp.hpp"
+#include "core/multilevel.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp {
+
+/// When Session::apply absorbs a delta without immediately rebalancing,
+/// this policy decides what finally triggers a repartition.
+enum class BatchPolicy {
+  every_delta,    ///< repartition after every apply() (the paper's protocol)
+  imbalance,      ///< repartition once imbalance exceeds batch_imbalance_limit
+  vertex_count,   ///< repartition once pending vertex changes reach
+                  ///< batch_vertex_limit
+};
+
+struct ResolvedConfig;
+
+/// Everything a Session needs, stated once.  Call resolve() to validate and
+/// derive the nested core option structs.
+struct SessionConfig {
+  /// Number of partitions (required, >= 1).
+  graph::PartId num_parts = 0;
+  /// Backend registry key: "igp", "igpr", "multilevel", "spmd", "scratch",
+  /// or any name registered through BackendRegistry.
+  std::string backend = "igpr";
+  /// Simplex implementation for the balance and refinement LPs.
+  core::LpSolverKind solver = core::LpSolverKind::dense;
+  /// Worker threads for assignment, layering, and LP pivoting.
+  int num_threads = 1;
+
+  // --- balance (step 3) knobs ---
+  double alpha_max = 64.0;       ///< upper bound C on the relaxation factor
+  int max_balance_stages = 12;
+  double balance_tolerance = 0.5;
+
+  // --- refinement (step 4) knobs ---
+  int max_refine_rounds = 8;
+  int refine_strict_after_round = 2;
+
+  // --- multilevel backend knobs ---
+  int multilevel_coarsest_size = 2000;
+  int multilevel_max_levels = 6;
+
+  // --- spmd backend knobs ---
+  int spmd_ranks = 4;
+
+  // --- scratch backend / initial partitioning ---
+  /// "rsb" (recursive spectral bisection), "rgb" (BFS bisection), or
+  /// "rsb+kl" (RSB polished with Kernighan–Lin).
+  std::string scratch_method = "rsb";
+
+  // --- delta batching ---
+  BatchPolicy batch_policy = BatchPolicy::every_delta;
+  /// BatchPolicy::imbalance trigger: repartition when max W(q) / avg W
+  /// exceeds this (>= 1.0).
+  double batch_imbalance_limit = 1.10;
+  /// BatchPolicy::vertex_count trigger: repartition when the number of
+  /// vertices added + removed since the last repartition reaches this.
+  int batch_vertex_limit = 256;
+
+  /// Validate every field (throws pigp::CheckError naming the offending
+  /// field) and propagate threads/solver/knobs into the core option
+  /// structs.  The one and only derivation path.
+  [[nodiscard]] ResolvedConfig resolve() const;
+};
+
+/// A validated SessionConfig plus the fully-propagated core options.
+struct ResolvedConfig {
+  SessionConfig session;
+  core::AssignOptions assign;
+  /// igp.refine is true here; backends that skip refinement clear it.
+  core::IgpOptions igp;
+  core::MultilevelOptions multilevel;
+};
+
+}  // namespace pigp

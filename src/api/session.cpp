@@ -1,0 +1,185 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/assign.hpp"
+#include "support/check.hpp"
+
+namespace pigp {
+
+Session::Session(SessionConfig config, graph::Graph g, graph::Partitioning p)
+    : resolved_(config.resolve()),
+      backend_(BackendRegistry::global().create(config.backend, resolved_)),
+      graph_(std::move(g)),
+      partitioning_(std::move(p)) {
+  PIGP_CHECK(partitioning_.num_parts == resolved_.session.num_parts,
+             "adopted partitioning has " +
+                 std::to_string(partitioning_.num_parts) +
+                 " parts but SessionConfig.num_parts is " +
+                 std::to_string(resolved_.session.num_parts));
+  partitioning_.validate(graph_);
+}
+
+Session::Session(SessionConfig config, graph::Graph g)
+    : resolved_(config.resolve()),
+      backend_(BackendRegistry::global().create(config.backend, resolved_)),
+      graph_(std::move(g)) {
+  PIGP_CHECK(graph_.num_vertices() > 0,
+             "cannot start a session on an empty graph");
+  partitioning_ = partition_from_scratch(graph_, resolved_);
+}
+
+SessionReport Session::apply(const graph::GraphDelta& delta) {
+  const runtime::WallTimer call_timer;
+  runtime::WallTimer update_timer;
+
+  graph::DeltaResult applied = graph::apply_delta(graph_, delta);
+  graph::Partitioning carried =
+      graph::carry_partitioning(partitioning_, applied);
+  const graph::VertexId first_new = applied.first_new_vertex;
+  graph_ = std::move(applied.graph);
+
+  counters_.deltas_applied += 1;
+  counters_.vertices_added +=
+      static_cast<std::int64_t>(delta.added_vertices.size());
+  counters_.vertices_removed +=
+      static_cast<std::int64_t>(delta.removed_vertices.size());
+  counters_.edges_added += static_cast<std::int64_t>(delta.added_edges.size());
+  counters_.edges_removed +=
+      static_cast<std::int64_t>(delta.removed_edges.size());
+  counters_.update_seconds += update_timer.seconds();
+  pending_updates_ += 1;
+  pending_vertex_changes_ +=
+      static_cast<std::int64_t>(delta.added_vertices.size()) +
+      static_cast<std::int64_t>(delta.removed_vertices.size());
+
+  return finish_update(call_timer, std::move(carried), first_new);
+}
+
+SessionReport Session::apply_extended(graph::Graph g_new,
+                                      graph::VertexId n_old) {
+  const runtime::WallTimer call_timer;
+  runtime::WallTimer update_timer;
+
+  PIGP_CHECK(n_old == graph_.num_vertices(),
+             "apply_extended: n_old (" + std::to_string(n_old) +
+                 ") must equal the session's current vertex count (" +
+                 std::to_string(graph_.num_vertices()) + ")");
+  PIGP_CHECK(g_new.num_vertices() >= n_old,
+             "apply_extended: the new graph must extend the current graph");
+
+  const graph::VertexId added = g_new.num_vertices() - n_old;
+  graph::Partitioning old = std::move(partitioning_);  // covers [0, n_old)
+  graph_ = std::move(g_new);
+
+  counters_.extensions_applied += 1;
+  counters_.vertices_added += added;
+  counters_.update_seconds += update_timer.seconds();
+  pending_updates_ += 1;
+  pending_vertex_changes_ += added;
+
+  return finish_update(call_timer, std::move(old), n_old);
+}
+
+SessionReport Session::repartition() {
+  const runtime::WallTimer call_timer;
+  SessionReport report;
+  run_backend(report, partitioning_, graph_.num_vertices());
+  report.pending_updates = pending_updates_;
+  report.seconds = call_timer.seconds();
+  report.metrics = graph::compute_metrics(graph_, partitioning_);
+  report.counters = counters_;
+  return report;
+}
+
+graph::PartitionMetrics Session::metrics() const {
+  return graph::compute_metrics(graph_, partitioning_);
+}
+
+SessionReport Session::finish_update(const runtime::WallTimer& started,
+                                     graph::Partitioning old,
+                                     graph::VertexId n_old) {
+  SessionReport report;
+  const BatchPolicy policy = resolved_.session.batch_policy;
+  const bool trigger_now =
+      policy == BatchPolicy::every_delta ||
+      (policy == BatchPolicy::vertex_count &&
+       pending_vertex_changes_ >= resolved_.session.batch_vertex_limit);
+  if (trigger_now) {
+    // The backend runs step 1 (assignment of the new vertices) itself —
+    // no point paying for an eager pass it would repeat.
+    try {
+      run_backend(report, old, n_old);
+    } catch (...) {
+      // Keep the graph/partitioning invariant intact for the caller: fall
+      // back to the step-1 assignment before propagating the error.
+      partitioning_ =
+          core::extend_assignment(graph_, old, n_old, resolved_.assign);
+      throw;
+    }
+  } else {
+    // Deferred: place the new vertices now (step 1) so the session stays
+    // queryable between repartitions, then check the imbalance trigger.
+    runtime::WallTimer assign_timer;
+    partitioning_ =
+        core::extend_assignment(graph_, old, n_old, resolved_.assign);
+    counters_.update_seconds += assign_timer.seconds();
+    if (policy == BatchPolicy::imbalance && imbalance_exceeds_limit()) {
+      run_backend(report, partitioning_, graph_.num_vertices());
+    }
+  }
+  report.pending_updates = pending_updates_;
+  report.seconds = started.seconds();
+  report.metrics = graph::compute_metrics(graph_, partitioning_);
+  report.counters = counters_;
+  return report;
+}
+
+void Session::run_backend(SessionReport& report,
+                          const graph::Partitioning& old_partitioning,
+                          graph::VertexId n_old) {
+  runtime::WallTimer timer;
+  BackendResult result =
+      backend_->repartition(graph_, old_partitioning, n_old);
+  result.partitioning.validate(graph_);
+  partitioning_ = std::move(result.partitioning);
+
+  report.repartitioned = true;
+  report.balanced = result.balanced;
+  report.stages = result.stages;
+  report.refine = result.refine;
+  report.timings = result.timings;
+
+  counters_.repartitions += 1;
+  counters_.balance_stages += result.stages;
+  counters_.lp_iterations += result.refine.lp_iterations;
+  for (const core::BalanceStage& stage : result.balance.stages) {
+    counters_.lp_iterations += stage.lp_iterations;
+  }
+  counters_.repartition_seconds += timer.seconds();
+  report.balance = std::move(result.balance);
+
+  pending_updates_ = 0;
+  pending_vertex_changes_ = 0;
+}
+
+bool Session::imbalance_exceeds_limit() const {
+  // max W(q) / avg W over the current (assignment-extended) state.
+  std::vector<double> weight(
+      static_cast<std::size_t>(partitioning_.num_parts), 0.0);
+  for (graph::VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    weight[static_cast<std::size_t>(
+        partitioning_.part[static_cast<std::size_t>(v)])] +=
+        graph_.vertex_weight(v);
+  }
+  double max_weight = 0.0;
+  for (const double w : weight) max_weight = std::max(max_weight, w);
+  const double avg = graph_.total_vertex_weight() /
+                     static_cast<double>(partitioning_.num_parts);
+  return avg > 0.0 &&
+         max_weight / avg > resolved_.session.batch_imbalance_limit;
+}
+
+}  // namespace pigp

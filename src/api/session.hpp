@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file session.hpp
+/// pigp::Session — the stateful entry point of the library.
+///
+/// A Session owns the current graph and its partitioning and absorbs a
+/// stream of incremental changes: apply() takes a graph::GraphDelta
+/// (insertions and deletions), apply_extended() takes a pre-extended graph
+/// whose first n_old vertices are the current graph's, and repartition()
+/// forces a rebalance immediately.  Every call returns a uniform
+/// SessionReport with the partition metrics, per-step timings, LP telemetry
+/// and cumulative stream counters.
+///
+/// The repartitioning driver is a pluggable Backend selected by name in the
+/// SessionConfig ("igp", "igpr", "multilevel", "spmd", "scratch"), and the
+/// batch policy decides whether each absorbed delta triggers a rebalance
+/// immediately (the paper's protocol) or whether several small deltas are
+/// batched until an imbalance or vertex-count threshold trips.  Between
+/// repartitions the session stays queryable: when a delta is batched
+/// rather than rebalanced, its new vertices are attached to their nearest
+/// partition (step 1 of the pipeline) immediately; when the backend runs,
+/// it performs step 1 itself so the assignment BFS is never paid twice.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "api/backend.hpp"
+#include "api/config.hpp"
+#include "graph/delta.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "runtime/timer.hpp"
+
+namespace pigp {
+
+/// Cumulative statistics across the whole delta stream.
+struct SessionCounters {
+  std::int64_t deltas_applied = 0;      ///< apply() calls
+  std::int64_t extensions_applied = 0;  ///< apply_extended() calls
+  std::int64_t vertices_added = 0;
+  std::int64_t vertices_removed = 0;
+  std::int64_t edges_added = 0;    ///< explicit E1 edges (new-vertex edges
+                                   ///< are counted through vertices_added)
+  std::int64_t edges_removed = 0;  ///< explicit E2 edges
+  std::int64_t repartitions = 0;
+  std::int64_t balance_stages = 0;
+  std::int64_t lp_iterations = 0;     ///< balance + refinement pivots
+  double update_seconds = 0.0;        ///< delta application + assignment
+  double repartition_seconds = 0.0;   ///< backend time
+};
+
+/// Uniform result of every Session mutation.
+struct SessionReport {
+  /// True when the backend ran (false when the batch policy deferred).
+  bool repartitioned = false;
+  /// Updates absorbed but not yet rebalanced after this call.
+  int pending_updates = 0;
+  /// Wall time of this call (application + assignment + backend).
+  double seconds = 0.0;
+
+  // --- backend telemetry, populated when repartitioned ---
+  bool balanced = false;
+  int stages = 0;  ///< balance stages used (the paper's IGP(k))
+  core::BalanceResult balance;
+  core::RefineStats refine;
+  core::IgpTimings timings;
+
+  /// Quality of the current partitioning after this call.
+  graph::PartitionMetrics metrics;
+  /// Snapshot of the cumulative stream counters.
+  SessionCounters counters;
+};
+
+/// Stateful incremental-repartitioning session over a pluggable backend.
+class Session {
+ public:
+  /// Adopt \p g with an existing partitioning (p.num_parts must equal
+  /// config.num_parts).
+  Session(SessionConfig config, graph::Graph g, graph::Partitioning p);
+
+  /// Partition \p g from scratch with config.scratch_method.
+  Session(SessionConfig config, graph::Graph g);
+
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+
+  /// Absorb one incremental modification (insertions and/or deletions).
+  /// Repartitions now or defers per config.batch_policy.
+  SessionReport apply(const graph::GraphDelta& delta);
+
+  /// Absorb a pre-extended graph: \p g_new's first \p n_old vertices are
+  /// the current graph's (n_old must equal graph().num_vertices()).
+  SessionReport apply_extended(graph::Graph g_new, graph::VertexId n_old);
+
+  /// Run the backend now regardless of the batch policy.
+  SessionReport repartition();
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const graph::Partitioning& partitioning() const noexcept {
+    return partitioning_;
+  }
+  [[nodiscard]] const SessionConfig& config() const noexcept {
+    return resolved_.session;
+  }
+  [[nodiscard]] const SessionCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::string_view backend_name() const noexcept {
+    return backend_->name();
+  }
+  /// Updates absorbed since the last repartition.
+  [[nodiscard]] int pending_updates() const noexcept {
+    return pending_updates_;
+  }
+  /// Quality metrics of the current partitioning.
+  [[nodiscard]] graph::PartitionMetrics metrics() const;
+
+ private:
+  /// Decide per batch policy, run the backend if due (handing it \p old
+  /// over [0, n_old) so step 1 runs exactly once), and assemble the
+  /// uniform report.  \p started times the whole public call.
+  SessionReport finish_update(const runtime::WallTimer& started,
+                              graph::Partitioning old,
+                              graph::VertexId n_old);
+  void run_backend(SessionReport& report,
+                   const graph::Partitioning& old_partitioning,
+                   graph::VertexId n_old);
+  [[nodiscard]] bool imbalance_exceeds_limit() const;
+
+  ResolvedConfig resolved_;
+  std::unique_ptr<Backend> backend_;
+  graph::Graph graph_;
+  graph::Partitioning partitioning_;
+  SessionCounters counters_;
+  int pending_updates_ = 0;
+  /// Vertices added + removed since the last repartition (vertex_count
+  /// batch policy).
+  std::int64_t pending_vertex_changes_ = 0;
+};
+
+}  // namespace pigp

@@ -44,21 +44,8 @@ IgpResult IncrementalPartitioner::repartition_delta(
     const graph::GraphDelta& delta, graph::Graph* result_graph) const {
   old_partitioning.validate(g_old);
   graph::DeltaResult applied = graph::apply_delta(g_old, delta);
-
-  // Carry surviving vertices' partitions through the id remap.
-  graph::Partitioning carried;
-  carried.num_parts = old_partitioning.num_parts;
-  carried.part.assign(static_cast<std::size_t>(applied.first_new_vertex),
-                      graph::kUnassigned);
-  for (graph::VertexId v = 0; v < g_old.num_vertices(); ++v) {
-    const graph::VertexId mapped =
-        applied.old_to_new[static_cast<std::size_t>(v)];
-    if (mapped != graph::kInvalidVertex) {
-      carried.part[static_cast<std::size_t>(mapped)] =
-          old_partitioning.part[static_cast<std::size_t>(v)];
-    }
-  }
-
+  const graph::Partitioning carried =
+      graph::carry_partitioning(old_partitioning, applied);
   IgpResult result =
       repartition(applied.graph, carried, applied.first_new_vertex);
   if (result_graph != nullptr) *result_graph = std::move(applied.graph);

@@ -24,25 +24,16 @@
 
 namespace pigp::core {
 
+/// Plain-data options for the flat driver.  Thread-count and solver
+/// propagation into the nested structs lives in SessionConfig::resolve()
+/// (src/api/config.hpp) — the single derivation path, guarded by
+/// compile-time field-count asserts so new fields cannot be skipped.
 struct IgpOptions {
   /// Run the refinement pass (IGPR) after balancing (IGP).
   bool refine = true;
   BalanceOptions balance;
   RefineOptions refinement;
   int num_threads = 1;
-
-  /// Convenience: propagate thread count and solver choice downward.
-  void set_threads(int threads) {
-    num_threads = threads;
-    balance.num_threads = threads;
-    balance.simplex.num_threads = threads;
-    refinement.num_threads = threads;
-    refinement.simplex.num_threads = threads;
-  }
-  void set_solver(LpSolverKind kind) {
-    balance.solver = kind;
-    refinement.solver = kind;
-  }
 };
 
 /// Wall-clock breakdown of one repartitioning (seconds).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/builder.hpp"
+#include "graph/partition.hpp"
 #include "support/check.hpp"
 
 namespace pigp::graph {
@@ -111,6 +112,23 @@ DeltaResult apply_delta(const Graph& g, const GraphDelta& delta) {
 
   result.graph = builder.build();
   return result;
+}
+
+Partitioning carry_partitioning(const Partitioning& old,
+                                const DeltaResult& applied) {
+  Partitioning carried;
+  carried.num_parts = old.num_parts;
+  // Surviving old vertices occupy ids [0, first_new_vertex); the added
+  // vertices come after and are left for extend_assignment to place.
+  carried.part.assign(static_cast<std::size_t>(applied.first_new_vertex),
+                      kUnassigned);
+  for (std::size_t v = 0; v < applied.old_to_new.size(); ++v) {
+    const VertexId mapped = applied.old_to_new[v];
+    if (mapped != kInvalidVertex) {
+      carried.part[static_cast<std::size_t>(mapped)] = old.part[v];
+    }
+  }
+  return carried;
 }
 
 }  // namespace pigp::graph

@@ -54,4 +54,14 @@ struct DeltaResult {
 /// weights (sum), mirroring GraphBuilder semantics.
 [[nodiscard]] DeltaResult apply_delta(const Graph& g, const GraphDelta& delta);
 
+// Forward declaration (partition.hpp includes graph.hpp only).
+struct Partitioning;
+
+/// Carry surviving vertices' partition assignments through the id remap of
+/// \p applied.  The result covers exactly the surviving old vertices
+/// (ids [0, applied.first_new_vertex)), ready for core::extend_assignment
+/// to place the added vertices.
+[[nodiscard]] Partitioning carry_partitioning(const Partitioning& old,
+                                              const DeltaResult& applied);
+
 }  // namespace pigp::graph

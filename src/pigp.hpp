@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file pigp.hpp
+/// Umbrella header: the public surface of the pigp library.
+///
+/// External consumers include only this header:
+///
+///     #include <pigp.hpp>
+///
+///     pigp::SessionConfig config;
+///     config.num_parts = 32;
+///     config.backend = "igpr";
+///     pigp::Session session(config, graph);   // partitions from scratch
+///     pigp::SessionReport report = session.apply(delta);
+///
+/// CI compiles a standalone consumer against the installed tree with only
+/// this include, so everything a user needs must be reachable (and
+/// installed) from here — the install tree can never go self-insufficient.
+
+#include "api/backend.hpp"
+#include "api/config.hpp"
+#include "api/session.hpp"
+#include "graph/delta.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/partition.hpp"

@@ -1,0 +1,145 @@
+// Backend parity: the flat, SPMD, and multilevel backends consume the same
+// delta stream through identical Session configurations and must agree —
+// exactly for flat vs SPMD (the message-passing driver is bit-identical to
+// the shared-memory pipeline by construction), and up to quality bounds for
+// the multilevel V-cycle (same balance guarantee, comparable cut).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "graph/generators.hpp"
+#include "mesh/paper_meshes.hpp"
+#include "spectral/partitioners.hpp"
+
+namespace pigp {
+namespace {
+
+using graph::Graph;
+using graph::GraphDelta;
+using graph::Partitioning;
+using graph::VertexAddition;
+
+constexpr graph::PartId kParts = 8;
+
+/// Localized insertion burst near \p anchor plus a couple of deletions far
+/// from it — the §1.1 adaptation pattern.
+GraphDelta stream_delta(graph::VertexId n, int step) {
+  GraphDelta delta;
+  const graph::VertexId anchor = (13 * step + 2) % (n / 3);
+  for (int i = 0; i < 10; ++i) {
+    VertexAddition add;
+    add.edges.emplace_back(anchor + (i % 3), 1.0);
+    if (i > 0) add.edges.emplace_back(n + i - 1, 1.0);
+    delta.added_vertices.push_back(add);
+  }
+  const auto far = static_cast<graph::VertexId>(n - 1 - 2 * step);
+  delta.removed_vertices = {far};
+  return delta;
+}
+
+struct StreamOutcome {
+  Partitioning partitioning;
+  Graph graph;
+  bool all_balanced = true;
+  double final_cut = 0.0;
+};
+
+StreamOutcome run_stream(const std::string& backend, const Graph& base,
+                         const Partitioning& initial, int steps) {
+  SessionConfig config;
+  config.num_parts = kParts;
+  config.backend = backend;
+  config.spmd_ranks = 3;  // uneven rank/partition split on purpose
+  Session session(config, base, initial);
+  StreamOutcome out;
+  for (int step = 0; step < steps; ++step) {
+    const SessionReport report =
+        session.apply(stream_delta(session.graph().num_vertices(), step));
+    out.all_balanced = out.all_balanced && report.balanced;
+  }
+  out.partitioning = session.partitioning();
+  out.graph = session.graph();
+  out.final_cut = session.metrics().cut_total;
+  return out;
+}
+
+TEST(BackendParity, FlatSpmdAndMultilevelAgreeOnTheSameStream) {
+  const mesh::MeshSequence seq =
+      mesh::make_small_mesh_sequence(700, {}, 31);
+  const Graph& base = seq.graphs[0];
+  const Partitioning initial =
+      spectral::recursive_spectral_bisection(base, kParts);
+  constexpr int kSteps = 3;
+
+  const StreamOutcome flat = run_stream("igpr", base, initial, kSteps);
+  const StreamOutcome spmd = run_stream("spmd", base, initial, kSteps);
+  const StreamOutcome multilevel =
+      run_stream("multilevel", base, initial, kSteps);
+
+  // All three see the same evolved graph.
+  ASSERT_EQ(flat.graph, spmd.graph);
+  ASSERT_EQ(flat.graph, multilevel.graph);
+
+  // Every backend must deliver balanced partitions on every step.
+  EXPECT_TRUE(flat.all_balanced);
+  EXPECT_TRUE(spmd.all_balanced);
+  EXPECT_TRUE(multilevel.all_balanced);
+  EXPECT_TRUE(graph::is_balanced(flat.graph, flat.partitioning));
+  EXPECT_TRUE(graph::is_balanced(spmd.graph, spmd.partitioning));
+  EXPECT_TRUE(graph::is_balanced(multilevel.graph, multilevel.partitioning));
+
+  // The SPMD engine reproduces the shared-memory pipeline bit-for-bit.
+  EXPECT_EQ(flat.partitioning.part, spmd.partitioning.part);
+
+  // The multilevel V-cycle takes its own path; require sane quality: a
+  // valid partitioning with a cut in the same ballpark as the flat driver.
+  multilevel.partitioning.validate(multilevel.graph);
+  EXPECT_GT(multilevel.final_cut, 0.0);
+  EXPECT_LE(multilevel.final_cut, 3.0 * flat.final_cut);
+}
+
+TEST(BackendParity, IgpAndIgprBackendsDifferOnlyInRefinement) {
+  const mesh::MeshSequence seq =
+      mesh::make_small_mesh_sequence(600, {}, 37);
+  const Graph& base = seq.graphs[0];
+  const Partitioning initial =
+      spectral::recursive_spectral_bisection(base, kParts);
+
+  const StreamOutcome igp = run_stream("igp", base, initial, 2);
+  const StreamOutcome igpr = run_stream("igpr", base, initial, 2);
+
+  ASSERT_EQ(igp.graph, igpr.graph);
+  EXPECT_TRUE(graph::is_balanced(igp.graph, igp.partitioning));
+  EXPECT_TRUE(graph::is_balanced(igpr.graph, igpr.partitioning));
+  // Refinement never worsens the cut.
+  EXPECT_LE(igpr.final_cut, igp.final_cut);
+}
+
+TEST(BackendParity, ScratchBackendRepartitionsIndependentlyOfHistory) {
+  const Graph g = graph::random_geometric_graph(500, 0.08, 41);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, kParts);
+
+  SessionConfig config;
+  config.num_parts = kParts;
+  config.backend = "scratch";
+  config.scratch_method = "rgb";
+  Session session(config, g, initial);
+
+  const SessionReport report =
+      session.apply(stream_delta(g.num_vertices(), 0));
+  EXPECT_TRUE(report.repartitioned);
+  session.partitioning().validate(session.graph());
+  EXPECT_TRUE(graph::is_balanced(session.graph(), session.partitioning()));
+
+  // A fresh from-scratch partition of the same graph is identical — the
+  // scratch backend carries no incremental state.
+  const Partitioning fresh =
+      spectral::recursive_graph_bisection(session.graph(), kParts);
+  EXPECT_EQ(session.partitioning().part, fresh.part);
+}
+
+}  // namespace
+}  // namespace pigp

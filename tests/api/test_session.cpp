@@ -1,0 +1,304 @@
+// pigp::Session — the stateful delta-stream API.  The core guarantees:
+// a session streaming deltas (insertions *and* deletions) under the
+// every_delta policy is bit-identical to hand-chaining the flat driver's
+// repartition_delta; the backend registry round-trips all built-in names;
+// invalid configs are rejected with clear errors; and the batch policies
+// trigger exactly at their thresholds.
+
+#include "api/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/igp.hpp"
+#include "graph/generators.hpp"
+#include "mesh/paper_meshes.hpp"
+#include "spectral/partitioners.hpp"
+#include "support/check.hpp"
+
+namespace pigp {
+namespace {
+
+using graph::Graph;
+using graph::GraphDelta;
+using graph::Partitioning;
+using graph::VertexAddition;
+
+/// A delta mixing vertex insertions, vertex deletions, and edge changes,
+/// anchored at \p seed-dependent positions of a graph with \p n vertices.
+GraphDelta mixed_delta(graph::VertexId n, int step) {
+  GraphDelta delta;
+  const graph::VertexId a = (7 * step + 1) % (n / 2);
+  const graph::VertexId b = n / 2 + (11 * step + 3) % (n / 2);
+  for (int i = 0; i < 6 + step; ++i) {
+    VertexAddition add;
+    add.edges.emplace_back((a + i) % n, 1.0);
+    if (i > 0) add.edges.emplace_back(n + i - 1, 1.0);  // chain the new ones
+    delta.added_vertices.push_back(add);
+  }
+  delta.removed_vertices = {b, static_cast<graph::VertexId>((b + 5) % n)};
+  if (delta.removed_vertices[0] == delta.removed_vertices[1]) {
+    delta.removed_vertices.pop_back();
+  }
+  return delta;
+}
+
+SessionConfig basic_config(graph::PartId parts, const std::string& backend) {
+  SessionConfig config;
+  config.num_parts = parts;
+  config.backend = backend;
+  return config;
+}
+
+TEST(Session, DeltaStreamMatchesOneShotRepartitionDelta) {
+  const mesh::MeshSequence seq = mesh::make_small_mesh_sequence(500, {}, 7);
+  const Graph& base = seq.graphs[0];
+  const Partitioning initial =
+      spectral::recursive_spectral_bisection(base, 8);
+
+  Session session(basic_config(8, "igpr"), base, initial);
+
+  // Reference: hand-chained flat driver, the pre-redesign protocol.
+  const core::IncrementalPartitioner driver;
+  Graph ref_graph = base;
+  Partitioning ref_part = initial;
+
+  for (int step = 0; step < 3; ++step) {
+    const GraphDelta delta = mixed_delta(ref_graph.num_vertices(), step);
+
+    Graph next;
+    const core::IgpResult ref =
+        driver.repartition_delta(ref_graph, ref_part, delta, &next);
+    ref_graph = std::move(next);
+    ref_part = ref.partitioning;
+
+    const SessionReport report = session.apply(delta);
+    EXPECT_TRUE(report.repartitioned);
+    ASSERT_EQ(session.graph(), ref_graph) << "step " << step;
+    EXPECT_EQ(session.partitioning().part, ref_part.part)
+        << "step " << step;
+  }
+  EXPECT_EQ(session.counters().deltas_applied, 3);
+  EXPECT_EQ(session.counters().repartitions, 3);
+}
+
+TEST(Session, ApplyExtendedMatchesCoreRepartition) {
+  const mesh::MeshSequence seq =
+      mesh::make_small_mesh_sequence(600, {60}, 3);
+  const Graph& before = seq.graphs[0];
+  const Graph& after = seq.graphs[1];
+  const Partitioning initial =
+      spectral::recursive_spectral_bisection(before, 8);
+
+  const core::IgpResult ref = core::IncrementalPartitioner().repartition(
+      after, initial, before.num_vertices());
+
+  Session session(basic_config(8, "igpr"), before, initial);
+  const SessionReport report =
+      session.apply_extended(after, before.num_vertices());
+
+  EXPECT_TRUE(report.repartitioned);
+  EXPECT_EQ(report.balanced, ref.balanced);
+  EXPECT_EQ(report.stages, ref.stages);
+  EXPECT_EQ(session.partitioning().part, ref.partitioning.part);
+  EXPECT_DOUBLE_EQ(
+      report.metrics.cut_total,
+      graph::compute_metrics(after, ref.partitioning).cut_total);
+}
+
+TEST(Session, BackendRegistryRoundTripsAllBuiltinNames) {
+  const ResolvedConfig resolved = basic_config(4, "igpr").resolve();
+  for (const std::string name :
+       {"igp", "igpr", "multilevel", "spmd", "scratch"}) {
+    ASSERT_TRUE(BackendRegistry::global().contains(name)) << name;
+    const std::unique_ptr<Backend> backend =
+        BackendRegistry::global().create(name, resolved);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_EQ(backend->incremental(), name != "scratch") << name;
+  }
+  // The listing includes all five names.
+  const std::vector<std::string> names = BackendRegistry::global().names();
+  for (const char* expected :
+       {"igp", "igpr", "multilevel", "spmd", "scratch"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Session, UnknownBackendRejectedWithKnownNamesListed) {
+  const Graph g = graph::random_geometric_graph(200, 0.12, 5);
+  try {
+    Session session(basic_config(4, "no-such-backend"), g);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-backend"), std::string::npos) << what;
+    EXPECT_NE(what.find("igpr"), std::string::npos) << what;
+  }
+}
+
+TEST(Session, InvalidConfigRejectedWithClearError) {
+  const Graph g = graph::random_geometric_graph(200, 0.12, 5);
+
+  // num_parts unset.
+  try {
+    Session session(SessionConfig{}, g);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("num_parts"), std::string::npos);
+  }
+
+  // Bad scratch method.
+  SessionConfig bad_method = basic_config(4, "scratch");
+  bad_method.scratch_method = "metis";
+  EXPECT_THROW((Session{bad_method, g}), CheckError);
+
+  // Bad thread count.
+  SessionConfig bad_threads = basic_config(4, "igpr");
+  bad_threads.num_threads = 0;
+  EXPECT_THROW((Session{bad_threads, g}), CheckError);
+
+  // Bad batch limit.
+  SessionConfig bad_limit = basic_config(4, "igpr");
+  bad_limit.batch_vertex_limit = 0;
+  EXPECT_THROW((Session{bad_limit, g}), CheckError);
+
+  // Adopting a partitioning with the wrong part count.
+  Partitioning p = spectral::recursive_graph_bisection(g, 8);
+  EXPECT_THROW((Session{basic_config(4, "igpr"), g, p}), CheckError);
+}
+
+TEST(Session, VertexCountBatchPolicyTriggersExactlyAtThreshold) {
+  const Graph g = graph::random_geometric_graph(400, 0.09, 11);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+
+  SessionConfig config = basic_config(4, "igpr");
+  config.batch_policy = BatchPolicy::vertex_count;
+  config.batch_vertex_limit = 3;
+  Session session(config, g, initial);
+
+  const auto one_vertex_delta = [](const Graph& current) {
+    GraphDelta delta;
+    VertexAddition add;
+    add.edges.emplace_back(current.num_vertices() / 2, 1.0);
+    delta.added_vertices.push_back(add);
+    return delta;
+  };
+
+  const SessionReport r1 = session.apply(one_vertex_delta(session.graph()));
+  EXPECT_FALSE(r1.repartitioned);
+  EXPECT_EQ(r1.pending_updates, 1);
+  const SessionReport r2 = session.apply(one_vertex_delta(session.graph()));
+  EXPECT_FALSE(r2.repartitioned);
+  EXPECT_EQ(r2.pending_updates, 2);
+  const SessionReport r3 = session.apply(one_vertex_delta(session.graph()));
+  EXPECT_TRUE(r3.repartitioned);  // 3 pending vertices == limit
+  EXPECT_EQ(r3.pending_updates, 0);
+
+  // Removals count toward the threshold too.
+  GraphDelta removal;
+  removal.removed_vertices = {0, 1, 2};
+  const SessionReport r4 = session.apply(removal);
+  EXPECT_TRUE(r4.repartitioned);
+  EXPECT_EQ(session.counters().vertices_removed, 3);
+}
+
+TEST(Session, ImbalanceBatchPolicyTriggersWhenThresholdCrossed) {
+  const Graph g = graph::random_geometric_graph(400, 0.09, 13);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 2);
+
+  SessionConfig config = basic_config(2, "igpr");
+  config.batch_policy = BatchPolicy::imbalance;
+  config.batch_imbalance_limit = 1.15;
+  Session session(config, g, initial);
+
+  // Anchor in partition 0; enough new vertices to push max/avg past 1.15:
+  // with 200 per side, +70 on one side gives 270 / 235 ≈ 1.149, +80 gives
+  // 280 / 240 ≈ 1.167.
+  graph::VertexId anchor = 0;
+  while (initial.part[static_cast<std::size_t>(anchor)] != 0) ++anchor;
+
+  const auto burst_delta = [&](int count) {
+    GraphDelta delta;
+    const graph::VertexId n = session.graph().num_vertices();
+    for (int i = 0; i < count; ++i) {
+      VertexAddition add;
+      add.edges.emplace_back(anchor, 1.0);
+      if (i > 0) add.edges.emplace_back(n + i - 1, 1.0);
+      delta.added_vertices.push_back(add);
+    }
+    return delta;
+  };
+
+  const SessionReport small = session.apply(burst_delta(20));
+  EXPECT_FALSE(small.repartitioned) << "imbalance " << small.metrics.imbalance;
+  EXPECT_EQ(small.pending_updates, 1);
+
+  const SessionReport big = session.apply(burst_delta(70));
+  EXPECT_TRUE(big.repartitioned);
+  EXPECT_TRUE(big.balanced);
+  EXPECT_LE(big.metrics.imbalance, 1.15);
+}
+
+TEST(Session, ForcedRepartitionFlushesPendingUpdates) {
+  const Graph g = graph::random_geometric_graph(300, 0.1, 17);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+
+  SessionConfig config = basic_config(4, "igpr");
+  config.batch_policy = BatchPolicy::vertex_count;
+  config.batch_vertex_limit = 1000;  // never trips on its own
+  Session session(config, g, initial);
+
+  GraphDelta delta;
+  for (int i = 0; i < 5; ++i) {
+    VertexAddition add;
+    add.edges.emplace_back(i * 7, 1.0);
+    delta.added_vertices.push_back(add);
+  }
+  const SessionReport deferred = session.apply(delta);
+  EXPECT_FALSE(deferred.repartitioned);
+  EXPECT_EQ(session.pending_updates(), 1);
+
+  const SessionReport forced = session.repartition();
+  EXPECT_TRUE(forced.repartitioned);
+  EXPECT_EQ(session.pending_updates(), 0);
+  EXPECT_TRUE(forced.balanced);
+  EXPECT_TRUE(graph::is_balanced(session.graph(), session.partitioning()));
+}
+
+TEST(Session, ScratchConstructorPartitionsFromScratch) {
+  const Graph g = graph::random_geometric_graph(500, 0.08, 19);
+  for (const std::string method : {"rsb", "rgb", "rsb+kl"}) {
+    SessionConfig config = basic_config(4, "igpr");
+    config.scratch_method = method;
+    const Session session(config, g);
+    session.partitioning().validate(g);
+    EXPECT_TRUE(graph::is_balanced(g, session.partitioning())) << method;
+  }
+}
+
+TEST(Session, CountersAccumulateAcrossTheStream) {
+  const Graph g = graph::random_geometric_graph(300, 0.1, 23);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+  Session session(basic_config(4, "igpr"), g, initial);
+
+  int added = 0;
+  for (int step = 0; step < 3; ++step) {
+    const GraphDelta delta = mixed_delta(session.graph().num_vertices(), step);
+    added += static_cast<int>(delta.added_vertices.size());
+    (void)session.apply(delta);
+  }
+  const SessionCounters& counters = session.counters();
+  EXPECT_EQ(counters.deltas_applied, 3);
+  EXPECT_EQ(counters.vertices_added, added);
+  EXPECT_GT(counters.vertices_removed, 0);
+  EXPECT_EQ(counters.repartitions, 3);  // every_delta policy
+  EXPECT_GE(counters.balance_stages, 0);
+  EXPECT_GE(counters.repartition_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pigp

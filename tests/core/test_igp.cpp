@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/config.hpp"
 #include "graph/partition.hpp"
 #include "mesh/paper_meshes.hpp"
 #include "spectral/partitioners.hpp"
@@ -129,8 +130,10 @@ TEST(Igp, ThreadedMatchesSerial) {
       spectral::recursive_spectral_bisection(seq.graphs[0], 16);
 
   IgpOptions serial;
-  IgpOptions threaded;
-  threaded.set_threads(8);
+  SessionConfig threaded_config;
+  threaded_config.num_parts = 16;
+  threaded_config.num_threads = 8;
+  const IgpOptions threaded = threaded_config.resolve().igp;
   const IgpResult a = IncrementalPartitioner(serial).repartition(
       seq.graphs[1], initial, seq.graphs[0].num_vertices());
   const IgpResult b = IncrementalPartitioner(threaded).repartition(
@@ -144,10 +147,14 @@ TEST(Igp, DenseAndBoundedSolversAgreeOnBalance) {
   const Partitioning initial =
       spectral::recursive_spectral_bisection(seq.graphs[0], 8);
 
-  IgpOptions dense;
-  dense.set_solver(LpSolverKind::dense);
-  IgpOptions bounded;
-  bounded.set_solver(LpSolverKind::bounded);
+  SessionConfig dense_config;
+  dense_config.num_parts = 8;
+  dense_config.solver = LpSolverKind::dense;
+  const IgpOptions dense = dense_config.resolve().igp;
+  SessionConfig bounded_config;
+  bounded_config.num_parts = 8;
+  bounded_config.solver = LpSolverKind::bounded;
+  const IgpOptions bounded = bounded_config.resolve().igp;
   const IgpResult a = IncrementalPartitioner(dense).repartition(
       seq.graphs[1], initial, seq.graphs[0].num_vertices());
   const IgpResult b = IncrementalPartitioner(bounded).repartition(
