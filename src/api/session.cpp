@@ -19,41 +19,105 @@ Session::Session(SessionConfig config, graph::Graph g, graph::Partitioning p)
                  std::to_string(partitioning_.num_parts) +
                  " parts but SessionConfig.num_parts is " +
                  std::to_string(resolved_.session.num_parts));
-  partitioning_.validate(graph_);
+  state_.rebuild(graph_, partitioning_);  // validates, seeds the O(Δ) path
 }
 
 Session::Session(SessionConfig config, graph::Graph g)
     : resolved_(config.resolve()),
-      backend_(BackendRegistry::global().create(config.backend, resolved_)),
-      graph_(std::move(g)) {
-  PIGP_CHECK(graph_.num_vertices() > 0,
-             "cannot start a session on an empty graph");
+      backend_(BackendRegistry::global().create(config.backend, resolved_)) {
+  PIGP_CHECK(g.num_vertices() > 0, "cannot start a session on an empty graph");
+  graph_ = std::move(g);
   partitioning_ = partition_from_scratch(graph_, resolved_);
+  state_.rebuild(graph_, partitioning_);
 }
 
 SessionReport Session::apply(const graph::GraphDelta& delta) {
   const runtime::WallTimer call_timer;
   runtime::WallTimer update_timer;
 
+  // apply_delta validates the whole delta up front, so every reference
+  // below is known good and the state bookkeeping cannot half-apply.
   graph::DeltaResult applied = graph::apply_delta(graph_, delta);
-  graph::Partitioning carried =
-      graph::carry_partitioning(partitioning_, applied);
+  // Only removals remap ids; the append-only case reuses the current
+  // assignment verbatim (moved out after the accounting below, which still
+  // reads it).
+  graph::Partitioning carried;
+  if (delta.has_removals()) {
+    carried = graph::carry_partitioning(partitioning_, applied);
+  }
   const graph::VertexId first_new = applied.first_new_vertex;
+  const graph::VertexId n_old = graph_.num_vertices();
+  const std::int64_t old_edges = graph_.num_edges();
+
+  // O(Δ) aggregate + counter accounting against the old graph, before it
+  // is swapped out.  Retiring a removed vertex pulls its weight and its
+  // edges to still-present neighbors out of the state, so an edge between
+  // two removed vertices leaves exactly once; surviving explicit removals
+  // and added old-old edges follow.  Edges that touch *new* vertices enter
+  // the state when those vertices are placed (finish_update).
+  std::int64_t removed_edge_count = 0;
+  std::int64_t removed_vertex_count = 0;
+  for (const graph::VertexId v : delta.removed_vertices) {
+    if (partitioning_.part[static_cast<std::size_t>(v)] == graph::kUnassigned) {
+      continue;  // duplicate entry, already retired
+    }
+    for (const graph::VertexId u : graph_.neighbors(v)) {
+      if (partitioning_.part[static_cast<std::size_t>(u)] !=
+          graph::kUnassigned) {
+        ++removed_edge_count;
+      }
+    }
+    state_.move_vertex(graph_, partitioning_, v, graph::kUnassigned);
+    ++removed_vertex_count;
+  }
+  if (!delta.removed_edges.empty()) {
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> removed_edges;
+    removed_edges.reserve(delta.removed_edges.size());
+    for (const auto& [u, v] : delta.removed_edges) {
+      removed_edges.push_back(graph::canonical_edge(u, v));
+    }
+    std::sort(removed_edges.begin(), removed_edges.end());
+    removed_edges.erase(
+        std::unique(removed_edges.begin(), removed_edges.end()),
+        removed_edges.end());
+    for (const auto& [u, v] : removed_edges) {
+      if (partitioning_.part[static_cast<std::size_t>(u)] ==
+              graph::kUnassigned ||
+          partitioning_.part[static_cast<std::size_t>(v)] ==
+              graph::kUnassigned) {
+        continue;  // already gone with a removed endpoint
+      }
+      state_.remove_edge(partitioning_, u, v, graph_.edge_weight(u, v));
+      ++removed_edge_count;
+    }
+  }
+  for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
+    const auto [u, v] = delta.added_edges[i];
+    if (u >= n_old || v >= n_old) continue;  // enters at placement time
+    const double w =
+        delta.added_edge_weights.empty() ? 1.0 : delta.added_edge_weights[i];
+    state_.add_edge(partitioning_, u, v, w);
+  }
+
+  if (!delta.has_removals()) carried = std::move(partitioning_);
   graph_ = std::move(applied.graph);
 
   counters_.deltas_applied += 1;
   counters_.vertices_added +=
       static_cast<std::int64_t>(delta.added_vertices.size());
-  counters_.vertices_removed +=
-      static_cast<std::int64_t>(delta.removed_vertices.size());
-  counters_.edges_added += static_cast<std::int64_t>(delta.added_edges.size());
-  counters_.edges_removed +=
-      static_cast<std::int64_t>(delta.removed_edges.size());
+  counters_.vertices_removed += removed_vertex_count;
+  // Count what actually changed in the graph, not what the delta listed:
+  // removals include the edges implicitly dropped with removed vertices,
+  // additions include new-vertex attachment edges (merged duplicates count
+  // once, exactly like the graph itself).
+  counters_.edges_removed += removed_edge_count;
+  counters_.edges_added +=
+      graph_.num_edges() - (old_edges - removed_edge_count);
   counters_.update_seconds += update_timer.seconds();
   pending_updates_ += 1;
   pending_vertex_changes_ +=
       static_cast<std::int64_t>(delta.added_vertices.size()) +
-      static_cast<std::int64_t>(delta.removed_vertices.size());
+      removed_vertex_count;
 
   return finish_update(call_timer, std::move(carried), first_new);
 }
@@ -71,11 +135,21 @@ SessionReport Session::apply_extended(graph::Graph g_new,
              "apply_extended: the new graph must extend the current graph");
 
   const graph::VertexId added = g_new.num_vertices() - n_old;
+  const std::int64_t old_edges = graph_.num_edges();
+  // Extensions may also rewire edges *between* old vertices (mesh
+  // retriangulation destroys and creates them); reconcile the exact diff
+  // into the state and the counters.  The appended vertices stay invisible
+  // until finish_update places them.
+  const graph::PartitionState::EdgeDiff diff =
+      state_.reconcile_extension(graph_, g_new, partitioning_, n_old);
   graph::Partitioning old = std::move(partitioning_);  // covers [0, n_old)
   graph_ = std::move(g_new);
 
   counters_.extensions_applied += 1;
   counters_.vertices_added += added;
+  counters_.edges_removed += diff.removed;
+  counters_.edges_added +=
+      graph_.num_edges() - (old_edges - diff.removed);
   counters_.update_seconds += update_timer.seconds();
   pending_updates_ += 1;
   pending_vertex_changes_ += added;
@@ -89,14 +163,12 @@ SessionReport Session::repartition() {
   run_backend(report, partitioning_, graph_.num_vertices());
   report.pending_updates = pending_updates_;
   report.seconds = call_timer.seconds();
-  report.metrics = graph::compute_metrics(graph_, partitioning_);
+  report.metrics = state_.snapshot();
   report.counters = counters_;
   return report;
 }
 
-graph::PartitionMetrics Session::metrics() const {
-  return graph::compute_metrics(graph_, partitioning_);
-}
+graph::PartitionMetrics Session::metrics() const { return state_.snapshot(); }
 
 SessionReport Session::finish_update(const runtime::WallTimer& started,
                                      graph::Partitioning old,
@@ -113,26 +185,32 @@ SessionReport Session::finish_update(const runtime::WallTimer& started,
     try {
       run_backend(report, old, n_old);
     } catch (...) {
-      // Keep the graph/partitioning invariant intact for the caller: fall
-      // back to the step-1 assignment before propagating the error.
-      partitioning_ =
+      // Keep the graph/partitioning/state invariant intact for the
+      // caller: fall back to the step-1 assignment before propagating.
+      const graph::Partitioning placed =
           core::extend_assignment(graph_, old, n_old, resolved_.assign);
+      state_.extend(graph_, old, n_old, placed);
+      partitioning_ = std::move(old);  // now equal to `placed`
       throw;
     }
   } else {
     // Deferred: place the new vertices now (step 1) so the session stays
     // queryable between repartitions, then check the imbalance trigger.
+    // Only the placements are folded into the state — O(Σ deg(new)).
     runtime::WallTimer assign_timer;
-    partitioning_ =
+    const graph::Partitioning placed =
         core::extend_assignment(graph_, old, n_old, resolved_.assign);
+    state_.extend(graph_, old, n_old, placed);
+    partitioning_ = std::move(old);
     counters_.update_seconds += assign_timer.seconds();
-    if (policy == BatchPolicy::imbalance && imbalance_exceeds_limit()) {
+    if (policy == BatchPolicy::imbalance &&
+        state_.imbalance() > resolved_.session.batch_imbalance_limit) {
       run_backend(report, partitioning_, graph_.num_vertices());
     }
   }
   report.pending_updates = pending_updates_;
   report.seconds = started.seconds();
-  report.metrics = graph::compute_metrics(graph_, partitioning_);
+  report.metrics = state_.snapshot();
   report.counters = counters_;
   return report;
 }
@@ -144,6 +222,12 @@ void Session::run_backend(SessionReport& report,
   BackendResult result =
       backend_->repartition(graph_, old_partitioning, n_old);
   result.partitioning.validate(graph_);
+  // Fold the backend's answer into the state by moving exactly the
+  // vertices whose assignment changed — after a localized delta that is a
+  // small boundary region, far below a full rebuild.  (The copy exists
+  // because old_partitioning may alias partitioning_.)
+  graph::Partitioning work = old_partitioning;
+  state_.transition(graph_, work, result.partitioning);
   partitioning_ = std::move(result.partitioning);
 
   report.repartitioned = true;
@@ -163,23 +247,6 @@ void Session::run_backend(SessionReport& report,
 
   pending_updates_ = 0;
   pending_vertex_changes_ = 0;
-}
-
-bool Session::imbalance_exceeds_limit() const {
-  // max W(q) / avg W over the current (assignment-extended) state.
-  std::vector<double> weight(
-      static_cast<std::size_t>(partitioning_.num_parts), 0.0);
-  for (graph::VertexId v = 0; v < graph_.num_vertices(); ++v) {
-    weight[static_cast<std::size_t>(
-        partitioning_.part[static_cast<std::size_t>(v)])] +=
-        graph_.vertex_weight(v);
-  }
-  double max_weight = 0.0;
-  for (const double w : weight) max_weight = std::max(max_weight, w);
-  const double avg = graph_.total_vertex_weight() /
-                     static_cast<double>(partitioning_.num_parts);
-  return avg > 0.0 &&
-         max_weight / avg > resolved_.session.batch_imbalance_limit;
 }
 
 }  // namespace pigp

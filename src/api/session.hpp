@@ -20,6 +20,11 @@
 /// rather than rebalanced, its new vertices are attached to their nearest
 /// partition (step 1 of the pipeline) immediately; when the backend runs,
 /// it performs step 1 itself so the assignment BFS is never paid twice.
+///
+/// Quality metrics are maintained incrementally: the session owns a
+/// graph::PartitionState that absorbs every change in O(Δ), so the metrics
+/// in each SessionReport, the metrics() accessor and the imbalance batch
+/// trigger all cost O(num_parts) instead of an O(V+E) rescan.
 
 #include <cstdint>
 #include <memory>
@@ -30,6 +35,7 @@
 #include "graph/delta.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 #include "runtime/timer.hpp"
 
 namespace pigp {
@@ -39,10 +45,17 @@ struct SessionCounters {
   std::int64_t deltas_applied = 0;      ///< apply() calls
   std::int64_t extensions_applied = 0;  ///< apply_extended() calls
   std::int64_t vertices_added = 0;
+  /// Vertices actually deleted (duplicate V2 entries collapse).
   std::int64_t vertices_removed = 0;
-  std::int64_t edges_added = 0;    ///< explicit E1 edges (new-vertex edges
-                                   ///< are counted through vertices_added)
-  std::int64_t edges_removed = 0;  ///< explicit E2 edges
+  /// Every edge the stream added to the graph: explicit E1 edges, edges
+  /// attached to added vertices, and edges introduced by extensions.
+  /// Duplicates that merge into an existing edge count zero, exactly like
+  /// the graph's own edge count.
+  std::int64_t edges_added = 0;
+  /// Every edge the stream removed: explicit E2 edges plus edges
+  /// implicitly dropped with removed vertices (each distinct edge once)
+  /// and old-old edges destroyed by extensions.
+  std::int64_t edges_removed = 0;
   std::int64_t repartitions = 0;
   std::int64_t balance_stages = 0;
   std::int64_t lp_iterations = 0;     ///< balance + refinement pivots
@@ -113,7 +126,9 @@ class Session {
   [[nodiscard]] int pending_updates() const noexcept {
     return pending_updates_;
   }
-  /// Quality metrics of the current partitioning.
+  /// Quality metrics of the current partitioning — an O(num_parts)
+  /// snapshot of the incrementally maintained graph::PartitionState, not a
+  /// graph rescan.
   [[nodiscard]] graph::PartitionMetrics metrics() const;
 
  private:
@@ -126,12 +141,17 @@ class Session {
   void run_backend(SessionReport& report,
                    const graph::Partitioning& old_partitioning,
                    graph::VertexId n_old);
-  [[nodiscard]] bool imbalance_exceeds_limit() const;
 
   ResolvedConfig resolved_;
   std::unique_ptr<Backend> backend_;
   graph::Graph graph_;
   graph::Partitioning partitioning_;
+  /// O(Δ)-maintained metrics over (graph_, partitioning_): per-part
+  /// weights, boundary costs and the cut, kept exact through every apply/
+  /// extend/repartition so metrics() and the batch-policy imbalance
+  /// trigger never rescan the graph.  The single source of truth for
+  /// imbalance (PartitionState::imbalance).
+  graph::PartitionState state_;
   SessionCounters counters_;
   int pending_updates_ = 0;
   /// Vertices added + removed since the last repartition (vertex_count

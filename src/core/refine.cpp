@@ -8,6 +8,7 @@
 #endif
 
 #include "core/transfer.hpp"
+#include "graph/partition_state.hpp"
 #include "support/check.hpp"
 
 namespace pigp::core {
@@ -151,10 +152,12 @@ lp::LinearProgram build_refinement_lp(
 RefineStats refine_partitioning(const graph::Graph& g,
                                 graph::Partitioning& partitioning,
                                 const RefineOptions& options) {
-  partitioning.validate(g);
   RefineStats stats;
   const auto parts = static_cast<std::size_t>(partitioning.num_parts);
-  double cut = graph::compute_metrics(g, partitioning).cut_total;
+  // One full rescan to seed the incremental state (it also validates);
+  // every round after this maintains the cut in O(deg) per moved vertex.
+  graph::PartitionState state(g, partitioning);
+  double cut = state.cut_total();
   stats.cut_before = cut;
   stats.cut_after = cut;
 
@@ -199,16 +202,17 @@ RefineStats refine_partitioning(const graph::Graph& g,
     }
 
     const graph::Partitioning snapshot = partitioning;
-    apply_gain_transfers(partitioning, candidates, moves);
+    const graph::PartitionState state_snapshot = state;  // O(P) vectors
+    apply_gain_transfers(g, partitioning, candidates, moves, state);
     ++stats.rounds;
 
-    const double new_cut =
-        graph::compute_metrics(g, partitioning).cut_total;
+    const double new_cut = state.cut_total();
     if (new_cut > cut && options.revert_on_regression) {
       // Batch interactions hurt (usually zero-gain vertices oscillating or
       // dense candidate clusters moving together); roll back and retry in
       // strict mode first, then with progressively smaller batches.
       partitioning = snapshot;
+      state = state_snapshot;
       if (!strict) {
         force_strict = true;
         continue;

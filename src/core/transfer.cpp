@@ -93,13 +93,13 @@ void apply_balance_transfers(const graph::Graph& g,
 }
 
 void apply_gain_transfers(
-    graph::Partitioning& partitioning,
+    const graph::Graph& g, graph::Partitioning& partitioning,
     const pigp::DenseMatrix<std::vector<GainCandidate>>& candidates,
-    const pigp::DenseMatrix<std::int64_t>& moves) {
+    const pigp::DenseMatrix<std::int64_t>& moves,
+    graph::PartitionState& state) {
   const auto parts = static_cast<std::size_t>(partitioning.num_parts);
   PIGP_CHECK(moves.rows() == parts && moves.cols() == parts,
              "move matrix shape mismatch");
-
   for (std::size_t i = 0; i < parts; ++i) {
     for (std::size_t j = 0; j < parts; ++j) {
       const std::int64_t count = moves(i, j);
@@ -113,9 +113,9 @@ void apply_gain_transfers(
                   return a.vertex < b.vertex;
                 });
       for (std::int64_t k = 0; k < count; ++k) {
-        partitioning.part[static_cast<std::size_t>(
-            list[static_cast<std::size_t>(k)].vertex)] =
-            static_cast<graph::PartId>(j);
+        state.move_vertex(g, partitioning,
+                          list[static_cast<std::size_t>(k)].vertex,
+                          static_cast<graph::PartId>(j));
       }
     }
   }

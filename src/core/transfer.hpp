@@ -15,6 +15,7 @@
 #include "core/layering.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 #include "support/dense_matrix.hpp"
 
 namespace pigp::core {
@@ -52,10 +53,14 @@ struct GainCandidate {
 };
 
 /// Move moves(i, j) vertices using the candidate lists produced by the
-/// refinement analysis, best gain first (ties on vertex id).
+/// refinement analysis, best gain first (ties on vertex id), routed
+/// through \p state so the cut is maintained incrementally in O(deg) per
+/// moved vertex — the refinement loop reads the post-round cut from the
+/// state instead of an O(V+E) recompute.
 void apply_gain_transfers(
-    graph::Partitioning& partitioning,
+    const graph::Graph& g, graph::Partitioning& partitioning,
     const pigp::DenseMatrix<std::vector<GainCandidate>>& candidates,
-    const pigp::DenseMatrix<std::int64_t>& moves);
+    const pigp::DenseMatrix<std::int64_t>& moves,
+    graph::PartitionState& state);
 
 }  // namespace pigp::core

@@ -23,6 +23,14 @@ struct VertexAddition {
   std::vector<std::pair<VertexId, double>> edges;  ///< (endpoint, weight)
 };
 
+/// Canonical (min, max) key of the undirected edge {u, v} — the one
+/// representation used for removed-edge lookups and dedup everywhere
+/// (apply_delta and the Session counter accounting must agree on it).
+[[nodiscard]] inline std::pair<VertexId, VertexId> canonical_edge(
+    VertexId u, VertexId v) noexcept {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
 /// A batch of incremental modifications to a graph.
 struct GraphDelta {
   std::vector<VertexAddition> added_vertices;  ///< V1 with incident edges
@@ -52,6 +60,11 @@ struct DeltaResult {
 /// Apply \p delta to \p g.  Throws pigp::CheckError on references to deleted
 /// or out-of-range vertices.  Adding an edge that already exists merges the
 /// weights (sum), mirroring GraphBuilder semantics.
+///
+/// Append-only deltas (no removals — the paper's refinement-front case)
+/// take a fast path that merges the O(Δ) new half-edges into the existing
+/// sorted CSR in one linear copy, instead of re-sorting the whole graph
+/// through GraphBuilder; the resulting graph is identical.
 [[nodiscard]] DeltaResult apply_delta(const Graph& g, const GraphDelta& delta);
 
 // Forward declaration (partition.hpp includes graph.hpp only).

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
+#include "graph/partition_state.hpp"
 #include "support/check.hpp"
 
 namespace pigp::graph {
@@ -18,34 +18,9 @@ void Partitioning::validate(const Graph& g) const {
 }
 
 PartitionMetrics compute_metrics(const Graph& g, const Partitioning& p) {
-  p.validate(g);
-  PartitionMetrics m;
-  m.boundary_cost.assign(static_cast<std::size_t>(p.num_parts), 0.0);
-  m.weight.assign(static_cast<std::size_t>(p.num_parts), 0.0);
-
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const PartId pv = p.part[static_cast<std::size_t>(v)];
-    m.weight[static_cast<std::size_t>(pv)] += g.vertex_weight(v);
-    const auto nbrs = g.neighbors(v);
-    const auto weights = g.incident_edge_weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const PartId pu = p.part[static_cast<std::size_t>(nbrs[i])];
-      if (pu == pv) continue;
-      m.boundary_cost[static_cast<std::size_t>(pv)] += weights[i];
-      if (nbrs[i] > v) m.cut_total += weights[i];  // count each edge once
-    }
-  }
-
-  m.cut_max = *std::max_element(m.boundary_cost.begin(),
-                                m.boundary_cost.end());
-  m.cut_min = *std::min_element(m.boundary_cost.begin(),
-                                m.boundary_cost.end());
-  m.max_weight = *std::max_element(m.weight.begin(), m.weight.end());
-  m.min_weight = *std::min_element(m.weight.begin(), m.weight.end());
-  m.avg_weight = std::accumulate(m.weight.begin(), m.weight.end(), 0.0) /
-                 static_cast<double>(p.num_parts);
-  m.imbalance = m.avg_weight > 0.0 ? m.max_weight / m.avg_weight : 1.0;
-  return m;
+  // One definition of every metric: the batch path is the incremental
+  // state's rebuild + snapshot, so the two can never disagree silently.
+  return PartitionState(g, p).snapshot();
 }
 
 std::vector<double> balance_targets(double total_weight, PartId num_parts) {

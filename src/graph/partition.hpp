@@ -50,6 +50,13 @@ struct PartitionMetrics {
   double imbalance = 0.0;
 };
 
+/// Full O(V+E) rescan; implemented as PartitionState::rebuild + snapshot
+/// (partition_state.hpp), which is also the O(Δ)-maintained incremental
+/// path — both share one definition of every metric.  Edge cases (same
+/// contract on both paths): a graph whose total vertex weight is zero
+/// reports avg_weight == 0 and the imbalance fallback 1.0; self-loop edges
+/// contribute nothing to boundary costs or the cut (Graph::validate
+/// rejects them structurally, and both metric paths skip them anyway).
 [[nodiscard]] PartitionMetrics compute_metrics(const Graph& g,
                                                const Partitioning& p);
 

@@ -1,0 +1,195 @@
+#include "graph/partition_state.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace pigp::graph {
+
+PartitionState::PartitionState(const Graph& g, const Partitioning& p) {
+  rebuild(g, p);
+}
+
+void PartitionState::rebuild(const Graph& g, const Partitioning& p) {
+  p.validate(g);
+  num_parts_ = p.num_parts;
+  weight_.assign(static_cast<std::size_t>(num_parts_), 0.0);
+  boundary_cost_.assign(static_cast<std::size_t>(num_parts_), 0.0);
+  cut_total_ = 0.0;
+
+  // Accumulation order matches the historical compute_metrics() loop so
+  // floating-point results are bit-identical to the pre-PartitionState
+  // implementation.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId pv = p.part[static_cast<std::size_t>(v)];
+    weight_[static_cast<std::size_t>(pv)] += g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId pu = p.part[static_cast<std::size_t>(nbrs[i])];
+      if (pu == pv) continue;  // internal edges and self-loops: no cost
+      boundary_cost_[static_cast<std::size_t>(pv)] += weights[i];
+      if (nbrs[i] > v) cut_total_ += weights[i];  // count each edge once
+    }
+  }
+}
+
+void PartitionState::move_vertex(const Graph& g, Partitioning& p, VertexId v,
+                                 PartId to) {
+  const PartId from = p.part[static_cast<std::size_t>(v)];
+  if (from == to) return;
+  PIGP_CHECK(to == kUnassigned || (to >= 0 && to < num_parts_),
+             "move_vertex destination out of range");
+
+  const auto nbrs = g.neighbors(v);
+  const auto weights = g.incident_edge_weights(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) continue;  // self-loops contribute nothing
+    const PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
+    if (q == kUnassigned) continue;  // counted when the neighbor is placed
+    const double w = weights[i];
+    if (from != kUnassigned && q != from) {
+      boundary_cost_[static_cast<std::size_t>(from)] -= w;
+      boundary_cost_[static_cast<std::size_t>(q)] -= w;
+      cut_total_ -= w;
+    }
+    if (to != kUnassigned && q != to) {
+      boundary_cost_[static_cast<std::size_t>(to)] += w;
+      boundary_cost_[static_cast<std::size_t>(q)] += w;
+      cut_total_ += w;
+    }
+  }
+  if (from != kUnassigned) {
+    weight_[static_cast<std::size_t>(from)] -= g.vertex_weight(v);
+  }
+  if (to != kUnassigned) {
+    weight_[static_cast<std::size_t>(to)] += g.vertex_weight(v);
+  }
+  p.part[static_cast<std::size_t>(v)] = to;
+}
+
+void PartitionState::add_edge(const Partitioning& p, VertexId u, VertexId v,
+                              double weight) {
+  if (u == v) return;  // self-loops contribute nothing
+  const PartId pu = p.part[static_cast<std::size_t>(u)];
+  const PartId pv = p.part[static_cast<std::size_t>(v)];
+  if (pu == kUnassigned || pv == kUnassigned || pu == pv) return;
+  boundary_cost_[static_cast<std::size_t>(pu)] += weight;
+  boundary_cost_[static_cast<std::size_t>(pv)] += weight;
+  cut_total_ += weight;
+}
+
+void PartitionState::remove_edge(const Partitioning& p, VertexId u, VertexId v,
+                                 double weight) {
+  add_edge(p, u, v, -weight);
+}
+
+void PartitionState::extend(const Graph& g, Partitioning& p,
+                            VertexId first_new, const Partitioning& placed) {
+  PIGP_CHECK(placed.num_vertices() == g.num_vertices(),
+             "placed partitioning does not cover the extended graph");
+  PIGP_CHECK(static_cast<VertexId>(p.part.size()) <= placed.num_vertices(),
+             "current partitioning larger than the extended one");
+  p.part.resize(static_cast<std::size_t>(g.num_vertices()), kUnassigned);
+  for (VertexId v = first_new; v < g.num_vertices(); ++v) {
+    move_vertex(g, p, v, placed.part[static_cast<std::size_t>(v)]);
+  }
+}
+
+void PartitionState::transition(const Graph& g, Partitioning& p,
+                                const Partitioning& target) {
+  PIGP_CHECK(target.num_vertices() == g.num_vertices(),
+             "target partitioning does not cover the graph");
+  PIGP_CHECK(static_cast<VertexId>(p.part.size()) <= target.num_vertices(),
+             "current partitioning larger than the target");
+  p.part.resize(static_cast<std::size_t>(g.num_vertices()), kUnassigned);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId want = target.part[static_cast<std::size_t>(v)];
+    if (p.part[static_cast<std::size_t>(v)] != want) {
+      move_vertex(g, p, v, want);
+    }
+  }
+}
+
+PartitionState::EdgeDiff PartitionState::reconcile_extension(
+    const Graph& g_old, const Graph& g_new, const Partitioning& p,
+    VertexId n_old) {
+  PIGP_CHECK(n_old == g_old.num_vertices() && g_new.num_vertices() >= n_old,
+             "reconcile_extension: new graph must extend the old one");
+  EdgeDiff diff;
+  for (VertexId v = 0; v < n_old; ++v) {
+    const double dw = g_new.vertex_weight(v) - g_old.vertex_weight(v);
+    if (dw != 0.0) {
+      const PartId pv = p.part[static_cast<std::size_t>(v)];
+      if (pv != kUnassigned) weight_[static_cast<std::size_t>(pv)] += dw;
+    }
+    // Merge-walk the sorted adjacencies; only edges with the higher id on
+    // the other side so each undirected old-old edge is handled once.  New
+    // vertices (ids >= n_old) sort last and are skipped: they are invisible
+    // until placed.
+    const auto old_nbrs = g_old.neighbors(v);
+    const auto old_w = g_old.incident_edge_weights(v);
+    const auto new_nbrs = g_new.neighbors(v);
+    const auto new_w = g_new.incident_edge_weights(v);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < old_nbrs.size() || b < new_nbrs.size()) {
+      const VertexId ua = a < old_nbrs.size() ? old_nbrs[a] : kInvalidVertex;
+      const VertexId ub = (b < new_nbrs.size() && new_nbrs[b] < n_old)
+                              ? new_nbrs[b]
+                              : kInvalidVertex;
+      if (ua == kInvalidVertex && ub == kInvalidVertex) break;
+      if (ub == kInvalidVertex || (ua != kInvalidVertex && ua < ub)) {
+        if (ua > v) {  // edge removed by the extension
+          remove_edge(p, v, ua, old_w[a]);
+          ++diff.removed;
+        }
+        ++a;
+      } else if (ua == kInvalidVertex || ub < ua) {
+        if (ub > v) {  // edge created by the extension
+          add_edge(p, v, ub, new_w[b]);
+          ++diff.added;
+        }
+        ++b;
+      } else {  // same neighbor; adjust if the weight changed
+        if (ua > v && new_w[b] != old_w[a]) {
+          add_edge(p, v, ua, new_w[b] - old_w[a]);
+        }
+        ++a;
+        ++b;
+      }
+    }
+  }
+  return diff;
+}
+
+PartitionMetrics PartitionState::snapshot() const {
+  PIGP_CHECK(num_parts_ >= 1, "snapshot of an empty PartitionState");
+  PartitionMetrics m;
+  m.boundary_cost = boundary_cost_;
+  m.weight = weight_;
+  m.cut_total = cut_total_;
+  m.cut_max = *std::max_element(boundary_cost_.begin(), boundary_cost_.end());
+  m.cut_min = *std::min_element(boundary_cost_.begin(), boundary_cost_.end());
+  m.max_weight = *std::max_element(weight_.begin(), weight_.end());
+  m.min_weight = *std::min_element(weight_.begin(), weight_.end());
+  m.avg_weight = std::accumulate(weight_.begin(), weight_.end(), 0.0) /
+                 static_cast<double>(num_parts_);
+  // Zero-weight fallback: an empty load profile is "perfectly balanced".
+  m.imbalance = m.avg_weight > 0.0 ? m.max_weight / m.avg_weight : 1.0;
+  return m;
+}
+
+double PartitionState::imbalance() const noexcept {
+  double max_weight = 0.0;
+  double total = 0.0;
+  for (const double w : weight_) {
+    max_weight = std::max(max_weight, w);
+    total += w;
+  }
+  const double avg = total / static_cast<double>(num_parts_);
+  return avg > 0.0 ? max_weight / avg : 1.0;
+}
+
+}  // namespace pigp::graph

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file partition_state.hpp
+/// Incrementally maintained partition quality state — the O(Δ) companion
+/// to compute_metrics().
+///
+/// The paper's premise is that absorbing an incremental modification must
+/// cost proportional to the *change*, not the graph.  PartitionState makes
+/// the quality metrics follow the same rule: it owns the per-partition
+/// weights W(q) (eq. 1), the per-partition boundary costs C(q) (eq. 2) and
+/// the total weighted cut, and keeps them exact under O(deg(v)) updates
+/// instead of the O(V+E) rescan compute_metrics() performs.  snapshot()
+/// then assembles a full PartitionMetrics in O(P).
+///
+/// compute_metrics() itself is implemented as rebuild() + snapshot(), so
+/// there is exactly one definition of every metric — the incremental and
+/// batch paths cannot disagree silently.  Edge-case contract (shared by
+/// both paths):
+///   * zero total weight => avg_weight == 0 and imbalance falls back to
+///     1.0 ("perfectly balanced nothing");
+///   * self-loops contribute nothing to any metric.  Graph forbids them
+///     structurally (validate() rejects them), and every update method
+///     additionally skips u == v so even a hand-built malformed adjacency
+///     cannot make the two paths drift apart;
+///   * vertices assigned kUnassigned contribute nothing at all (no weight,
+///     no edges).  This is how a partitioning mid-update — new vertices not
+///     yet placed, removed vertices retired — is represented.
+///
+/// All bookkeeping is plain addition/subtraction, so with integer-valued
+/// weights (the paper's unit-weight default) the state stays bit-identical
+/// to a fresh compute_metrics() forever; with arbitrary floating-point
+/// weights it is exact up to summation-order rounding.
+///
+/// The Partitioning remains the source of truth for assignments: mutating
+/// methods take it by reference and update it in lock-step with the
+/// aggregates, so state and assignment can never be out of sync.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace pigp::graph {
+
+class PartitionState {
+ public:
+  /// Empty state; rebuild() before use.
+  PartitionState() = default;
+
+  /// Equivalent to rebuild(g, p).
+  PartitionState(const Graph& g, const Partitioning& p);
+
+  /// Recompute everything from scratch in O(V+E).  Validates \p p (every
+  /// vertex assigned).  This is the one full-rescan entry point; the
+  /// methods below are the O(Δ) ones.
+  void rebuild(const Graph& g, const Partitioning& p);
+
+  /// Reassign \p v to \p to (which may be kUnassigned to retire the
+  /// vertex; v may currently be kUnassigned to place it).  Updates
+  /// p.part[v] and all aggregates in O(deg(v)).  Neighbors assigned
+  /// kUnassigned are invisible: their edges start counting when they are
+  /// placed, so placing a set of vertices one at a time counts every edge
+  /// exactly once.
+  void move_vertex(const Graph& g, Partitioning& p, VertexId v, PartId to);
+
+  /// Account for the undirected edge {u, v} of weight \p weight being
+  /// added (weight merges add the weight delta, matching GraphBuilder's
+  /// duplicate-merge semantics).  No-op contribution-wise unless both
+  /// endpoints are assigned to different partitions.  O(1).
+  void add_edge(const Partitioning& p, VertexId u, VertexId v, double weight);
+
+  /// Inverse of add_edge. O(1).
+  void remove_edge(const Partitioning& p, VertexId u, VertexId v,
+                   double weight);
+
+  /// Fold the placements of the appended vertices [first_new,
+  /// g.num_vertices()) into the state: \p p currently covers only
+  /// [0, first_new) (the state's view), \p placed covers every vertex with
+  /// old assignments unchanged.  Grows p to match placed and applies one
+  /// move_vertex per new vertex — O(Σ deg(new)).
+  void extend(const Graph& g, Partitioning& p, VertexId first_new,
+              const Partitioning& placed);
+
+  /// Bring the state from \p p to \p target by moving exactly the vertices
+  /// whose assignment differs: O(V) id compares + O(deg) per changed
+  /// vertex — far below a rebuild when a repartition only moved a few
+  /// boundary layers.  \p p may be shorter than target (missing tail =
+  /// kUnassigned, i.e. freshly appended vertices) and becomes equal to
+  /// target.
+  void transition(const Graph& g, Partitioning& p, const Partitioning& target);
+
+  /// Reconcile an apply_extended()-style graph swap where edges *between
+  /// old vertices* may also have changed (mesh retriangulation destroys
+  /// and creates old-old edges): one merge-walk over the old-vertex
+  /// adjacencies applies the exact edge diff, including weight changes.
+  /// Appended vertices stay invisible until extend()/move_vertex() places
+  /// them.  Returns the number of distinct edges *between old vertices*
+  /// {added, removed}; edges attached to the appended vertices are NOT in
+  /// `added` — callers accounting totals must derive those from the edge
+  /// counts (as Session::apply_extended does).
+  struct EdgeDiff {
+    std::int64_t added = 0;
+    std::int64_t removed = 0;
+  };
+  EdgeDiff reconcile_extension(const Graph& g_old, const Graph& g_new,
+                               const Partitioning& p, VertexId n_old);
+
+  /// Full PartitionMetrics in O(P): copies W/C, derives max/min/avg/
+  /// imbalance with exactly compute_metrics()'s formulas.
+  [[nodiscard]] PartitionMetrics snapshot() const;
+
+  [[nodiscard]] double cut_total() const noexcept { return cut_total_; }
+  [[nodiscard]] PartId num_parts() const noexcept { return num_parts_; }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weight_;
+  }
+  [[nodiscard]] const std::vector<double>& boundary_costs() const noexcept {
+    return boundary_cost_;
+  }
+  /// max W(q) / avg W, 1.0 when the total weight is zero — the *single*
+  /// definition of imbalance (Session batch triggers and reports both read
+  /// it from here).  O(P).
+  [[nodiscard]] double imbalance() const noexcept;
+
+ private:
+  std::vector<double> weight_;         ///< W(q)
+  std::vector<double> boundary_cost_;  ///< C(q)
+  double cut_total_ = 0.0;
+  PartId num_parts_ = 0;
+};
+
+}  // namespace pigp::graph

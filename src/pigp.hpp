@@ -25,3 +25,4 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"

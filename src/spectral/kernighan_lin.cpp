@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/partition_state.hpp"
 #include "support/check.hpp"
 #include "support/dense_matrix.hpp"
 
@@ -13,6 +14,7 @@ namespace {
 using graph::Graph;
 using graph::PartId;
 using graph::Partitioning;
+using graph::PartitionState;
 using graph::VertexId;
 
 /// D value of vertex v for the pair (own, other): external minus internal
@@ -36,8 +38,10 @@ double d_value(const Graph& g, const Partitioning& p, VertexId v,
 }
 
 /// One KL pass over the pair (a, b).  Returns the realized (kept) gain.
-double kl_pair_pass(const Graph& g, Partitioning& p, PartId a, PartId b,
-                    const KlOptions& options) {
+/// Kept swaps go through \p state so the running cut stays exact without
+/// ever rescanning the graph.
+double kl_pair_pass(const Graph& g, Partitioning& p, PartitionState& state,
+                    PartId a, PartId b, const KlOptions& options) {
   // Candidate sets: boundary vertices of the pair with equal weights
   // (swapping unequal weights would break balance).
   std::vector<VertexId> side_a;
@@ -140,8 +144,8 @@ double kl_pair_pass(const Graph& g, Partitioning& p, PartId a, PartId b,
     }
   }
   for (std::size_t i = 0; i < best_len; ++i) {
-    p.part[static_cast<std::size_t>(side_a[sequence[i].ia])] = b;
-    p.part[static_cast<std::size_t>(side_b[sequence[i].ib])] = a;
+    state.move_vertex(g, p, side_a[sequence[i].ia], b);
+    state.move_vertex(g, p, side_b[sequence[i].ib], a);
   }
   return best_total;
 }
@@ -150,9 +154,11 @@ double kl_pair_pass(const Graph& g, Partitioning& p, PartId a, PartId b,
 
 KlStats kernighan_lin_refine(const Graph& g, Partitioning& partitioning,
                              const KlOptions& options) {
-  partitioning.validate(g);
   KlStats stats;
-  stats.cut_before = graph::compute_metrics(g, partitioning).cut_total;
+  // One seeding rescan (validates); the per-swap updates keep the cut
+  // exact so both reported cuts come from the same maintained state.
+  PartitionState state(g, partitioning);
+  stats.cut_before = state.cut_total();
   stats.cut_after = stats.cut_before;
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
@@ -184,7 +190,8 @@ KlStats kernighan_lin_refine(const Graph& g, Partitioning& partitioning,
 
     double pass_gain = 0.0;
     for (const auto& [i, j] : pairs) {
-      const double gain = kl_pair_pass(g, partitioning, i, j, options);
+      const double gain =
+          kl_pair_pass(g, partitioning, state, i, j, options);
       if (gain > 0.0) {
         pass_gain += gain;
         ++stats.swaps_kept;
@@ -194,7 +201,7 @@ KlStats kernighan_lin_refine(const Graph& g, Partitioning& partitioning,
     if (pass_gain < options.min_pass_gain) break;
   }
 
-  stats.cut_after = graph::compute_metrics(g, partitioning).cut_total;
+  stats.cut_after = state.cut_total();
   return stats;
 }
 

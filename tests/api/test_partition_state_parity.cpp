@@ -1,0 +1,323 @@
+// Randomized parity: a Session driven through mixed insert/delete/extend
+// delta streams must keep its incrementally maintained PartitionState
+// bit-identical to a fresh graph::compute_metrics after EVERY step — and
+// the fixed SessionCounters semantics must match brute-force edge/vertex
+// accounting against the actual graphs.  All weights are integer-valued so
+// the floating-point bookkeeping is exact and the comparison can be ==.
+//
+// This file is registered under the ctest `smoke` label so CI exercises it
+// on every build configuration, including ASan+UBSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "api/session.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "spectral/partitioners.hpp"
+#include "support/rng.hpp"
+
+namespace pigp {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::GraphDelta;
+using graph::PartitionMetrics;
+using graph::Partitioning;
+using graph::VertexAddition;
+using graph::VertexId;
+
+using EdgeSet = std::set<std::pair<VertexId, VertexId>>;
+
+/// Canonical edges of \p g between vertices with id < limit.
+EdgeSet edge_set(const Graph& g, VertexId limit) {
+  EdgeSet edges;
+  for (VertexId v = 0; v < std::min(limit, g.num_vertices()); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v && u < limit) edges.emplace(v, u);
+    }
+  }
+  return edges;
+}
+
+/// The parity assertion: the session's O(P) metrics snapshot must equal a
+/// fresh full rescan, field for field, bit for bit.
+void expect_metrics_parity(const Session& session, const char* where,
+                           int step) {
+  const PartitionMetrics inc = session.metrics();
+  const PartitionMetrics full =
+      graph::compute_metrics(session.graph(), session.partitioning());
+  EXPECT_EQ(inc.weight, full.weight) << where << " step " << step;
+  EXPECT_EQ(inc.boundary_cost, full.boundary_cost)
+      << where << " step " << step;
+  EXPECT_EQ(inc.cut_total, full.cut_total) << where << " step " << step;
+  EXPECT_EQ(inc.cut_max, full.cut_max) << where << " step " << step;
+  EXPECT_EQ(inc.cut_min, full.cut_min) << where << " step " << step;
+  EXPECT_EQ(inc.max_weight, full.max_weight) << where << " step " << step;
+  EXPECT_EQ(inc.min_weight, full.min_weight) << where << " step " << step;
+  EXPECT_EQ(inc.avg_weight, full.avg_weight) << where << " step " << step;
+  EXPECT_EQ(inc.imbalance, full.imbalance) << where << " step " << step;
+}
+
+/// A delta mixing vertex additions (integer weights, edges to survivors
+/// and chained new-new edges), explicit edge additions (old-old, old-new,
+/// duplicates allowed so weight-merging is exercised), vertex removals
+/// (with duplicate V2 entries) and explicit edge removals (sometimes
+/// incident to removed vertices, sometimes listed twice).
+GraphDelta random_delta(const Graph& g, SplitMix64& rng, bool removals) {
+  const VertexId n = g.num_vertices();
+  GraphDelta delta;
+
+  std::set<VertexId> removed;
+  if (removals && n > 60) {
+    const int count = 1 + static_cast<int>(rng.next_below(4));
+    for (int i = 0; i < count; ++i) {
+      removed.insert(static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+    delta.removed_vertices.assign(removed.begin(), removed.end());
+    if (rng.next_below(3) == 0) {
+      delta.removed_vertices.push_back(delta.removed_vertices.front());
+    }
+  }
+  const auto survives = [&](VertexId v) { return removed.count(v) == 0; };
+  const auto random_survivor = [&] {
+    for (;;) {
+      const auto v = static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (survives(v)) return v;
+    }
+  };
+
+  const int edge_removals =
+      removals ? static_cast<int>(rng.next_below(3)) : 0;
+  for (int i = 0; i < edge_removals; ++i) {
+    const auto v = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.empty()) continue;
+    const VertexId u = nbrs[rng.next_below(nbrs.size())];
+    delta.removed_edges.emplace_back(v, u);
+    if (rng.next_below(4) == 0) delta.removed_edges.emplace_back(u, v);
+  }
+
+  const int additions = 2 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < additions; ++i) {
+    VertexAddition add;
+    add.weight = 1.0 + static_cast<double>(rng.next_below(3));
+    add.edges.emplace_back(random_survivor(),
+                           1.0 + static_cast<double>(rng.next_below(2)));
+    if (i > 0) add.edges.emplace_back(n + i - 1, 1.0);
+    delta.added_vertices.push_back(std::move(add));
+  }
+
+  const int edge_additions = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < edge_additions; ++i) {
+    const VertexId a = random_survivor();
+    VertexId b = random_survivor();
+    if (a == b) {
+      b = static_cast<VertexId>(
+          n + static_cast<VertexId>(rng.next_below(
+                  static_cast<std::uint64_t>(additions))));
+      if (a == b) continue;
+    }
+    delta.added_edges.emplace_back(a, b);
+    delta.added_edge_weights.push_back(
+        1.0 + static_cast<double>(rng.next_below(4)));
+  }
+  return delta;
+}
+
+/// Brute-force: distinct old edges that applying \p delta must remove
+/// (implicitly via removed vertices or explicitly), straight off the
+/// old graph's edge list.
+std::int64_t expected_edges_removed(const Graph& before,
+                                    const GraphDelta& delta) {
+  const std::set<VertexId> removed(delta.removed_vertices.begin(),
+                                   delta.removed_vertices.end());
+  EdgeSet removed_edges;
+  for (const auto& [u, v] : delta.removed_edges) {
+    removed_edges.emplace(std::min(u, v), std::max(u, v));
+  }
+  std::int64_t count = 0;
+  for (VertexId v = 0; v < before.num_vertices(); ++v) {
+    for (const VertexId u : before.neighbors(v)) {
+      if (u <= v) continue;
+      if (removed.count(v) != 0 || removed.count(u) != 0 ||
+          removed_edges.count({v, u}) != 0) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+/// An extension of \p g (for apply_extended): appends a connected clump of
+/// new vertices and rewires the old-old structure — drops one existing
+/// edge, adds one new edge, changes one weight — exercising the
+/// reconcile_extension diff walk.
+Graph random_extension(const Graph& g, SplitMix64& rng) {
+  const VertexId n = g.num_vertices();
+  const auto pick = [&] {
+    return static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+  };
+  std::pair<VertexId, VertexId> dropped{-1, -1};
+  {
+    const VertexId v = pick();
+    const auto nbrs = g.neighbors(v);
+    if (!nbrs.empty()) {
+      const VertexId u = nbrs[rng.next_below(nbrs.size())];
+      dropped = {std::min(u, v), std::max(u, v)};
+    }
+  }
+  std::pair<VertexId, VertexId> reweighted{-1, -1};
+  {
+    const VertexId v = pick();
+    const auto nbrs = g.neighbors(v);
+    if (!nbrs.empty()) {
+      const VertexId u = nbrs[rng.next_below(nbrs.size())];
+      reweighted = {std::min(u, v), std::max(u, v)};
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    builder.set_vertex_weight(v, g.vertex_weight(v));
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (u <= v) continue;
+      if (std::make_pair(v, u) == dropped) continue;
+      const double extra =
+          std::make_pair(v, u) == reweighted && dropped != reweighted ? 2.0
+                                                                      : 0.0;
+      builder.add_edge(v, u, weights[i] + extra);
+    }
+  }
+  // One created old-old edge (if the pair is free).
+  const VertexId a = pick();
+  const VertexId b = pick();
+  if (a != b && !g.has_edge(a, b) &&
+      std::make_pair(std::min(a, b), std::max(a, b)) != dropped) {
+    builder.add_edge(a, b, 3.0);
+  }
+  const int clump = 3 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < clump; ++i) {
+    const VertexId id = builder.add_vertex(
+        1.0 + static_cast<double>(rng.next_below(2)));
+    builder.add_edge(id, pick(), 1.0);
+    if (i > 0) builder.add_edge(id, id - 1, 1.0);
+  }
+  return builder.build();
+}
+
+SessionConfig make_config(BatchPolicy policy) {
+  SessionConfig config;
+  config.num_parts = 6;
+  config.backend = "igpr";
+  config.batch_policy = policy;
+  config.batch_vertex_limit = 25;
+  config.batch_imbalance_limit = 1.1;
+  return config;
+}
+
+/// Drives one session through `steps` mixed operations, asserting metric
+/// parity and exact counter accounting after every single call.
+void drive_and_check(BatchPolicy policy, std::uint64_t seed, int steps) {
+  const Graph base = graph::random_geometric_graph(350, 0.09, 77);
+  const Partitioning initial = spectral::recursive_graph_bisection(base, 6);
+  Session session(make_config(policy), base, initial);
+  expect_metrics_parity(session, "construction", -1);
+
+  SplitMix64 rng(seed);
+  SessionCounters last = session.counters();
+  for (int step = 0; step < steps; ++step) {
+    const Graph before = session.graph();
+
+    if (step % 5 == 4) {
+      const Graph extended = random_extension(before, rng);
+      const EdgeSet old_oo = edge_set(before, before.num_vertices());
+      const EdgeSet new_oo = edge_set(extended, before.num_vertices());
+      std::int64_t removed = 0;
+      for (const auto& e : old_oo) removed += new_oo.count(e) == 0 ? 1 : 0;
+      (void)session.apply_extended(extended, before.num_vertices());
+      expect_metrics_parity(session, "apply_extended", step);
+
+      const SessionCounters& c = session.counters();
+      EXPECT_EQ(c.edges_removed - last.edges_removed, removed) << step;
+      EXPECT_EQ(c.edges_added - last.edges_added,
+                extended.num_edges() - (before.num_edges() - removed))
+          << step;
+      EXPECT_EQ(c.vertices_added - last.vertices_added,
+                extended.num_vertices() - before.num_vertices())
+          << step;
+    } else {
+      const GraphDelta delta = random_delta(before, rng, step % 2 == 1);
+      const std::int64_t removed = expected_edges_removed(before, delta);
+      const std::set<VertexId> removed_vertices(
+          delta.removed_vertices.begin(), delta.removed_vertices.end());
+      (void)session.apply(delta);
+      expect_metrics_parity(session, "apply", step);
+
+      const SessionCounters& c = session.counters();
+      EXPECT_EQ(c.vertices_removed - last.vertices_removed,
+                static_cast<std::int64_t>(removed_vertices.size()))
+          << step;
+      EXPECT_EQ(c.vertices_added - last.vertices_added,
+                static_cast<std::int64_t>(delta.added_vertices.size()))
+          << step;
+      EXPECT_EQ(c.edges_removed - last.edges_removed, removed) << step;
+      EXPECT_EQ(c.edges_added - last.edges_added,
+                session.graph().num_edges() -
+                    (before.num_edges() - removed))
+          << step;
+    }
+    last = session.counters();
+
+    if (step % 7 == 3) {
+      (void)session.repartition();
+      expect_metrics_parity(session, "repartition", step);
+    }
+  }
+}
+
+TEST(PartitionStateParity, EveryDeltaStreamBitMatchesFullRecompute) {
+  drive_and_check(BatchPolicy::every_delta, 1001, 15);
+}
+
+TEST(PartitionStateParity, VertexCountBatchedStreamBitMatches) {
+  drive_and_check(BatchPolicy::vertex_count, 2002, 20);
+}
+
+TEST(PartitionStateParity, ImbalanceBatchedStreamBitMatches) {
+  drive_and_check(BatchPolicy::imbalance, 3003, 20);
+}
+
+TEST(PartitionStateParity, ScratchBackendStreamBitMatches) {
+  // The scratch backend replaces the whole partitioning every trigger —
+  // the worst case for the state transition path.
+  const Graph base = graph::random_geometric_graph(250, 0.11, 5);
+  SessionConfig config;
+  config.num_parts = 4;
+  config.backend = "scratch";
+  config.scratch_method = "rgb";
+  Session session(config, base);
+  expect_metrics_parity(session, "construction", -1);
+
+  SplitMix64 rng(4004);
+  for (int step = 0; step < 6; ++step) {
+    (void)session.apply(random_delta(session.graph(), rng, step % 2 == 1));
+    expect_metrics_parity(session, "scratch apply", step);
+  }
+}
+
+}  // namespace
+}  // namespace pigp

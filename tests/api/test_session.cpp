@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/igp.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "mesh/paper_meshes.hpp"
 #include "spectral/partitioners.hpp"
@@ -278,6 +279,98 @@ TEST(Session, ScratchConstructorPartitionsFromScratch) {
     session.partitioning().validate(g);
     EXPECT_TRUE(graph::is_balanced(g, session.partitioning())) << method;
   }
+}
+
+TEST(Session, CountersIncludeImplicitEdgeRemovals) {
+  // A 5-cycle with a chord: removing vertex 0 implicitly drops its three
+  // incident edges; an explicit removal drops one more; a duplicate entry
+  // in E2 must not double-count.
+  graph::GraphBuilder builder(5);
+  builder.add_edge(0, 1, 1.0);
+  builder.add_edge(1, 2, 1.0);
+  builder.add_edge(2, 3, 1.0);
+  builder.add_edge(3, 4, 1.0);
+  builder.add_edge(4, 0, 1.0);
+  builder.add_edge(0, 2, 1.0);  // chord
+  const Graph g = builder.build();
+  Partitioning initial;
+  initial.num_parts = 2;
+  initial.part = {0, 0, 0, 1, 1};
+  Session session(basic_config(2, "igpr"), g, initial);
+
+  GraphDelta delta;
+  delta.removed_vertices = {0};
+  delta.removed_edges = {{2, 3}, {3, 2}};  // duplicate listing
+  VertexAddition add;  // keep both sides non-empty for the backend
+  add.edges.emplace_back(1, 1.0);
+  delta.added_vertices.push_back(add);
+  (void)session.apply(delta);
+
+  const SessionCounters& c = session.counters();
+  EXPECT_EQ(c.vertices_removed, 1);
+  // {0,1}, {4,0}, {0,2} via the removed vertex + {2,3} explicitly.
+  EXPECT_EQ(c.edges_removed, 4);
+  // The added vertex brought one edge.
+  EXPECT_EQ(c.edges_added, 1);
+  EXPECT_EQ(session.graph().num_edges(), 3);  // 6 - 4 + 1
+}
+
+TEST(Session, CountersIncludeNewVertexAndMergedEdgeAdditions) {
+  graph::GraphBuilder builder(4);
+  builder.add_edge(0, 1, 1.0);
+  builder.add_edge(2, 3, 1.0);
+  builder.add_edge(1, 2, 1.0);
+  const Graph g = builder.build();
+  Partitioning initial;
+  initial.num_parts = 2;
+  initial.part = {0, 0, 1, 1};
+  Session session(basic_config(2, "igpr"), g, initial);
+
+  GraphDelta delta;
+  VertexAddition add;
+  add.weight = 2.0;
+  add.edges.emplace_back(0, 1.0);
+  add.edges.emplace_back(3, 1.0);
+  delta.added_vertices.push_back(add);
+  delta.added_edges = {{0, 3}, {0, 1}};  // one new edge + one weight merge
+  delta.added_edge_weights = {1.0, 4.0};
+  (void)session.apply(delta);
+
+  const SessionCounters& c = session.counters();
+  // Two attachment edges + {0,3}; the {0,1} merge adds no edge, exactly
+  // like the graph's own edge count.
+  EXPECT_EQ(c.edges_added, 3);
+  EXPECT_EQ(c.edges_removed, 0);
+  EXPECT_EQ(session.graph().num_edges(), 6);
+  EXPECT_EQ(session.graph().edge_weight(0, 1), 5.0);  // merged
+}
+
+TEST(Session, CountersIncludeExtensionEdges) {
+  const Graph g = graph::random_geometric_graph(120, 0.15, 29);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+  Session session(basic_config(4, "igpr"), g, initial);
+
+  // Extend with 3 vertices: 3 attachment edges + 2 chain edges.
+  graph::GraphBuilder builder(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    builder.set_vertex_weight(v, g.vertex_weight(v));
+    for (std::size_t i = 0; i < g.neighbors(v).size(); ++i) {
+      const graph::VertexId u = g.neighbors(v)[i];
+      if (u > v) builder.add_edge(v, u, g.incident_edge_weights(v)[i]);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    const graph::VertexId id = builder.add_vertex();
+    builder.add_edge(id, static_cast<graph::VertexId>(i * 17), 1.0);
+    if (i > 0) builder.add_edge(id, id - 1, 1.0);
+  }
+  (void)session.apply_extended(builder.build(), g.num_vertices());
+
+  const SessionCounters& c = session.counters();
+  EXPECT_EQ(c.extensions_applied, 1);
+  EXPECT_EQ(c.vertices_added, 3);
+  EXPECT_EQ(c.edges_added, 5);  // regression: used to stay 0
+  EXPECT_EQ(c.edges_removed, 0);
 }
 
 TEST(Session, CountersAccumulateAcrossTheStream) {

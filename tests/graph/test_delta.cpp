@@ -134,5 +134,84 @@ TEST(GraphDelta, EmptyDeltaIsIdentity) {
   EXPECT_EQ(r.first_new_vertex, base.num_vertices());
 }
 
+TEST(GraphDelta, AppendOnlyFastPathMatchesBuilderReconstruction) {
+  // The no-removals fast path merges into the old CSR instead of
+  // rebuilding; the result must be indistinguishable from pushing the old
+  // graph plus the delta through GraphBuilder (the general path's engine).
+  const Graph base = random_geometric_graph(180, 0.12, 55);
+  GraphDelta delta;
+  // New vertices with weighted edges to old anchors and a new-new chain.
+  delta.added_vertices.push_back({2.0, {{3, 2.0}, {77, 1.0}}});
+  delta.added_vertices.push_back({1.0, {{180, 3.0}, {12, 1.0}}});
+  delta.added_vertices.push_back({3.0, {{181, 1.0}}});
+  // Old-old edge, duplicate listing (merges), old-new edge, and a
+  // duplicate of an edge the graph already has (merges with it).
+  VertexId non_neighbor = 9;
+  while (base.has_edge(5, non_neighbor)) ++non_neighbor;
+  delta.added_edges = {{5, non_neighbor}, {5, non_neighbor}, {40, 182}};
+  delta.added_edge_weights = {2.0, 3.0, 1.0};
+  const VertexId anchor_existing = base.neighbors(7).front();
+  delta.added_edges.emplace_back(7, anchor_existing);
+  delta.added_edge_weights.push_back(4.0);
+
+  const DeltaResult fast = apply_delta(base, delta);
+  fast.graph.validate();
+
+  GraphBuilder builder(base.num_vertices());
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    builder.set_vertex_weight(v, base.vertex_weight(v));
+    for (std::size_t i = 0; i < base.neighbors(v).size(); ++i) {
+      if (base.neighbors(v)[i] > v) {
+        builder.add_edge(v, base.neighbors(v)[i],
+                         base.incident_edge_weights(v)[i]);
+      }
+    }
+  }
+  for (const auto& add : delta.added_vertices) {
+    const VertexId id = builder.add_vertex(add.weight);
+    for (const auto& [endpoint, w] : add.edges) {
+      builder.add_edge(id, endpoint, w);
+    }
+  }
+  for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
+    builder.add_edge(delta.added_edges[i].first, delta.added_edges[i].second,
+                     delta.added_edge_weights[i]);
+  }
+  EXPECT_EQ(fast.graph, builder.build());
+  EXPECT_EQ(fast.first_new_vertex, base.num_vertices());
+  EXPECT_EQ(fast.old_to_new[42], 42);
+  EXPECT_DOUBLE_EQ(fast.graph.edge_weight(5, non_neighbor),
+                   5.0);  // 2 + 3 merged
+  EXPECT_DOUBLE_EQ(
+      fast.graph.edge_weight(7, anchor_existing),
+      base.edge_weight(7, anchor_existing) + 4.0);  // merged onto existing
+}
+
+TEST(GraphDelta, AppendOnlyFastPathValidatesLikeTheGeneralPath) {
+  const Graph base = square();
+  {
+    GraphDelta bad;  // forward reference
+    bad.added_vertices.push_back({1.0, {{5, 1.0}}});
+    bad.added_vertices.push_back({1.0, {}});
+    EXPECT_THROW(apply_delta(base, bad), CheckError);
+  }
+  {
+    GraphDelta bad;  // self-loop via added_edges
+    bad.added_edges.push_back({2, 2});
+    EXPECT_THROW(apply_delta(base, bad), CheckError);
+  }
+  {
+    GraphDelta bad;  // out-of-range endpoint
+    bad.added_edges.push_back({0, 4});
+    EXPECT_THROW(apply_delta(base, bad), CheckError);
+  }
+  {
+    GraphDelta bad;  // weights not parallel
+    bad.added_edges.push_back({0, 2});
+    bad.added_edge_weights = {1.0, 2.0};
+    EXPECT_THROW(apply_delta(base, bad), CheckError);
+  }
+}
+
 }  // namespace
 }  // namespace pigp::graph

@@ -1,0 +1,286 @@
+// graph::PartitionState — the O(Δ)-maintained metrics substrate.  The
+// invariant under test everywhere: any sequence of incremental updates
+// leaves the state bit-identical (integer-valued weights) to a fresh
+// rescan of the final configuration.
+
+#include "graph/partition_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pigp::graph {
+namespace {
+
+/// Reference implementation tolerating kUnassigned entries: unassigned
+/// vertices contribute neither weight nor edges.
+struct Brute {
+  std::vector<double> weight;
+  std::vector<double> boundary;
+  double cut = 0.0;
+};
+
+Brute brute_force(const Graph& g, const Partitioning& p) {
+  Brute b;
+  b.weight.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+  b.boundary.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId pv = p.part[static_cast<std::size_t>(v)];
+    if (pv == kUnassigned) continue;
+    b.weight[static_cast<std::size_t>(pv)] += g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto weights = g.incident_edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId pu = p.part[static_cast<std::size_t>(nbrs[i])];
+      if (pu == kUnassigned || pu == pv) continue;
+      b.boundary[static_cast<std::size_t>(pv)] += weights[i];
+      if (nbrs[i] > v) b.cut += weights[i];
+    }
+  }
+  return b;
+}
+
+void expect_state_matches(const PartitionState& state, const Graph& g,
+                          const Partitioning& p, const char* where) {
+  const Brute b = brute_force(g, p);
+  EXPECT_EQ(state.weights(), b.weight) << where;
+  EXPECT_EQ(state.boundary_costs(), b.boundary) << where;
+  EXPECT_EQ(state.cut_total(), b.cut) << where;
+}
+
+Partitioning random_partitioning(VertexId n, PartId parts, SplitMix64& rng) {
+  Partitioning p;
+  p.num_parts = parts;
+  p.part.resize(static_cast<std::size_t>(n));
+  for (auto& q : p.part) {
+    q = static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(parts)));
+  }
+  return p;
+}
+
+TEST(PartitionState, RebuildAndSnapshotMatchComputeMetrics) {
+  SplitMix64 rng(11);
+  const Graph g = random_geometric_graph(300, 0.1, 3);
+  const Partitioning p = random_partitioning(g.num_vertices(), 5, rng);
+
+  const PartitionState state(g, p);
+  const PartitionMetrics fresh = compute_metrics(g, p);
+  EXPECT_EQ(state.snapshot().weight, fresh.weight);
+  EXPECT_EQ(state.snapshot().boundary_cost, fresh.boundary_cost);
+  EXPECT_EQ(state.snapshot().cut_total, fresh.cut_total);
+  EXPECT_EQ(state.snapshot().imbalance, fresh.imbalance);
+  EXPECT_EQ(state.snapshot().cut_max, fresh.cut_max);
+  EXPECT_EQ(state.snapshot().cut_min, fresh.cut_min);
+}
+
+TEST(PartitionState, MoveRetireAndPlaceSequencesStayExact) {
+  SplitMix64 rng(23);
+  const Graph g = random_geometric_graph(200, 0.12, 5);
+  Partitioning p = random_partitioning(g.num_vertices(), 4, rng);
+  PartitionState state(g, p);
+
+  for (int step = 0; step < 500; ++step) {
+    const auto v = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+    // Mix plain moves with retire (-> kUnassigned) and re-place cycles.
+    PartId to;
+    if (rng.next_below(5) == 0) {
+      to = kUnassigned;
+    } else {
+      to = static_cast<PartId>(rng.next_below(4));
+    }
+    state.move_vertex(g, p, v, to);
+    EXPECT_EQ(p.part[static_cast<std::size_t>(v)], to);
+  }
+  expect_state_matches(state, g, p, "after 500 random moves");
+}
+
+TEST(PartitionState, MoveVertexRejectsOutOfRangeDestination) {
+  const Graph g = random_geometric_graph(50, 0.2, 7);
+  SplitMix64 rng(3);
+  Partitioning p = random_partitioning(g.num_vertices(), 3, rng);
+  PartitionState state(g, p);
+  EXPECT_THROW(state.move_vertex(g, p, 0, 3), CheckError);
+  EXPECT_THROW(state.move_vertex(g, p, 0, -2), CheckError);
+}
+
+TEST(PartitionState, AddAndRemoveEdgeMatchRebuildOnTheModifiedGraph) {
+  // Simulate an edge flip: state on g1 plus add/remove bookkeeping must
+  // equal a rebuild on g2 (which has {0,3} instead of {1,2}).
+  GraphBuilder b1(4);
+  b1.add_edge(0, 1, 2.0);
+  b1.add_edge(1, 2, 3.0);
+  b1.add_edge(2, 3, 1.0);
+  const Graph g1 = b1.build();
+  GraphBuilder b2(4);
+  b2.add_edge(0, 1, 2.0);
+  b2.add_edge(2, 3, 1.0);
+  b2.add_edge(0, 3, 5.0);
+  const Graph g2 = b2.build();
+
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+
+  PartitionState state(g1, p);
+  state.remove_edge(p, 1, 2, 3.0);
+  state.add_edge(p, 0, 3, 5.0);
+
+  const PartitionState fresh(g2, p);
+  EXPECT_EQ(state.weights(), fresh.weights());
+  EXPECT_EQ(state.boundary_costs(), fresh.boundary_costs());
+  EXPECT_EQ(state.cut_total(), fresh.cut_total());
+
+  // Edges with an unassigned endpoint are invisible on both paths.
+  Partitioning q = p;
+  PartitionState retired(g1, q);
+  retired.move_vertex(g1, q, 1, kUnassigned);
+  const double cut_before = retired.cut_total();
+  retired.remove_edge(q, 1, 2, 3.0);  // endpoint retired: no-op
+  EXPECT_EQ(retired.cut_total(), cut_before);
+}
+
+TEST(PartitionState, ExtendCountsEveryAppendedEdgeExactlyOnce) {
+  SplitMix64 rng(31);
+  const Graph base = random_geometric_graph(120, 0.15, 9);
+  Partitioning p = random_partitioning(base.num_vertices(), 4, rng);
+  PartitionState state(base, p);
+
+  // Extend with a connected clump: edges old-new and new-new.
+  GraphBuilder builder(base.num_vertices());
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    builder.set_vertex_weight(v, base.vertex_weight(v));
+    for (std::size_t i = 0; i < base.neighbors(v).size(); ++i) {
+      const VertexId u = base.neighbors(v)[i];
+      if (u > v) builder.add_edge(v, u, base.incident_edge_weights(v)[i]);
+    }
+  }
+  const VertexId first_new = base.num_vertices();
+  for (int k = 0; k < 10; ++k) {
+    const VertexId id = builder.add_vertex(2.0);
+    builder.add_edge(id, static_cast<VertexId>(rng.next_below(
+                             static_cast<std::uint64_t>(first_new))),
+                     3.0);
+    if (k > 0) builder.add_edge(id, id - 1, 1.0);
+  }
+  const Graph extended = builder.build();
+
+  Partitioning placed;
+  placed.num_parts = p.num_parts;
+  placed.part = p.part;
+  placed.part.resize(static_cast<std::size_t>(extended.num_vertices()));
+  for (VertexId v = first_new; v < extended.num_vertices(); ++v) {
+    placed.part[static_cast<std::size_t>(v)] =
+        static_cast<PartId>(rng.next_below(4));
+  }
+
+  state.extend(extended, p, first_new, placed);
+  EXPECT_EQ(p.part, placed.part);
+  const PartitionState fresh(extended, placed);
+  EXPECT_EQ(state.weights(), fresh.weights());
+  EXPECT_EQ(state.boundary_costs(), fresh.boundary_costs());
+  EXPECT_EQ(state.cut_total(), fresh.cut_total());
+}
+
+TEST(PartitionState, TransitionMovesOnlyTheDiffAndLandsExactly) {
+  SplitMix64 rng(41);
+  const Graph g = random_geometric_graph(250, 0.1, 13);
+  Partitioning p1 = random_partitioning(g.num_vertices(), 6, rng);
+  const Partitioning p2 = random_partitioning(g.num_vertices(), 6, rng);
+
+  PartitionState state(g, p1);
+  state.transition(g, p1, p2);
+  EXPECT_EQ(p1.part, p2.part);
+  const PartitionState fresh(g, p2);
+  EXPECT_EQ(state.weights(), fresh.weights());
+  EXPECT_EQ(state.boundary_costs(), fresh.boundary_costs());
+  EXPECT_EQ(state.cut_total(), fresh.cut_total());
+
+  // A shorter current partitioning (freshly appended tail) is treated as
+  // unassigned and placed by the transition.
+  Partitioning head;
+  head.num_parts = 6;
+  head.part.assign(p2.part.begin(), p2.part.begin() + 100);
+  PartitionState grown(g, p2);
+  {
+    // Rewind the state to the head-only view by retiring the tail.
+    Partitioning scratch = p2;
+    for (VertexId v = 100; v < g.num_vertices(); ++v) {
+      grown.move_vertex(g, scratch, v, kUnassigned);
+    }
+  }
+  grown.transition(g, head, p2);
+  EXPECT_EQ(head.part, p2.part);
+  EXPECT_EQ(grown.cut_total(), fresh.cut_total());
+  EXPECT_EQ(grown.weights(), fresh.weights());
+}
+
+TEST(PartitionState, ReconcileExtensionHandlesOldOldRewiring) {
+  // g_old: path 0-1-2-3 plus 1-3; the "extension" drops 1-3, reweights
+  // 1-2, adds 0-2, and appends vertex 4 (invisible until placed).
+  GraphBuilder old_b(4);
+  old_b.add_edge(0, 1, 1.0);
+  old_b.add_edge(1, 2, 2.0);
+  old_b.add_edge(2, 3, 1.0);
+  old_b.add_edge(1, 3, 4.0);
+  const Graph g_old = old_b.build();
+
+  GraphBuilder new_b(4);
+  new_b.add_edge(0, 1, 1.0);
+  new_b.add_edge(1, 2, 5.0);  // weight changed
+  new_b.add_edge(2, 3, 1.0);
+  new_b.add_edge(0, 2, 7.0);  // created
+  const VertexId v4 = new_b.add_vertex(1.0);
+  new_b.add_edge(v4, 3, 9.0);
+  const Graph g_new = new_b.build();
+
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+
+  PartitionState state(g_old, p);
+  const PartitionState::EdgeDiff diff =
+      state.reconcile_extension(g_old, g_new, p, 4);
+  EXPECT_EQ(diff.added, 1);    // {0,2}
+  EXPECT_EQ(diff.removed, 1);  // {1,3}
+
+  Partitioning placed = p;
+  placed.part.push_back(0);
+  Partitioning view = p;  // old-vertex view; vertex 4 still unassigned
+  state.extend(g_new, view, 4, placed);
+  const PartitionState fresh(g_new, placed);
+  EXPECT_EQ(state.weights(), fresh.weights());
+  EXPECT_EQ(state.boundary_costs(), fresh.boundary_costs());
+  EXPECT_EQ(state.cut_total(), fresh.cut_total());
+}
+
+TEST(PartitionState, ZeroTotalWeightFallsBackToImbalanceOne) {
+  GraphBuilder b;
+  const VertexId a = b.add_vertex(0.0);
+  const VertexId c = b.add_vertex(0.0);
+  b.add_edge(a, c, 1.0);
+  const Graph g = b.build();
+
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 1};
+
+  const PartitionState state(g, p);
+  EXPECT_EQ(state.imbalance(), 1.0);
+  const PartitionMetrics m = state.snapshot();
+  EXPECT_EQ(m.imbalance, 1.0);
+  EXPECT_EQ(m.avg_weight, 0.0);
+  // Batch and incremental definitions agree on the fallback.
+  EXPECT_EQ(compute_metrics(g, p).imbalance, 1.0);
+  EXPECT_EQ(m.cut_total, 1.0);
+}
+
+}  // namespace
+}  // namespace pigp::graph
