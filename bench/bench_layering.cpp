@@ -14,7 +14,9 @@
 #include "core/layering.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 #include "spectral/partitioners.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -56,6 +58,78 @@ void BM_LayeringThreads(benchmark::State& state) {
 BENCHMARK(BM_LayeringThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+/// Boundary-fraction sweep: full batch layering vs boundary-seeded,
+/// depth-capped layering as the dirty-boundary share grows.  Starting from
+/// a clean RGB partitioning (small boundary), `permille` of the vertices
+/// are randomly reassigned — each reassignment dirties a vertex
+/// neighborhood, so the boundary fraction tracks the argument.  The batch
+/// path rescans every member of every partition no matter how small the
+/// boundary is; the boundary-seeded path costs O(boundary · depth), which
+/// is the whole point of maintaining the index.
+struct FractionWorkload {
+  graph::Graph g;
+  graph::Partitioning p;
+  graph::PartitionState state;
+};
+
+FractionWorkload make_fraction_workload(int n, int parts, int permille) {
+  FractionWorkload w;
+  w.g = graph::random_geometric_graph(n, 1.2 / std::sqrt(n), 17);
+  w.p = spectral::recursive_graph_bisection(w.g, parts);
+  SplitMix64 rng(2027);
+  const auto dirty = static_cast<int>(
+      static_cast<std::int64_t>(n) * permille / 1000);
+  w.state.rebuild(w.g, w.p);
+  for (int i = 0; i < dirty; ++i) {
+    const auto v = static_cast<graph::VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    w.state.move_vertex(w.g, w.p, v,
+                        static_cast<graph::PartId>(rng.next_below(
+                            static_cast<std::uint64_t>(parts))));
+  }
+  return w;
+}
+
+void BM_LayeringFullAtBoundaryFraction(benchmark::State& state) {
+  const FractionWorkload w =
+      make_fraction_workload(16000, 32, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const core::LayeringResult r = core::layer_partitions(w.g, w.p, 1);
+    benchmark::DoNotOptimize(r.eps.data());
+  }
+  std::int64_t boundary = 0;
+  for (graph::PartId q = 0; q < w.p.num_parts; ++q) {
+    boundary +=
+        static_cast<std::int64_t>(w.state.boundary_vertices(q).size());
+  }
+  state.counters["boundary_vertices"] = static_cast<double>(boundary);
+}
+BENCHMARK(BM_LayeringFullAtBoundaryFraction)
+    ->Arg(0)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LayeringBoundarySeededAtBoundaryFraction(benchmark::State& state) {
+  const FractionWorkload w =
+      make_fraction_workload(16000, 32, static_cast<int>(state.range(0)));
+  // Depth-capped like the default balance stage (max_layers = 4); the
+  // reseed is O(boundary), the growth O(shell).
+  core::BoundaryLayering layering(w.g, w.p);
+  for (auto _ : state) {
+    layering.reseed(w.state, 1);
+    layering.grow(4, 1);
+    benchmark::DoNotOptimize(layering.eps().data());
+  }
+  std::int64_t boundary = 0;
+  for (graph::PartId q = 0; q < w.p.num_parts; ++q) {
+    boundary +=
+        static_cast<std::int64_t>(w.state.boundary_vertices(q).size());
+  }
+  state.counters["boundary_vertices"] = static_cast<double>(boundary);
+}
+BENCHMARK(BM_LayeringBoundarySeededAtBoundaryFraction)
+    ->Arg(0)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AssignNewVertices(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const Workload w = make_workload(n, 32);
@@ -90,6 +164,8 @@ int main(int argc, char** argv) {
   }
   std::string filter =
       "--benchmark_filter=(BM_LayeringSerial/1000$|BM_LayeringThreads/2$|"
+      "BM_LayeringFullAtBoundaryFraction/10$|"
+      "BM_LayeringBoundarySeededAtBoundaryFraction/10$|"
       "BM_AssignNewVertices/4000$)";
   std::string min_time = "--benchmark_min_time=0.05s";
   if (smoke) {

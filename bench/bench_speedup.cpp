@@ -16,7 +16,9 @@
 // parallel time is well below serial time and scales with workers.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include <cmath>
@@ -78,9 +80,15 @@ graph::GraphDelta make_stream_delta(graph::VertexId current_vertices,
 int main(int argc, char** argv) {
   // --smoke: seconds-scale CI run — single rep, {1,2} workers, and a much
   // smaller "scaled" graph; the full sweep is for real measurements.
+  // --json <file>: additionally emit the streaming-throughput section as
+  // machine-readable JSON so CI can archive the perf trajectory.
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
   }
   const int reps = smoke ? 1 : 3;
   const std::vector<int> thread_points =
@@ -196,13 +204,25 @@ int main(int argc, char** argv) {
                           "final imbalance"});
   struct PolicyPoint {
     const char* label;
+    const char* key;
     BatchPolicy policy;
     int vertex_limit;
   };
+  struct StreamRow {
+    const char* key;
+    std::int64_t repartitions;
+    double seconds;
+    double absorb_seconds;
+    double rebalance_seconds;
+    double deltas_per_second;
+    double final_imbalance;
+  };
+  std::vector<StreamRow> stream_rows;
   for (const PolicyPoint point :
-       {PolicyPoint{"every_delta", BatchPolicy::every_delta, 1},
-        PolicyPoint{"vertex_count(8 bursts)", BatchPolicy::vertex_count,
-                    8 * burst}}) {
+       {PolicyPoint{"every_delta", "every_delta", BatchPolicy::every_delta,
+                    1},
+        PolicyPoint{"vertex_count(8 bursts)", "vertex_count",
+                    BatchPolicy::vertex_count, 8 * burst}}) {
     SessionConfig config;
     config.num_parts = bench::kPaperPartitions;
     config.backend = "igpr";
@@ -224,7 +244,43 @@ int main(int argc, char** argv) {
                          session.counters().repartition_seconds,
                          stream_deltas / seconds,
                          session.metrics().imbalance);
+    stream_rows.push_back({point.key, session.counters().repartitions,
+                           seconds, session.counters().update_seconds,
+                           session.counters().repartition_seconds,
+                           stream_deltas / seconds,
+                           session.metrics().imbalance});
   }
   stream_table.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"bench_speedup\",\n"
+        << "  \"section\": \"session_streaming\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"graph_vertices\": " << big_n << ",\n"
+        << "  \"num_parts\": " << bench::kPaperPartitions << ",\n"
+        << "  \"deltas\": " << stream_deltas << ",\n"
+        << "  \"burst\": " << burst << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"policies\": [\n";
+    for (std::size_t i = 0; i < stream_rows.size(); ++i) {
+      const StreamRow& r = stream_rows[i];
+      out << "    {\"policy\": \"" << r.key << "\""
+          << ", \"repartitions\": " << r.repartitions
+          << ", \"seconds\": " << r.seconds
+          << ", \"absorb_seconds\": " << r.absorb_seconds
+          << ", \"rebalance_seconds\": " << r.rebalance_seconds
+          << ", \"deltas_per_second\": " << r.deltas_per_second
+          << ", \"final_imbalance\": " << r.final_imbalance << "}"
+          << (i + 1 < stream_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

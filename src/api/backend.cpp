@@ -46,6 +46,15 @@ class FlatBackend final : public Backend {
     return from_igp_result(driver_.repartition(g_new, old_partitioning, n_old));
   }
 
+  [[nodiscard]] BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old, graph::PartitionState& state) override {
+    BackendResult out = from_igp_result(
+        driver_.repartition(g_new, old_partitioning, n_old, &state));
+    out.state_maintained = true;
+    return out;
+  }
+
  private:
   bool refine_;
   core::IncrementalPartitioner driver_;
@@ -56,6 +65,8 @@ class MultilevelBackend final : public Backend {
  public:
   explicit MultilevelBackend(const ResolvedConfig& config)
       : options_(config.multilevel) {}
+
+  using Backend::repartition;  // keep the default state-threaded overload
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "multilevel";
@@ -94,6 +105,18 @@ class SpmdBackend final : public Backend {
     return out;
   }
 
+  [[nodiscard]] BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old, graph::PartitionState& state) override {
+    const runtime::WallTimer timer;
+    BackendResult out = from_igp_result(
+        core::spmd_repartition(machine_, g_new, old_partitioning, n_old,
+                               options_, &state));
+    out.timings.total = timer.seconds();
+    out.state_maintained = true;
+    return out;
+  }
+
  private:
   core::IgpOptions options_;
   runtime::Machine machine_;
@@ -104,6 +127,8 @@ class SpmdBackend final : public Backend {
 class ScratchBackend final : public Backend {
  public:
   explicit ScratchBackend(const ResolvedConfig& config) : config_(config) {}
+
+  using Backend::repartition;  // keep the default state-threaded overload
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "scratch";

@@ -24,6 +24,7 @@
 #include "core/igp.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 
 namespace pigp {
 
@@ -37,6 +38,10 @@ struct BackendResult {
   core::BalanceResult balance;
   core::RefineStats refine;
   core::IgpTimings timings;
+  /// True when the state-threaded entry point consumed the session's
+  /// PartitionState: on return it already describes `partitioning`, so the
+  /// caller must not transition it again.
+  bool state_maintained = false;
 };
 
 /// Strategy interface implemented by every repartitioning driver.
@@ -55,6 +60,19 @@ class Backend {
   [[nodiscard]] virtual BackendResult repartition(
       const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
       graph::VertexId n_old) = 0;
+
+  /// State-threaded variant: \p state describes (g_new, old_partitioning)
+  /// — appended tail unassigned — and boundary-local backends run their
+  /// whole pipeline off its maintained boundary index, leaving it
+  /// describing the returned partitioning (result.state_maintained true).
+  /// The default forwards to the plain overload and leaves \p state
+  /// untouched; the session then folds the result in via transition().
+  [[nodiscard]] virtual BackendResult repartition(
+      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
+      graph::VertexId n_old, graph::PartitionState& state) {
+    (void)state;
+    return repartition(g_new, old_partitioning, n_old);
+  }
 };
 
 using BackendFactory =

@@ -35,7 +35,7 @@ static_assert(has_exactly_n_fields<core::AssignOptions, 1>,
               "AssignOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<lp::SimplexOptions, 6>,
               "SimplexOptions changed — update SessionConfig::resolve()");
-static_assert(has_exactly_n_fields<core::BalanceOptions, 6>,
+static_assert(has_exactly_n_fields<core::BalanceOptions, 7>,
               "BalanceOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<core::RefineOptions, 7>,
               "RefineOptions changed — update SessionConfig::resolve()");
@@ -43,7 +43,7 @@ static_assert(has_exactly_n_fields<core::IgpOptions, 4>,
               "IgpOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<core::MultilevelOptions, 3>,
               "MultilevelOptions changed — update SessionConfig::resolve()");
-static_assert(has_exactly_n_fields<SessionConfig, 16>,
+static_assert(has_exactly_n_fields<SessionConfig, 17>,
               "SessionConfig changed — update SessionConfig::resolve()");
 
 }  // namespace
@@ -65,6 +65,9 @@ ResolvedConfig SessionConfig::resolve() const {
   PIGP_CHECK(balance_tolerance > 0.0,
              "SessionConfig.balance_tolerance must be > 0 (got " +
                  std::to_string(balance_tolerance) + ")");
+  PIGP_CHECK(balance_max_layers >= 0,
+             "SessionConfig.balance_max_layers must be >= 0 (got " +
+                 std::to_string(balance_max_layers) + ")");
   PIGP_CHECK(max_refine_rounds >= 0,
              "SessionConfig.max_refine_rounds must be >= 0 (got " +
                  std::to_string(max_refine_rounds) + ")");
@@ -104,6 +107,7 @@ ResolvedConfig SessionConfig::resolve() const {
   igp.balance.alpha_max = alpha_max;
   igp.balance.max_stages = max_balance_stages;
   igp.balance.tolerance = balance_tolerance;
+  igp.balance.max_layers = balance_max_layers;
   igp.balance.solver = solver;
   igp.balance.num_threads = num_threads;
   igp.balance.simplex.num_threads = num_threads;

@@ -70,17 +70,17 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
     state_.move_vertex(graph_, partitioning_, v, graph::kUnassigned);
     ++removed_vertex_count;
   }
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> removed_old_edges;
   if (!delta.removed_edges.empty()) {
-    std::vector<std::pair<graph::VertexId, graph::VertexId>> removed_edges;
-    removed_edges.reserve(delta.removed_edges.size());
+    removed_old_edges.reserve(delta.removed_edges.size());
     for (const auto& [u, v] : delta.removed_edges) {
-      removed_edges.push_back(graph::canonical_edge(u, v));
+      removed_old_edges.push_back(graph::canonical_edge(u, v));
     }
-    std::sort(removed_edges.begin(), removed_edges.end());
-    removed_edges.erase(
-        std::unique(removed_edges.begin(), removed_edges.end()),
-        removed_edges.end());
-    for (const auto& [u, v] : removed_edges) {
+    std::sort(removed_old_edges.begin(), removed_old_edges.end());
+    removed_old_edges.erase(
+        std::unique(removed_old_edges.begin(), removed_old_edges.end()),
+        removed_old_edges.end());
+    for (const auto& [u, v] : removed_old_edges) {
       if (partitioning_.part[static_cast<std::size_t>(u)] ==
               graph::kUnassigned ||
           partitioning_.part[static_cast<std::size_t>(v)] ==
@@ -91,16 +91,54 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
       ++removed_edge_count;
     }
   }
+  // Old-old edge additions: a structurally new edge updates the boundary
+  // index; a duplicate that merges into an existing edge (or a repeat of
+  // an edge this same delta already created) only adjusts weights.  An
+  // edge removed above and re-added here is a replace — apply_delta drops
+  // the old weight and keeps the new — so it counts as structural again.
+  // First-occurrence detection is a sort over the old-old entries
+  // (O(k log k)); the main loop keeps the delta's original order so the
+  // floating-point cost accumulation is order-stable.
+  std::vector<bool> first_occurrence(delta.added_edges.size(), false);
+  {
+    std::vector<std::pair<std::pair<graph::VertexId, graph::VertexId>,
+                          std::size_t>>
+        old_old;
+    for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
+      const auto [u, v] = delta.added_edges[i];
+      if (u >= n_old || v >= n_old) continue;
+      old_old.emplace_back(graph::canonical_edge(u, v), i);
+    }
+    std::sort(old_old.begin(), old_old.end());
+    for (std::size_t k = 0; k < old_old.size(); ++k) {
+      first_occurrence[old_old[k].second] =
+          k == 0 || old_old[k].first != old_old[k - 1].first;
+    }
+  }
   for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
     const auto [u, v] = delta.added_edges[i];
     if (u >= n_old || v >= n_old) continue;  // enters at placement time
     const double w =
         delta.added_edge_weights.empty() ? 1.0 : delta.added_edge_weights[i];
-    state_.add_edge(partitioning_, u, v, w);
+    const auto canon = graph::canonical_edge(u, v);
+    const bool removed_this_delta = std::binary_search(
+        removed_old_edges.begin(), removed_old_edges.end(), canon);
+    const bool structural = first_occurrence[i] &&
+                            (removed_this_delta || !graph_.has_edge(u, v));
+    if (structural) {
+      state_.add_edge(partitioning_, u, v, w);
+    } else {
+      state_.adjust_edge_weight(partitioning_, u, v, w);
+    }
   }
 
   if (!delta.has_removals()) carried = std::move(partitioning_);
   graph_ = std::move(applied.graph);
+  if (delta.has_removals()) {
+    // Deletions compacted the id space; rewrite the boundary index (the
+    // retired vertices already left it above, so every entry survives).
+    state_.remap_vertices(applied.old_to_new, graph_.num_vertices());
+  }
 
   counters_.deltas_applied += 1;
   counters_.vertices_added +=
@@ -181,18 +219,10 @@ SessionReport Session::finish_update(const runtime::WallTimer& started,
        pending_vertex_changes_ >= resolved_.session.batch_vertex_limit);
   if (trigger_now) {
     // The backend runs step 1 (assignment of the new vertices) itself —
-    // no point paying for an eager pass it would repeat.
-    try {
-      run_backend(report, old, n_old);
-    } catch (...) {
-      // Keep the graph/partitioning/state invariant intact for the
-      // caller: fall back to the step-1 assignment before propagating.
-      const graph::Partitioning placed =
-          core::extend_assignment(graph_, old, n_old, resolved_.assign);
-      state_.extend(graph_, old, n_old, placed);
-      partitioning_ = std::move(old);  // now equal to `placed`
-      throw;
-    }
+    // no point paying for an eager pass it would repeat.  run_backend
+    // restores the graph/partitioning/state invariant itself if the
+    // backend throws.
+    run_backend(report, old, n_old);
   } else {
     // Deferred: place the new vertices now (step 1) so the session stays
     // queryable between repartitions, then check the imbalance trigger.
@@ -219,15 +249,30 @@ void Session::run_backend(SessionReport& report,
                           const graph::Partitioning& old_partitioning,
                           graph::VertexId n_old) {
   runtime::WallTimer timer;
-  BackendResult result =
-      backend_->repartition(graph_, old_partitioning, n_old);
-  result.partitioning.validate(graph_);
-  // Fold the backend's answer into the state by moving exactly the
-  // vertices whose assignment changed — after a localized delta that is a
-  // small boundary region, far below a full rebuild.  (The copy exists
-  // because old_partitioning may alias partitioning_.)
-  graph::Partitioning work = old_partitioning;
-  state_.transition(graph_, work, result.partitioning);
+  BackendResult result;
+  try {
+    result = backend_->repartition(graph_, old_partitioning, n_old, state_);
+    result.partitioning.validate(graph_);
+  } catch (...) {
+    // Keep the graph/partitioning/state invariant intact for the caller:
+    // a state-threaded backend may have mutated state_ in lock-step with
+    // its (discarded) working copy, so fall back to the step-1 assignment
+    // and rebuild from scratch — the error path is the one place that
+    // rescan is acceptable.  (extend_assignment copies, so this is safe
+    // when old_partitioning aliases partitioning_.)
+    partitioning_ = core::extend_assignment(graph_, old_partitioning, n_old,
+                                            resolved_.assign);
+    state_.rebuild(graph_, partitioning_);
+    throw;
+  }
+  if (!result.state_maintained) {
+    // Backend without the state-threaded path (multilevel, scratch,
+    // external registrations): fold its answer into the state by moving
+    // exactly the vertices whose assignment changed.  (The copy exists
+    // because old_partitioning may alias partitioning_.)
+    graph::Partitioning work = old_partitioning;
+    state_.transition(graph_, work, result.partitioning);
+  }
   partitioning_ = std::move(result.partitioning);
 
   report.repartitioned = true;

@@ -24,7 +24,13 @@
 /// Quality metrics are maintained incrementally: the session owns a
 /// graph::PartitionState that absorbs every change in O(Δ), so the metrics
 /// in each SessionReport, the metrics() accessor and the imbalance batch
-/// trigger all cost O(num_parts) instead of an O(V+E) rescan.
+/// trigger all cost O(num_parts) instead of an O(V+E) rescan.  The same
+/// state carries the maintained boundary-vertex index, and the session
+/// threads it into every backend run: the igp/igpr/spmd pipelines seed
+/// their layering, balance weights and refinement candidates from it, so
+/// a repartition after a localized delta costs O(boundary + Δ) in its
+/// layering/candidate phases rather than O(V + E) (see "The
+/// boundary-local pipeline" in docs/ARCHITECTURE.md).
 
 #include <cstdint>
 #include <memory>
@@ -150,7 +156,8 @@ class Session {
   /// weights, boundary costs and the cut, kept exact through every apply/
   /// extend/repartition so metrics() and the batch-policy imbalance
   /// trigger never rescan the graph.  The single source of truth for
-  /// imbalance (PartitionState::imbalance).
+  /// imbalance (PartitionState::imbalance).  Also carries the boundary-
+  /// vertex index the state-threaded backends repartition from.
   graph::PartitionState state_;
   SessionCounters counters_;
   int pending_updates_ = 0;

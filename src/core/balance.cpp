@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "core/transfer.hpp"
 #include "lp/bounded_simplex.hpp"
@@ -77,26 +78,33 @@ lp::LinearProgram build_balance_lp(
   return program;
 }
 
-StageDecision decide_stage_moves(const pigp::DenseMatrix<std::int64_t>& eps,
-                                 const std::vector<double>& excess,
-                                 const BalanceOptions& options) {
+namespace {
+
+/// Read the LP solution back into a move matrix.
+void harvest_moves(const lp::Solution& solution,
+                   const pigp::DenseMatrix<int>& pair_vars,
+                   StageDecision& decision) {
+  const std::size_t parts = decision.moves.rows();
+  for (std::size_t i = 0; i < parts; ++i) {
+    for (std::size_t j = 0; j < parts; ++j) {
+      if (pair_vars(i, j) < 0) continue;
+      const double value =
+          solution.x[static_cast<std::size_t>(pair_vars(i, j))];
+      decision.moves(i, j) = std::llround(value);
+      decision.stats.vertices_moved += static_cast<double>(
+          decision.moves(i, j));
+    }
+  }
+}
+
+}  // namespace
+
+StageDecision decide_stage_moves_alpha(
+    const pigp::DenseMatrix<std::int64_t>& eps,
+    const std::vector<double>& excess, const BalanceOptions& options) {
   const std::size_t parts = eps.rows();
   StageDecision decision;
   decision.moves = pigp::DenseMatrix<std::int64_t>(parts, parts, 0);
-
-  const auto harvest = [&](const lp::Solution& solution,
-                           const pigp::DenseMatrix<int>& pair_vars) {
-    for (std::size_t i = 0; i < parts; ++i) {
-      for (std::size_t j = 0; j < parts; ++j) {
-        if (pair_vars(i, j) < 0) continue;
-        const double value =
-            solution.x[static_cast<std::size_t>(pair_vars(i, j))];
-        decision.moves(i, j) = std::llround(value);
-        decision.stats.vertices_moved += static_cast<double>(
-            decision.moves(i, j));
-      }
-    }
-  };
 
   // Paper staging: smallest feasible alpha in {1, 2, 4, ...}.
   pigp::DenseMatrix<int> pair_vars;
@@ -110,19 +118,29 @@ StageDecision decide_stage_moves(const pigp::DenseMatrix<std::int64_t>& eps,
     const lp::Solution solution =
         solve_lp(program, options.solver, options.simplex);
     if (solution.status == lp::SolveStatus::optimal) {
+      decision.lp_feasible = true;
       decision.stats.alpha = alpha;
       decision.stats.lp_variables = program.num_variables();
       decision.stats.lp_rows = program.num_rows();
       decision.stats.lp_iterations = solution.iterations;
-      harvest(solution, pair_vars);
+      harvest_moves(solution, pair_vars, decision);
       decision.progress = decision.stats.vertices_moved > 0.5;
       return decision;
     }
   }
+  return decision;
+}
 
-  // Best-effort fallback: relax the balance rows with penalized slack and
-  // move whatever the epsilon capacities admit this stage; the next stage
-  // re-layers and continues.
+StageDecision best_effort_stage_moves(
+    const pigp::DenseMatrix<std::int64_t>& eps,
+    const std::vector<double>& excess, const BalanceOptions& options) {
+  const std::size_t parts = eps.rows();
+  StageDecision decision;
+  decision.moves = pigp::DenseMatrix<std::int64_t>(parts, parts, 0);
+
+  // Relax the balance rows with penalized slack and move whatever the
+  // epsilon capacities admit this stage; the next stage re-layers and
+  // continues.
   const std::vector<double> rhs = staged_requirements(excess, 1.0);
   lp::LinearProgram program(lp::Sense::minimize);
   pigp::DenseMatrix<int> vars(parts, parts, -1);
@@ -155,45 +173,91 @@ StageDecision decide_stage_moves(const pigp::DenseMatrix<std::int64_t>& eps,
   decision.stats.lp_variables = program.num_variables();
   decision.stats.lp_rows = program.num_rows();
   decision.stats.lp_iterations = solution.iterations;
-  harvest(solution, vars);
+  harvest_moves(solution, vars, decision);
   decision.progress = decision.stats.vertices_moved > 0.5;
   return decision;
 }
 
+namespace {
+
+/// W(q) − target_q per partition; returns the max |excess|.
+double compute_excess(const std::vector<double>& weight,
+                      const std::vector<double>& targets,
+                      std::vector<double>& excess) {
+  double max_dev = 0.0;
+  for (std::size_t q = 0; q < weight.size(); ++q) {
+    excess[q] = weight[q] - targets[q];
+    max_dev = std::max(max_dev, std::abs(excess[q]));
+  }
+  return max_dev;
+}
+
+}  // namespace
+
 BalanceResult balance_load(const graph::Graph& g,
                            graph::Partitioning& partitioning,
                            const BalanceOptions& options) {
-  partitioning.validate(g);
+  // One O(V+E) rescan to seed the maintained state (it also validates),
+  // then the single state-driven driver below.
+  graph::PartitionState state(g, partitioning);
+  return balance_load(g, partitioning, state, options);
+}
+
+BalanceResult balance_load(const graph::Graph& g,
+                           graph::Partitioning& partitioning,
+                           graph::PartitionState& state,
+                           const BalanceOptions& options) {
   BalanceResult result;
   const auto parts = static_cast<std::size_t>(partitioning.num_parts);
   const std::vector<double> targets =
       graph::balance_targets(g.total_vertex_weight(), partitioning.num_parts);
+  std::vector<double> excess(parts, 0.0);
+  // Constructed on first use: an already-balanced call (the common case on
+  // a well-behaved stream) never pays the O(V) per-vertex array setup.
+  std::optional<BoundaryLayering> layering_storage;
 
   for (int stage = 0; stage < options.max_stages; ++stage) {
-    // Current excess per partition.
-    std::vector<double> weight(parts, 0.0);
-    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-      weight[static_cast<std::size_t>(
-          partitioning.part[static_cast<std::size_t>(v)])] +=
-          g.vertex_weight(v);
-    }
-    std::vector<double> excess(parts, 0.0);
-    double max_dev = 0.0;
-    for (std::size_t q = 0; q < parts; ++q) {
-      excess[q] = weight[q] - targets[q];
-      max_dev = std::max(max_dev, std::abs(excess[q]));
-    }
-    result.final_max_deviation = max_dev;
-    if (max_dev <= options.tolerance) {
+    // Current excess per partition from the maintained weights — O(P).
+    result.final_max_deviation =
+        compute_excess(state.weights(), targets, excess);
+    if (result.final_max_deviation <= options.tolerance) {
       result.balanced = true;
       return result;
     }
+    if (!layering_storage) layering_storage.emplace(g, partitioning);
+    BoundaryLayering& layering = *layering_storage;
 
-    const LayeringResult layering =
-        layer_partitions(g, partitioning, options.num_threads);
+    // Boundary-seeded layering, depth-capped with lazy deepening: a mildly
+    // imbalanced stream labels a thin shell and stops as soon as the
+    // one-shot (α = 1) LP fits in it.  A relaxed α is only ever accepted
+    // at exhaustion — where the capacities equal the batch layering's — so
+    // the α this stage settles on is always exactly the α the batch
+    // pipeline would have picked, and the best-effort fallback likewise
+    // runs only on batch-equivalent capacities.
+    layering.reseed(state, options.num_threads);
+    const int cap = options.max_layers;
+    int depth_budget = cap == 0 ? -1 : cap;
+    layering.grow(depth_budget, options.num_threads);
+    int grow_step = cap;
+    // Before exhaustion only an α = 1 result can be accepted, so don't
+    // waste α ≥ 2 LP solves on shells that would be deepened anyway.
+    BalanceOptions one_shot = options;
+    one_shot.alpha_max = 1.0;
+    StageDecision decision;
+    while (true) {
+      const bool full = layering.exhausted();
+      decision = decide_stage_moves_alpha(layering.eps(), excess,
+                                          full ? options : one_shot);
+      if (full || decision.lp_feasible) break;
+      layering.grow(grow_step, options.num_threads);
+      depth_budget += grow_step;
+      grow_step *= 2;  // double the total depth per retry
+    }
+    if (!decision.lp_feasible) {
+      decision = best_effort_stage_moves(layering.eps(), excess, options);
+    }
+    decision.stats.layer_depth = layering.exhausted() ? -1 : depth_budget;
 
-    const StageDecision decision =
-        decide_stage_moves(layering.eps, excess, options);
     if (!decision.progress) {
       // Nothing can move at all (e.g. a partition with no boundary);
       // report imbalance to the caller, who may fall back to
@@ -201,22 +265,14 @@ BalanceResult balance_load(const graph::Graph& g,
       return result;
     }
     result.stages.push_back(decision.stats);
-    apply_balance_transfers(g, partitioning, layering, decision.moves);
+    apply_balance_transfers(g, partitioning, layering, decision.moves,
+                            state);
   }
 
-  // Stage budget exhausted; report the residual deviation.
-  std::vector<double> weight(parts, 0.0);
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    weight[static_cast<std::size_t>(
-        partitioning.part[static_cast<std::size_t>(v)])] +=
-        g.vertex_weight(v);
-  }
-  double max_dev = 0.0;
-  for (std::size_t q = 0; q < parts; ++q) {
-    max_dev = std::max(max_dev, std::abs(weight[q] - targets[q]));
-  }
-  result.final_max_deviation = max_dev;
-  result.balanced = max_dev <= options.tolerance;
+  // Stage budget exhausted; report the residual deviation — O(P).
+  result.final_max_deviation =
+      compute_excess(state.weights(), targets, excess);
+  result.balanced = result.final_max_deviation <= options.tolerance;
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "core/layering.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 #include "lp/dense_simplex.hpp"
 #include "lp/program.hpp"
 #include "support/dense_matrix.hpp"
@@ -45,6 +46,14 @@ struct BalanceOptions {
   LpSolverKind solver = LpSolverKind::dense;
   lp::SimplexOptions simplex;
   int num_threads = 1;
+  /// Initial depth cap for the boundary-seeded layering (state-driven
+  /// path): each stage labels only this many BFS levels past the boundary
+  /// and deepens lazily — doubling the total depth — while the staged LP
+  /// is infeasible at the current depth; the best-effort fallback only
+  /// runs once layering is exhausted, so terminal decisions match the
+  /// batch pipeline.  0 = unlimited (always grow to exhaustion, exactly
+  /// the batch layering's labels and capacities).
+  int max_layers = 4;
 };
 
 /// Telemetry for one balance stage.
@@ -54,6 +63,9 @@ struct BalanceStage {
   int lp_rows = 0;
   std::int64_t lp_iterations = 0;
   double vertices_moved = 0.0;
+  /// Layering depth the stage decision was made at; -1 when the layering
+  /// was grown to exhaustion (batch-equivalent capacities).
+  int layer_depth = -1;
 };
 
 struct BalanceResult {
@@ -75,25 +87,53 @@ struct BalanceResult {
 [[nodiscard]] std::vector<double> staged_requirements(
     const std::vector<double>& excess, double alpha);
 
-/// The per-stage movement decision shared by the shared-memory and SPMD
-/// drivers: find the smallest feasible α by doubling (the paper's staging),
-/// and when no α is feasible — the layering capacities are structurally
-/// insufficient this stage — fall back to a best-effort LP that moves as
-/// much toward balance as the capacities allow (slack variables penalized,
-/// movement lightly penalized).  `progress` is false when nothing can move.
+/// One per-stage movement decision, shared by the shared-memory and SPMD
+/// drivers.  `progress` is false when nothing can move.
 struct StageDecision {
   bool progress = false;
+  /// True when the α ladder found an optimal LP at the given capacities
+  /// (false means the capacities were insufficient — the drivers react by
+  /// deepening the layering before falling back).
+  bool lp_feasible = false;
   BalanceStage stats;
   pigp::DenseMatrix<std::int64_t> moves;
 };
-[[nodiscard]] StageDecision decide_stage_moves(
+
+/// The α ladder (the paper's staging): smallest feasible α by doubling,
+/// no fallback (lp_feasible == false when none works).  The drivers
+/// interleave this with lazy layering growth — before exhaustion they
+/// pass alpha_max = 1 since only an α = 1 result can be accepted there.
+[[nodiscard]] StageDecision decide_stage_moves_alpha(
+    const pigp::DenseMatrix<std::int64_t>& eps,
+    const std::vector<double>& excess, const BalanceOptions& options);
+
+/// The best-effort fallback: when no α is feasible — the layering
+/// capacities are structurally insufficient this stage — a slack-relaxed
+/// LP moves as much toward balance as the capacities allow (slack
+/// penalized, movement lightly penalized).  Run it on exhausted (full)
+/// capacities only, so its decisions match the batch pipeline.
+[[nodiscard]] StageDecision best_effort_stage_moves(
     const pigp::DenseMatrix<std::int64_t>& eps,
     const std::vector<double>& excess, const BalanceOptions& options);
 
 /// Run balance stages in place on \p partitioning until balanced or the
-/// stage limit is hit.  Layering is recomputed each stage.
+/// stage limit is hit.  Layering is recomputed each stage.  This batch
+/// entry builds a PartitionState (one O(V+E) rescan) and delegates to the
+/// state-driven overload below — there is exactly one balance driver.
 [[nodiscard]] BalanceResult balance_load(const graph::Graph& g,
                                          graph::Partitioning& partitioning,
+                                         const BalanceOptions& options = {});
+
+/// Boundary-local balance driver: per-stage excess comes from \p state's
+/// maintained weights (O(P), not an O(V) rescan), layering seeds come from
+/// its boundary index, growth is depth-capped per options.max_layers with
+/// lazy deepening on infeasibility, and transfers are applied through the
+/// state so it ends consistent with \p partitioning.  \p state must
+/// describe (g, partitioning) on entry and partitioning must be fully
+/// assigned.
+[[nodiscard]] BalanceResult balance_load(const graph::Graph& g,
+                                         graph::Partitioning& partitioning,
+                                         graph::PartitionState& state,
                                          const BalanceOptions& options = {});
 
 }  // namespace pigp::core

@@ -1,5 +1,7 @@
 #include "core/igp.hpp"
 
+#include <utility>
+
 #include "runtime/timer.hpp"
 #include "support/check.hpp"
 
@@ -7,7 +9,7 @@ namespace pigp::core {
 
 IgpResult IncrementalPartitioner::repartition(
     const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-    graph::VertexId n_old) const {
+    graph::VertexId n_old, graph::PartitionState* state) const {
   const runtime::WallTimer total_timer;
   IgpResult result;
 
@@ -15,14 +17,25 @@ IgpResult IncrementalPartitioner::repartition(
   runtime::WallTimer timer;
   AssignOptions assign_options;
   assign_options.num_threads = options_.num_threads;
-  result.partitioning =
+  graph::Partitioning placed =
       extend_assignment(g_new, old_partitioning, n_old, assign_options);
+  graph::PartitionState local_state;
+  if (state != nullptr) {
+    // Maintained state handed in by the session: fold just the new
+    // placements in — O(Σ deg(new)), not a rescan.
+    result.partitioning = old_partitioning;
+    state->extend(g_new, result.partitioning, n_old, placed);
+  } else {
+    result.partitioning = std::move(placed);
+    local_state.rebuild(g_new, result.partitioning);
+    state = &local_state;
+  }
   result.timings.assign = timer.seconds();
 
-  // Steps 2–3: layering + LP balancing (multi-stage).
+  // Steps 2–3: layering + LP balancing (multi-stage, boundary-local).
   timer.reset();
   result.balance_result =
-      balance_load(g_new, result.partitioning, options_.balance);
+      balance_load(g_new, result.partitioning, *state, options_.balance);
   result.balanced = result.balance_result.balanced;
   result.stages = static_cast<int>(result.balance_result.stages.size());
   result.timings.balance = timer.seconds();
@@ -30,8 +43,8 @@ IgpResult IncrementalPartitioner::repartition(
   // Step 4: refinement (IGPR).
   if (options_.refine) {
     timer.reset();
-    result.refine_stats =
-        refine_partitioning(g_new, result.partitioning, options_.refinement);
+    result.refine_stats = refine_partitioning(
+        g_new, result.partitioning, *state, options_.refinement);
     result.timings.refine = timer.seconds();
   }
 

@@ -62,9 +62,17 @@ class IncrementalPartitioner {
 
   /// Repartition \p g_new given the partitioning of its first \p n_old
   /// vertices (ids preserved; no deletions).
+  ///
+  /// When \p state is non-null it must describe (g_new, old_partitioning)
+  /// — appended tail unassigned — and the whole pipeline runs boundary-
+  /// locally off it: layering seeds, balance weights and refinement
+  /// candidates come from the maintained index instead of full rescans,
+  /// and on return the state describes the returned partitioning.  With a
+  /// null state an internal one is seeded with one O(V+E) rescan, so both
+  /// paths make bit-identical decisions.
   [[nodiscard]] IgpResult repartition(
       const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-      graph::VertexId n_old) const;
+      graph::VertexId n_old, graph::PartitionState* state = nullptr) const;
 
   /// Apply \p delta to \p g_old and repartition the result.  Handles vertex
   /// deletions via the delta's id remapping.  \p result_graph (optional)

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "support/check.hpp"
 
 namespace pigp::core {
@@ -51,6 +55,92 @@ graph::PartId majority_label(const std::vector<double>& tally,
   return only;
 }
 
+/// Expand partition \p target's BFS one level past \p frontier (whose
+/// vertices sit at \p level): discover, sort, and label the next layer
+/// into \p out (also recorded in label/layer/eps_row).  The shared level
+/// step of the batch and resumable layerings — their bit-identical results
+/// come from sharing this code.
+void advance_one_level(const graph::Graph& g, const graph::Partitioning& p,
+                       graph::PartId target,
+                       const std::vector<graph::VertexId>& frontier,
+                       std::int32_t level,
+                       std::vector<graph::PartId>& label,
+                       std::vector<std::int32_t>& layer,
+                       std::int64_t* eps_row, std::vector<double>& tally,
+                       std::vector<graph::VertexId>& out) {
+  out.clear();
+  for (const graph::VertexId u : frontier) {
+    for (const graph::VertexId w : g.neighbors(u)) {
+      if (p.part[static_cast<std::size_t>(w)] != target) continue;
+      if (layer[static_cast<std::size_t>(w)] >= 0) continue;  // seen
+      layer[static_cast<std::size_t>(w)] = level + 1;  // enqueue marker
+      out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  for (const graph::VertexId w : out) {
+    std::fill(tally.begin(), tally.end(), 0.0);
+    const auto nbrs = g.neighbors(w);
+    const auto weights = g.incident_edge_weights(w);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId u = nbrs[i];
+      if (p.part[static_cast<std::size_t>(u)] == target &&
+          layer[static_cast<std::size_t>(u)] == level &&
+          label[static_cast<std::size_t>(u)] >= 0) {
+        // label == -1 (a vertex whose edges into the boundary all have
+        // weight zero) carries no label to propagate.
+        tally[static_cast<std::size_t>(
+            label[static_cast<std::size_t>(u)])] += weights[i];
+      }
+    }
+    const graph::PartId best = majority_label(tally, w);
+    // best == -1 is only reachable when every edge into the previous
+    // layer has weight zero; such a vertex stays unlabeled (and counts
+    // toward no eps entry), exactly like the batch member sweep did.
+    label[static_cast<std::size_t>(w)] = best;  // layer set at enqueue
+    if (eps_row != nullptr && best >= 0) {
+      ++eps_row[static_cast<std::size_t>(best)];
+    }
+  }
+}
+
+/// Label \p v as a layer-0 seed of \p target: closest outside partition by
+/// edge weight.  Returns false when v has no external edge at all.
+bool seed_vertex(const graph::Graph& g, const graph::Partitioning& p,
+                 graph::PartId target, graph::VertexId v,
+                 std::vector<double>& tally,
+                 std::vector<graph::PartId>& label,
+                 std::vector<std::int32_t>& layer, std::int64_t* eps_row) {
+  std::fill(tally.begin(), tally.end(), 0.0);
+  const auto nbrs = g.neighbors(v);
+  const auto weights = g.incident_edge_weights(v);
+  bool boundary = false;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const graph::PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
+    if (q != target) {
+      tally[static_cast<std::size_t>(q)] += weights[i];
+      boundary = true;
+    }
+  }
+  if (!boundary) return false;
+  const graph::PartId best = majority_label(tally, v);
+  label[static_cast<std::size_t>(v)] = best;
+  layer[static_cast<std::size_t>(v)] = 0;
+  if (eps_row != nullptr && best >= 0) {
+    ++eps_row[static_cast<std::size_t>(best)];
+  }
+  return true;
+}
+
+int scratch_slot(bool parallel) {
+#ifdef _OPENMP
+  return parallel ? omp_get_thread_num() : 0;
+#else
+  (void)parallel;
+  return 0;
+#endif
+}
+
 }  // namespace
 
 std::vector<std::vector<graph::VertexId>> partition_members(
@@ -69,72 +159,38 @@ void layer_one_partition(const graph::Graph& g, const graph::Partitioning& p,
                          const std::vector<graph::VertexId>& members,
                          std::vector<graph::PartId>& label,
                          std::vector<std::int32_t>& layer,
-                         std::int64_t* eps_row) {
-  const auto num_parts = static_cast<std::size_t>(p.num_parts);
-  std::vector<double> tally(num_parts, 0.0);
+                         std::int64_t* eps_row, LayerScratch& scratch) {
+  scratch.tally.assign(static_cast<std::size_t>(p.num_parts), 0.0);
+  scratch.frontier.clear();
 
   // Seed layer 0: boundary vertices labeled with the outside partition they
-  // share the largest edge weight with (ties -> smallest partition id).
-  std::vector<graph::VertexId> frontier;
+  // share the largest edge weight with.  eps is tallied per labeled vertex
+  // (identical to a final member sweep — integer counts are order-free).
   for (const graph::VertexId v : members) {
-    std::fill(tally.begin(), tally.end(), 0.0);
-    const auto nbrs = g.neighbors(v);
-    const auto weights = g.incident_edge_weights(v);
-    bool boundary = false;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const graph::PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
-      if (q != target) {
-        tally[static_cast<std::size_t>(q)] += weights[i];
-        boundary = true;
-      }
+    if (seed_vertex(g, p, target, v, scratch.tally, label, layer, eps_row)) {
+      scratch.frontier.push_back(v);
     }
-    if (!boundary) continue;
-    label[static_cast<std::size_t>(v)] = majority_label(tally, v);
-    layer[static_cast<std::size_t>(v)] = 0;
-    frontier.push_back(v);
   }
 
   // Grow layers inward.  Each candidate adopts the label carried by the
-  // largest edge weight into the previous layer (ties -> smallest label).
+  // largest edge weight into the previous layer.
   std::int32_t level = 0;
-  std::vector<graph::VertexId> next;
-  while (!frontier.empty()) {
-    next.clear();
-    for (const graph::VertexId u : frontier) {
-      for (const graph::VertexId w : g.neighbors(u)) {
-        if (p.part[static_cast<std::size_t>(w)] != target) continue;
-        if (layer[static_cast<std::size_t>(w)] >= 0) continue;  // seen
-        layer[static_cast<std::size_t>(w)] = level + 1;  // enqueue marker
-        next.push_back(w);
-      }
-    }
-    std::sort(next.begin(), next.end());
-    for (const graph::VertexId w : next) {
-      std::fill(tally.begin(), tally.end(), 0.0);
-      const auto nbrs = g.neighbors(w);
-      const auto weights = g.incident_edge_weights(w);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const graph::VertexId u = nbrs[i];
-        if (p.part[static_cast<std::size_t>(u)] == target &&
-            layer[static_cast<std::size_t>(u)] == level) {
-          tally[static_cast<std::size_t>(
-              label[static_cast<std::size_t>(u)])] += weights[i];
-        }
-      }
-      const graph::PartId best = majority_label(tally, w);
-      PIGP_ASSERT(best >= 0);
-      label[static_cast<std::size_t>(w)] = best;  // layer set at enqueue
-    }
-    frontier = next;
+  while (!scratch.frontier.empty()) {
+    advance_one_level(g, p, target, scratch.frontier, level, label, layer,
+                      eps_row, scratch.tally, scratch.next);
+    scratch.frontier.swap(scratch.next);
     ++level;
   }
+}
 
-  if (eps_row != nullptr) {
-    for (const graph::VertexId v : members) {
-      const graph::PartId l = label[static_cast<std::size_t>(v)];
-      if (l >= 0) ++eps_row[static_cast<std::size_t>(l)];
-    }
-  }
+void layer_one_partition(const graph::Graph& g, const graph::Partitioning& p,
+                         graph::PartId target,
+                         const std::vector<graph::VertexId>& members,
+                         std::vector<graph::PartId>& label,
+                         std::vector<std::int32_t>& layer,
+                         std::int64_t* eps_row) {
+  LayerScratch scratch;
+  layer_one_partition(g, p, target, members, label, layer, eps_row, scratch);
 }
 
 LayeringResult layer_partitions(const graph::Graph& g,
@@ -151,16 +207,151 @@ LayeringResult layer_partitions(const graph::Graph& g,
 
   const auto members = partition_members(p);
   const bool parallel = num_threads > 1 && p.num_parts > 1;
-#pragma omp parallel for schedule(dynamic, 1) if (parallel) \
-    num_threads(num_threads)
-  for (graph::PartId q = 0; q < p.num_parts; ++q) {
-    // Partitions are vertex-disjoint, so the shared label/layer/eps arrays
-    // are written without races.
-    layer_one_partition(g, p, q, members[static_cast<std::size_t>(q)],
-                        result.label, result.layer,
-                        result.eps.row(static_cast<std::size_t>(q)).data());
+  std::vector<LayerScratch> scratch(
+      static_cast<std::size_t>(std::max(1, parallel ? num_threads : 1)));
+#pragma omp parallel num_threads(num_threads) if (parallel)
+  {
+    const auto tid = static_cast<std::size_t>(scratch_slot(parallel));
+#pragma omp for schedule(dynamic, 1)
+    for (graph::PartId q = 0; q < p.num_parts; ++q) {
+      // Partitions are vertex-disjoint, so the shared label/layer/eps
+      // arrays are written without races.
+      layer_one_partition(g, p, q, members[static_cast<std::size_t>(q)],
+                          result.label, result.layer,
+                          result.eps.row(static_cast<std::size_t>(q)).data(),
+                          scratch[tid]);
+    }
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// BoundaryLayering
+
+BoundaryLayering::BoundaryLayering(const graph::Graph& g,
+                                   const graph::Partitioning& p)
+    : g_(&g), p_(&p) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto parts = static_cast<std::size_t>(p.num_parts);
+  label_.assign(n, -1);
+  layer_.assign(n, -1);
+  eps_ = pigp::DenseMatrix<std::int64_t>(parts, parts, 0);
+  frontier_.assign(parts, {});
+  labeled_.assign(parts, {});
+  depth_.assign(parts, 0);
+}
+
+void BoundaryLayering::reseed(const graph::PartitionState& state,
+                              int num_threads,
+                              const std::vector<graph::PartId>* owned_parts) {
+  PIGP_CHECK(label_.size() ==
+                 static_cast<std::size_t>(g_->num_vertices()),
+             "BoundaryLayering reused after take_result()");
+  // Undo the previous stage in O(labeled), not O(V).
+  for (const graph::PartId q : seeded_) {
+    const auto qi = static_cast<std::size_t>(q);
+    for (const graph::VertexId v : labeled_[qi]) {
+      label_[static_cast<std::size_t>(v)] = -1;
+      layer_[static_cast<std::size_t>(v)] = -1;
+    }
+    labeled_[qi].clear();
+    frontier_[qi].clear();
+    depth_[qi] = 0;
+  }
+  eps_.fill(0);
+
+  if (owned_parts != nullptr) {
+    seeded_ = *owned_parts;
+  } else {
+    seeded_.resize(static_cast<std::size_t>(p_->num_parts));
+    for (graph::PartId q = 0; q < p_->num_parts; ++q) {
+      seeded_[static_cast<std::size_t>(q)] = q;
+    }
+  }
+
+  const bool parallel = num_threads > 1 && seeded_.size() > 1;
+  scratch_.resize(static_cast<std::size_t>(
+      std::max(1, parallel ? num_threads : 1)));
+#pragma omp parallel num_threads(num_threads) if (parallel)
+  {
+    const auto tid = static_cast<std::size_t>(scratch_slot(parallel));
+    LayerScratch& scratch = scratch_[tid];
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t k = 0; k < seeded_.size(); ++k) {
+      const graph::PartId q = seeded_[k];
+      const auto qi = static_cast<std::size_t>(q);
+      scratch.tally.assign(static_cast<std::size_t>(p_->num_parts), 0.0);
+      // Bucket order is unspecified (swap-remove); sort so seeds match the
+      // batch member scan and stay deterministic.
+      auto& seeds = labeled_[qi];
+      seeds.assign(state.boundary_vertices(q).begin(),
+                   state.boundary_vertices(q).end());
+      std::sort(seeds.begin(), seeds.end());
+      for (const graph::VertexId v : seeds) {
+        const bool boundary =
+            seed_vertex(*g_, *p_, q, v, scratch.tally, label_, layer_,
+                        eps_.row(qi).data());
+        PIGP_ASSERT(boundary);  // the index only holds boundary vertices
+        (void)boundary;
+      }
+      frontier_[qi] = seeds;
+    }
+  }
+}
+
+void BoundaryLayering::grow(int levels, int num_threads) {
+  if (levels == 0) return;
+  const bool parallel = num_threads > 1 && seeded_.size() > 1;
+  scratch_.resize(static_cast<std::size_t>(
+      std::max(1, parallel ? num_threads : 1)));
+#pragma omp parallel num_threads(num_threads) if (parallel)
+  {
+    const auto tid = static_cast<std::size_t>(scratch_slot(parallel));
+    LayerScratch& scratch = scratch_[tid];
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t k = 0; k < seeded_.size(); ++k) {
+      const graph::PartId q = seeded_[k];
+      const auto qi = static_cast<std::size_t>(q);
+      scratch.tally.assign(static_cast<std::size_t>(p_->num_parts), 0.0);
+      int remaining = levels;
+      while (!frontier_[qi].empty() && remaining != 0) {
+        advance_one_level(*g_, *p_, q, frontier_[qi], depth_[qi], label_,
+                          layer_, eps_.row(qi).data(), scratch.tally,
+                          scratch.next);
+        labeled_[qi].insert(labeled_[qi].end(), scratch.next.begin(),
+                            scratch.next.end());
+        frontier_[qi].swap(scratch.next);
+        ++depth_[qi];
+        if (remaining > 0) --remaining;
+      }
+    }
+  }
+}
+
+bool BoundaryLayering::exhausted() const {
+  for (const graph::PartId q : seeded_) {
+    if (!frontier_[static_cast<std::size_t>(q)].empty()) return false;
+  }
+  return true;
+}
+
+LayeringResult BoundaryLayering::take_result() {
+  LayeringResult result;
+  result.label = std::move(label_);
+  result.layer = std::move(layer_);
+  result.eps = std::move(eps_);
+  seeded_.clear();
+  return result;
+}
+
+LayeringResult layer_partitions_from(const graph::Graph& g,
+                                     const graph::Partitioning& p,
+                                     const graph::PartitionState& state,
+                                     int num_threads) {
+  BoundaryLayering layering(g, p);
+  layering.reseed(state, num_threads);
+  layering.grow(-1, num_threads);
+  return layering.take_result();
 }
 
 }  // namespace pigp::core

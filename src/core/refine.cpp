@@ -14,18 +14,22 @@
 namespace pigp::core {
 namespace {
 
-/// Candidate analysis for one round: each boundary vertex is assigned to
-/// its best-gain destination when the gain passes the (possibly strict)
-/// threshold.
+/// Candidate analysis for one round, restricted to the vertices of
+/// \p boundary (every candidate is a boundary vertex by definition, so
+/// scanning the maintained index instead of [0, V) yields the identical
+/// candidate set).  \p boundary must be sorted ascending — bucket order
+/// within each (i, j) list feeds a floating-point gain sum in the LP
+/// objective, so it must match the historical full-scan order.
 pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
-    const graph::Graph& g, const graph::Partitioning& p, bool strict,
+    const graph::Graph& g, const graph::Partitioning& p,
+    const std::vector<graph::VertexId>& boundary, bool strict,
     int num_threads) {
   const auto parts = static_cast<std::size_t>(p.num_parts);
   pigp::DenseMatrix<std::vector<GainCandidate>> candidates(parts, parts);
 
   std::vector<std::vector<std::pair<std::size_t, GainCandidate>>> local(
       static_cast<std::size_t>(std::max(1, num_threads)));
-  const bool parallel = num_threads > 1 && g.num_vertices() > 4096;
+  const bool parallel = num_threads > 1 && boundary.size() > 4096;
 
 #pragma omp parallel num_threads(num_threads) if (parallel)
   {
@@ -35,25 +39,24 @@ pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
     const int tid = 0;
 #endif
     auto& mine = local[static_cast<std::size_t>(tid)];
+    std::vector<double> out(parts, 0.0);
 #pragma omp for schedule(static)
-    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::size_t b = 0; b < boundary.size(); ++b) {
+      const graph::VertexId v = boundary[b];
       const graph::PartId from = p.part[static_cast<std::size_t>(v)];
       const auto nbrs = g.neighbors(v);
       const auto weights = g.incident_edge_weights(v);
       // out(v, j) per partition and in(v).
       double in = 0.0;
-      std::vector<double> out(parts, 0.0);
-      bool boundary = false;
+      std::fill(out.begin(), out.end(), 0.0);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const graph::PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
         if (q == from) {
           in += weights[i];
         } else {
           out[static_cast<std::size_t>(q)] += weights[i];
-          boundary = true;
         }
       }
-      if (!boundary) continue;
       // Best destination by gain, ties to the smaller partition id.
       graph::PartId best = -1;
       double best_gain = 0.0;
@@ -74,12 +77,27 @@ pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
       }
     }
   }
+  // Static scheduling hands thread t a contiguous ascending chunk, so
+  // concatenating in tid order keeps each bucket ascending by vertex id —
+  // the same order the historical 0..V scan produced.
   for (const auto& chunk : local) {
     for (const auto& [slot, cand] : chunk) {
       candidates(slot / parts, slot % parts).push_back(cand);
     }
   }
   return candidates;
+}
+
+/// Sorted union of all partitions' boundary buckets.
+std::vector<graph::VertexId> sorted_boundary(
+    const graph::PartitionState& state) {
+  std::vector<graph::VertexId> boundary;
+  for (graph::PartId q = 0; q < state.num_parts(); ++q) {
+    const auto& bucket = state.boundary_vertices(q);
+    boundary.insert(boundary.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(boundary.begin(), boundary.end());
+  return boundary;
 }
 
 /// The refinement LP (eqs. 14–16) with a gain-aware objective.  The paper
@@ -152,21 +170,32 @@ lp::LinearProgram build_refinement_lp(
 RefineStats refine_partitioning(const graph::Graph& g,
                                 graph::Partitioning& partitioning,
                                 const RefineOptions& options) {
-  RefineStats stats;
-  const auto parts = static_cast<std::size_t>(partitioning.num_parts);
   // One full rescan to seed the incremental state (it also validates);
   // every round after this maintains the cut in O(deg) per moved vertex.
   graph::PartitionState state(g, partitioning);
+  return refine_partitioning(g, partitioning, state, options);
+}
+
+RefineStats refine_partitioning(const graph::Graph& g,
+                                graph::Partitioning& partitioning,
+                                graph::PartitionState& state,
+                                const RefineOptions& options) {
+  RefineStats stats;
+  const auto parts = static_cast<std::size_t>(partitioning.num_parts);
   double cut = state.cut_total();
   stats.cut_before = cut;
   stats.cut_after = cut;
 
   bool force_strict = false;
   double cap_scale = 1.0;
+  std::vector<std::pair<graph::VertexId, graph::PartId>> journal;
+  // The sorted boundary only changes when a round's moves are kept; a
+  // reverted round restores the index exactly, so the retry reuses it.
+  std::vector<graph::VertexId> boundary = sorted_boundary(state);
   for (int round = 0; round < options.max_rounds; ++round) {
     const bool strict = force_strict || round >= options.strict_after_round;
-    const auto candidates =
-        collect_candidates(g, partitioning, strict, options.num_threads);
+    const auto candidates = collect_candidates(g, partitioning, boundary,
+                                               strict, options.num_threads);
 
     pigp::DenseMatrix<int> pos_vars;
     pigp::DenseMatrix<int> zero_vars;
@@ -201,9 +230,13 @@ RefineStats refine_partitioning(const graph::Graph& g,
       }
     }
 
-    const graph::Partitioning snapshot = partitioning;
-    const graph::PartitionState state_snapshot = state;  // O(P) vectors
-    apply_gain_transfers(g, partitioning, candidates, moves, state);
+    // Undo unit: the aggregate snapshot is O(P); the partitioning and the
+    // (integer) boundary index are restored exactly by replaying the move
+    // journal in reverse — no O(V) copies per round.
+    const graph::PartitionState::AggregateSnapshot saved =
+        state.save_aggregates();
+    journal.clear();
+    apply_gain_transfers(g, partitioning, candidates, moves, state, &journal);
     ++stats.rounds;
 
     const double new_cut = state.cut_total();
@@ -211,8 +244,10 @@ RefineStats refine_partitioning(const graph::Graph& g,
       // Batch interactions hurt (usually zero-gain vertices oscillating or
       // dense candidate clusters moving together); roll back and retry in
       // strict mode first, then with progressively smaller batches.
-      partitioning = snapshot;
-      state = state_snapshot;
+      for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+        state.move_vertex(g, partitioning, it->first, it->second);
+      }
+      state.restore_aggregates(saved);  // erase any floating-point drift
       if (!strict) {
         force_strict = true;
         continue;
@@ -228,6 +263,7 @@ RefineStats refine_partitioning(const graph::Graph& g,
     cut = new_cut;
     stats.cut_after = cut;
     if (gain < options.min_gain) break;
+    boundary = sorted_boundary(state);  // moves kept: boundary changed
   }
   return stats;
 }

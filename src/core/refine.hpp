@@ -24,6 +24,7 @@
 #include "core/balance.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 
 namespace pigp::core {
 
@@ -51,9 +52,22 @@ struct RefineStats {
 };
 
 /// Iteratively refine \p partitioning in place; returns statistics.  Load
-/// balance is preserved exactly (zero-net-flow constraints).
+/// balance is preserved exactly (zero-net-flow constraints).  This batch
+/// entry seeds a PartitionState with one O(V+E) rescan and delegates to
+/// the state-driven overload.
 [[nodiscard]] RefineStats refine_partitioning(
     const graph::Graph& g, graph::Partitioning& partitioning,
     const RefineOptions& options = {});
+
+/// Boundary-local refinement over a maintained state: candidates are
+/// gathered from the state's boundary index (O(boundary) per round, never
+/// a full vertex sweep), per-round cuts come from the O(deg)-per-move
+/// bookkeeping, and a regressing round is undone by replaying its move
+/// journal in reverse (O(moved)) instead of copying the partitioning.
+/// \p state must describe (g, partitioning) on entry and is left
+/// consistent with the refined partitioning.
+[[nodiscard]] RefineStats refine_partitioning(
+    const graph::Graph& g, graph::Partitioning& partitioning,
+    graph::PartitionState& state, const RefineOptions& options = {});
 
 }  // namespace pigp::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "core/layering.hpp"
 #include "core/transfer.hpp"
@@ -25,13 +27,25 @@ int owner_of(PartId q, int num_ranks) {
 IgpResult spmd_repartition(runtime::Machine& machine,
                            const graph::Graph& g_new,
                            const graph::Partitioning& old_partitioning,
-                           VertexId n_old, const IgpOptions& options) {
+                           VertexId n_old, const IgpOptions& options,
+                           graph::PartitionState* state) {
   // Step 1 runs once up front (multi-source BFS is a global operation; the
   // CM-5 version distributes the frontier, which the OpenMP path models).
   AssignOptions assign_options;
   assign_options.num_threads = 1;
-  graph::Partitioning shared =
+  graph::Partitioning placed =
       extend_assignment(g_new, old_partitioning, n_old, assign_options);
+
+  graph::PartitionState local_state;
+  graph::Partitioning shared;
+  if (state != nullptr) {
+    shared = old_partitioning;
+    state->extend(g_new, shared, n_old, placed);
+  } else {
+    shared = std::move(placed);
+    local_state.rebuild(g_new, shared);
+    state = &local_state;
+  }
 
   const auto parts = static_cast<std::size_t>(shared.num_parts);
   const std::vector<double> targets =
@@ -41,18 +55,23 @@ IgpResult spmd_repartition(runtime::Machine& machine,
 
   // ---------------------------------------------------- balance stages
   machine.run([&](RankContext& ctx) {
+    // Rank-local ownership and resumable layering (per-vertex arrays are
+    // allocated once per rank and reset in O(labeled) per stage).
+    std::vector<PartId> owned;
+    for (PartId q = 0; q < shared.num_parts; ++q) {
+      if (owner_of(q, ctx.num_ranks()) == ctx.rank()) owned.push_back(q);
+    }
+    std::optional<BoundaryLayering> layering_storage;  // built on first use
+    std::vector<double> excess(parts, 0.0);
+    std::vector<std::int64_t> moves_flat(parts * parts, 0);
+
     for (int stage = 0; stage < options.balance.max_stages; ++stage) {
-      // Every rank can evaluate the excess locally (shared partitioning).
-      std::vector<double> weight(parts, 0.0);
-      for (VertexId v = 0; v < g_new.num_vertices(); ++v) {
-        weight[static_cast<std::size_t>(
-            shared.part[static_cast<std::size_t>(v)])] +=
-            g_new.vertex_weight(v);
-      }
-      std::vector<double> excess(parts, 0.0);
+      // Every rank reads the excess off the shared state's maintained
+      // weights — O(P), identical on all ranks (rank 0 is the only writer
+      // and the stage ends in a barrier).
       double max_dev = 0.0;
       for (std::size_t q = 0; q < parts; ++q) {
-        excess[q] = weight[q] - targets[q];
+        excess[q] = state->weights()[q] - targets[q];
         max_dev = std::max(max_dev, std::abs(excess[q]));
       }
       if (max_dev <= options.balance.tolerance) {
@@ -60,106 +79,149 @@ IgpResult spmd_repartition(runtime::Machine& machine,
         break;
       }
 
-      // Layer owned partitions only (the parallel step).
-      const auto members = partition_members(shared);
-      std::vector<PartId> label(
-          static_cast<std::size_t>(g_new.num_vertices()), -1);
-      std::vector<std::int32_t> layer(
-          static_cast<std::size_t>(g_new.num_vertices()), -1);
-      std::vector<std::int64_t> eps_rows(parts * parts, 0);
-      for (PartId q = 0; q < shared.num_parts; ++q) {
-        if (owner_of(q, ctx.num_ranks()) != ctx.rank()) continue;
-        layer_one_partition(g_new, shared, q,
-                            members[static_cast<std::size_t>(q)], label,
-                            layer,
-                            eps_rows.data() + static_cast<std::size_t>(q) *
-                                                  parts);
-      }
+      // Boundary-seeded, depth-capped layering of the owned partitions.
+      if (!layering_storage) layering_storage.emplace(g_new, shared);
+      BoundaryLayering& layering = *layering_storage;
+      layering.reseed(*state, 1, &owned);
+      const int cap = options.balance.max_layers;
+      int depth_budget = cap == 0 ? -1 : cap;
+      layering.grow(depth_budget, 1);
+      int grow_step = cap;
 
-      // Allgather the eps rows (each rank contributes its owned rows).
-      Packet mine;
-      mine.pack_vector(eps_rows);
-      const std::vector<Packet> gathered = ctx.allgather(std::move(mine));
-      pigp::DenseMatrix<std::int64_t> eps(parts, parts, 0);
-      for (int r = 0; r < ctx.num_ranks(); ++r) {
-        Packet p = gathered[static_cast<std::size_t>(r)];
-        const std::vector<std::int64_t> rows =
-            p.unpack_vector<std::int64_t>();
-        for (PartId q = 0; q < shared.num_parts; ++q) {
-          if (owner_of(q, ctx.num_ranks()) != r) continue;
-          for (std::size_t j = 0; j < parts; ++j) {
-            eps(static_cast<std::size_t>(q), j) =
-                rows[static_cast<std::size_t>(q) * parts + j];
+      // Deepen-vs-decide handshake: allgather (exhausted flag, owned eps
+      // rows); rank 0 runs the α ladder on the assembled capacities and
+      // broadcasts either "deepen" (everyone grows and the loop repeats)
+      // or the final move matrix — exactly the lazy-deepening loop of the
+      // shared-memory driver, with communication in the middle.
+      StageDecision decision;
+      bool progress = false;
+      while (true) {
+        Packet mine;
+        mine.pack(layering.exhausted() ? 1 : 0);
+        std::vector<std::int64_t> eps_rows(owned.size() * parts, 0);
+        for (std::size_t k = 0; k < owned.size(); ++k) {
+          const auto row =
+              layering.eps().row(static_cast<std::size_t>(owned[k]));
+          std::copy(row.begin(), row.end(), eps_rows.begin() + k * parts);
+        }
+        mine.pack_vector(eps_rows);
+        const std::vector<Packet> gathered = ctx.allgather(std::move(mine));
+
+        int action = 0;  // 0 = moves ready, 1 = deepen
+        Packet decision_packet;
+        if (ctx.rank() == 0) {
+          bool all_exhausted = true;
+          pigp::DenseMatrix<std::int64_t> eps(parts, parts, 0);
+          for (int r = 0; r < ctx.num_ranks(); ++r) {
+            Packet p = gathered[static_cast<std::size_t>(r)];
+            const bool rank_exhausted = p.unpack<int>() != 0;
+            all_exhausted = all_exhausted && rank_exhausted;
+            const std::vector<std::int64_t> rows =
+                p.unpack_vector<std::int64_t>();
+            std::size_t k = 0;
+            for (PartId q = 0; q < shared.num_parts; ++q) {
+              if (owner_of(q, ctx.num_ranks()) != r) continue;
+              for (std::size_t j = 0; j < parts; ++j) {
+                eps(static_cast<std::size_t>(q), j) = rows[k * parts + j];
+              }
+              ++k;
+            }
+          }
+          // Same acceptance rule as the shared-memory driver: take α = 1
+          // at any depth, anything else only at exhaustion — so before
+          // exhaustion only the α = 1 rung of the ladder is solved.
+          BalanceOptions ladder = options.balance;
+          if (!all_exhausted) ladder.alpha_max = 1.0;
+          decision = decide_stage_moves_alpha(eps, excess, ladder);
+          if (!all_exhausted && !decision.lp_feasible) {
+            action = 1;
+          } else {
+            if (!decision.lp_feasible) {
+              decision =
+                  best_effort_stage_moves(eps, excess, options.balance);
+            }
+            decision.stats.layer_depth = all_exhausted ? -1 : depth_budget;
+          }
+          decision_packet.pack(action);
+          if (action == 0) {
+            decision_packet.pack(decision.progress ? 1 : 0);
+            for (std::size_t i = 0; i < parts; ++i) {
+              for (std::size_t j = 0; j < parts; ++j) {
+                moves_flat[i * parts + j] = decision.moves(i, j);
+              }
+            }
+            decision_packet.pack_vector(moves_flat);
           }
         }
+        Packet received = ctx.broadcast(0, std::move(decision_packet));
+        action = received.unpack<int>();
+        if (action == 1) {
+          layering.grow(grow_step, 1);
+          depth_budget += grow_step;
+          grow_step *= 2;  // double the total depth per retry
+          continue;
+        }
+        progress = received.unpack<int>() != 0;
+        if (progress) moves_flat = received.unpack_vector<std::int64_t>();
+        break;
+      }
+      if (!progress) break;
+      if (ctx.rank() == 0) {
+        result.balance_result.stages.push_back(decision.stats);
       }
 
-      // Rank 0 makes the stage decision (same shared logic as the serial
-      // driver: alpha doubling, then best-effort) and broadcasts the moves.
-      std::vector<std::int64_t> moves_flat(parts * parts, 0);
-      bool progress = false;
-      Packet decision_packet;
+      // Each rank selects the transfers out of its owned partitions with
+      // the same ordering as the shared-memory driver (selection reads the
+      // pre-move `shared` state).  The selections are then gathered and
+      // rank 0 applies every move through the state in the flat driver's
+      // order (source asc, dest asc, selection order) so the aggregates
+      // and the boundary index evolve bit-identically.
+      Packet sel_packet;
+      for (const PartId q : owned) {
+        const auto selections = select_partition_transfers(
+            g_new, shared, layering.label(), layering.layer(),
+            layering.labeled(q), q,
+            moves_flat.data() + static_cast<std::size_t>(q) * parts);
+        for (std::size_t j = 0; j < parts; ++j) {
+          sel_packet.pack_vector(selections[j]);
+        }
+      }
+      const std::vector<Packet> all_selections =
+          ctx.allgather(std::move(sel_packet));
       if (ctx.rank() == 0) {
-        const StageDecision decision =
-            decide_stage_moves(eps, excess, options.balance);
-        progress = decision.progress;
-        if (progress) {
-          result.balance_result.stages.push_back(decision.stats);
-          for (std::size_t i = 0; i < parts; ++i) {
+        std::vector<std::vector<std::vector<VertexId>>> by_source(parts);
+        for (int r = 0; r < ctx.num_ranks(); ++r) {
+          Packet p = all_selections[static_cast<std::size_t>(r)];
+          for (PartId q = 0; q < shared.num_parts; ++q) {
+            if (owner_of(q, ctx.num_ranks()) != r) continue;
+            auto& rows = by_source[static_cast<std::size_t>(q)];
+            rows.resize(parts);
             for (std::size_t j = 0; j < parts; ++j) {
-              moves_flat[i * parts + j] = decision.moves(i, j);
+              rows[j] = p.unpack_vector<VertexId>();
             }
           }
         }
-        decision_packet.pack(progress ? 1 : 0);
-        decision_packet.pack_vector(moves_flat);
-      }
-      Packet received = ctx.broadcast(0, std::move(decision_packet));
-      progress = received.unpack<int>() != 0;
-      if (!progress) break;
-      moves_flat = received.unpack_vector<std::int64_t>();
-
-      // Each rank selects the transfers out of its owned partitions using
-      // the same ordering as the shared-memory driver (selection reads the
-      // pre-move `shared` state), then all ranks synchronize before the
-      // disjoint writes — no rank reads an entry another rank writes.
-      std::vector<std::vector<std::vector<VertexId>>> selections;
-      std::vector<std::size_t> owned;
-      for (std::size_t i = 0; i < parts; ++i) {
-        if (owner_of(static_cast<PartId>(i), ctx.num_ranks()) != ctx.rank()) {
-          continue;
-        }
-        owned.push_back(i);
-        selections.push_back(select_partition_transfers(
-            g_new, shared, label, layer, members[i],
-            static_cast<PartId>(i), moves_flat.data() + i * parts));
-      }
-      ctx.barrier();  // selection (reads) completed everywhere
-      for (std::size_t k = 0; k < owned.size(); ++k) {
-        for (std::size_t j = 0; j < parts; ++j) {
-          for (const VertexId v : selections[k][j]) {
-            shared.part[static_cast<std::size_t>(v)] =
-                static_cast<PartId>(j);
+        for (std::size_t i = 0; i < parts; ++i) {
+          if (by_source[i].empty()) continue;
+          for (std::size_t j = 0; j < parts; ++j) {
+            for (const VertexId v : by_source[i][j]) {
+              state->move_vertex(g_new, shared, v,
+                                 static_cast<PartId>(j));
+            }
           }
         }
       }
-      ctx.barrier();  // all transfers visible before the next stage
+      ctx.barrier();  // all transfers + state updates visible everywhere
     }
   });
 
   result.stages = static_cast<int>(result.balance_result.stages.size());
   result.balanced = result.balance_result.balanced;
   if (!result.balanced) {
-    // Recompute the final deviation for reporting.
-    std::vector<double> weight(parts, 0.0);
-    for (VertexId v = 0; v < g_new.num_vertices(); ++v) {
-      weight[static_cast<std::size_t>(
-          shared.part[static_cast<std::size_t>(v)])] +=
-          g_new.vertex_weight(v);
-    }
+    // Final deviation for reporting — O(P) off the maintained weights.
     double max_dev = 0.0;
     for (std::size_t q = 0; q < parts; ++q) {
-      max_dev = std::max(max_dev, std::abs(weight[q] - targets[q]));
+      max_dev = std::max(max_dev, std::abs(state->weights()[q] - targets[q]));
     }
     result.balance_result.final_max_deviation = max_dev;
     result.balanced = max_dev <= options.balance.tolerance;
@@ -171,8 +233,8 @@ IgpResult spmd_repartition(runtime::Machine& machine,
   // gathering is the parallel part and reuses the OpenMP implementation.
   result.partitioning = std::move(shared);
   if (options.refine) {
-    result.refine_stats =
-        refine_partitioning(g_new, result.partitioning, options.refinement);
+    result.refine_stats = refine_partitioning(
+        g_new, result.partitioning, *state, options.refinement);
   }
   return result;
 }

@@ -24,9 +24,21 @@ namespace pigp::core {
 /// (the CM-5 implementation also kept the small meshes resident per node);
 /// partition ownership is round-robin: rank r owns partitions q with
 /// q % num_ranks == r.
+///
+/// Boundary-local like the flat driver: each rank seeds its owned
+/// partitions' layering from the shared PartitionState's boundary index
+/// and grows it depth-capped; the deepen-vs-decide handshake is a
+/// broadcast from rank 0, so every rank retries the α ladder on the same
+/// lazily-deepened ε capacities and the decisions stay bit-identical to
+/// the shared-memory pipeline.  Selected transfers are gathered and
+/// applied by rank 0 through the state (the writes were always trivial —
+/// layering and selection are the parallel work).  \p state follows the
+/// IncrementalPartitioner::repartition contract: non-null = maintained by
+/// the caller and left describing the result; null = seeded internally
+/// with one O(V+E) rescan.
 [[nodiscard]] IgpResult spmd_repartition(
     runtime::Machine& machine, const graph::Graph& g_new,
     const graph::Partitioning& old_partitioning, graph::VertexId n_old,
-    const IgpOptions& options = {});
+    const IgpOptions& options = {}, graph::PartitionState* state = nullptr);
 
 }  // namespace pigp::core

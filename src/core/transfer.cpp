@@ -92,11 +92,41 @@ void apply_balance_transfers(const graph::Graph& g,
   }
 }
 
+void apply_balance_transfers(const graph::Graph& g,
+                             graph::Partitioning& partitioning,
+                             const BoundaryLayering& layering,
+                             const pigp::DenseMatrix<std::int64_t>& moves,
+                             graph::PartitionState& state) {
+  const auto parts = static_cast<std::size_t>(partitioning.num_parts);
+  PIGP_CHECK(moves.rows() == parts && moves.cols() == parts,
+             "move matrix shape mismatch");
+
+  // Select everything first against the pre-move state, then write.  Only
+  // labeled vertices can be selected, so the labeled lists stand in for
+  // the full member lists of the batch variant.
+  std::vector<std::vector<std::vector<graph::VertexId>>> selections(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    selections[i] = select_partition_transfers(
+        g, partitioning, layering.label(), layering.layer(),
+        layering.labeled(static_cast<graph::PartId>(i)),
+        static_cast<graph::PartId>(i), moves.row(i).data());
+  }
+  for (std::size_t i = 0; i < parts; ++i) {
+    for (std::size_t j = 0; j < parts; ++j) {
+      for (const graph::VertexId v : selections[i][j]) {
+        state.move_vertex(g, partitioning, v,
+                          static_cast<graph::PartId>(j));
+      }
+    }
+  }
+}
+
 void apply_gain_transfers(
     const graph::Graph& g, graph::Partitioning& partitioning,
     const pigp::DenseMatrix<std::vector<GainCandidate>>& candidates,
     const pigp::DenseMatrix<std::int64_t>& moves,
-    graph::PartitionState& state) {
+    graph::PartitionState& state,
+    std::vector<std::pair<graph::VertexId, graph::PartId>>* journal) {
   const auto parts = static_cast<std::size_t>(partitioning.num_parts);
   PIGP_CHECK(moves.rows() == parts && moves.cols() == parts,
              "move matrix shape mismatch");
@@ -113,9 +143,12 @@ void apply_gain_transfers(
                   return a.vertex < b.vertex;
                 });
       for (std::int64_t k = 0; k < count; ++k) {
-        state.move_vertex(g, partitioning,
-                          list[static_cast<std::size_t>(k)].vertex,
-                          static_cast<graph::PartId>(j));
+        const graph::VertexId v = list[static_cast<std::size_t>(k)].vertex;
+        if (journal != nullptr) {
+          journal->emplace_back(
+              v, partitioning.part[static_cast<std::size_t>(v)]);
+        }
+        state.move_vertex(g, partitioning, v, static_cast<graph::PartId>(j));
       }
     }
   }

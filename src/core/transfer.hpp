@@ -45,6 +45,17 @@ void apply_balance_transfers(const graph::Graph& g,
                              const LayeringResult& layering,
                              const pigp::DenseMatrix<std::int64_t>& moves);
 
+/// Boundary-local variant: candidates come from the resumable layering's
+/// labeled-vertex lists (O(labeled), not a full partition_members sweep)
+/// and every move goes through \p state so the aggregates and the boundary
+/// index stay exact.  Selection still reads only pre-move assignments —
+/// all pairs are selected before the first write, like the batch variant.
+void apply_balance_transfers(const graph::Graph& g,
+                             graph::Partitioning& partitioning,
+                             const BoundaryLayering& layering,
+                             const pigp::DenseMatrix<std::int64_t>& moves,
+                             graph::PartitionState& state);
+
 /// One refinement candidate: vertex v (in partition i) with its cut gain
 /// out(v, j) - in(v) for moving to partition j.
 struct GainCandidate {
@@ -56,11 +67,17 @@ struct GainCandidate {
 /// refinement analysis, best gain first (ties on vertex id), routed
 /// through \p state so the cut is maintained incrementally in O(deg) per
 /// moved vertex — the refinement loop reads the post-round cut from the
-/// state instead of an O(V+E) recompute.
+/// state instead of an O(V+E) recompute.  When \p journal is non-null,
+/// every applied move is recorded as (vertex, previous partition) so the
+/// caller can undo the batch in O(moved) — replay the journal in reverse
+/// through state.move_vertex, then PartitionState::restore_aggregates —
+/// instead of copying partitioning + state up front.
 void apply_gain_transfers(
     const graph::Graph& g, graph::Partitioning& partitioning,
     const pigp::DenseMatrix<std::vector<GainCandidate>>& candidates,
     const pigp::DenseMatrix<std::int64_t>& moves,
-    graph::PartitionState& state);
+    graph::PartitionState& state,
+    std::vector<std::pair<graph::VertexId, graph::PartId>>* journal =
+        nullptr);
 
 }  // namespace pigp::core

@@ -11,12 +11,40 @@ PartitionState::PartitionState(const Graph& g, const Partitioning& p) {
   rebuild(g, p);
 }
 
+void PartitionState::update_bucket(PartId q, VertexId v) {
+  const auto vi = static_cast<std::size_t>(v);
+  if (ext_degree_[vi] > 0) {
+    if (boundary_pos_[vi] < 0) {
+      auto& bucket = boundary_[static_cast<std::size_t>(q)];
+      boundary_pos_[vi] = static_cast<std::int32_t>(bucket.size());
+      bucket.push_back(v);
+    }
+  } else {
+    bucket_erase(q, v);
+  }
+}
+
+void PartitionState::bucket_erase(PartId q, VertexId v) {
+  const auto vi = static_cast<std::size_t>(v);
+  const std::int32_t pos = boundary_pos_[vi];
+  if (pos < 0) return;
+  auto& bucket = boundary_[static_cast<std::size_t>(q)];
+  const VertexId last = bucket.back();
+  bucket[static_cast<std::size_t>(pos)] = last;
+  boundary_pos_[static_cast<std::size_t>(last)] = pos;
+  bucket.pop_back();
+  boundary_pos_[vi] = -1;
+}
+
 void PartitionState::rebuild(const Graph& g, const Partitioning& p) {
   p.validate(g);
   num_parts_ = p.num_parts;
   weight_.assign(static_cast<std::size_t>(num_parts_), 0.0);
   boundary_cost_.assign(static_cast<std::size_t>(num_parts_), 0.0);
   cut_total_ = 0.0;
+  ext_degree_.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  boundary_pos_.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  boundary_.assign(static_cast<std::size_t>(num_parts_), {});
 
   // Accumulation order matches the historical compute_metrics() loop so
   // floating-point results are bit-identical to the pre-PartitionState
@@ -26,11 +54,19 @@ void PartitionState::rebuild(const Graph& g, const Partitioning& p) {
     weight_[static_cast<std::size_t>(pv)] += g.vertex_weight(v);
     const auto nbrs = g.neighbors(v);
     const auto weights = g.incident_edge_weights(v);
+    std::int32_t ext = 0;
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const PartId pu = p.part[static_cast<std::size_t>(nbrs[i])];
       if (pu == pv) continue;  // internal edges and self-loops: no cost
       boundary_cost_[static_cast<std::size_t>(pv)] += weights[i];
       if (nbrs[i] > v) cut_total_ += weights[i];  // count each edge once
+      ++ext;
+    }
+    if (ext > 0) {
+      ext_degree_[static_cast<std::size_t>(v)] = ext;
+      boundary_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(
+          boundary_[static_cast<std::size_t>(pv)].size());
+      boundary_[static_cast<std::size_t>(pv)].push_back(v);
     }
   }
 }
@@ -44,28 +80,41 @@ void PartitionState::move_vertex(const Graph& g, Partitioning& p, VertexId v,
 
   const auto nbrs = g.neighbors(v);
   const auto weights = g.incident_edge_weights(v);
+  std::int32_t new_ext = 0;
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     if (nbrs[i] == v) continue;  // self-loops contribute nothing
     const PartId q = p.part[static_cast<std::size_t>(nbrs[i])];
     if (q == kUnassigned) continue;  // counted when the neighbor is placed
     const double w = weights[i];
-    if (from != kUnassigned && q != from) {
+    const bool was_external = from != kUnassigned && q != from;
+    const bool is_external = to != kUnassigned && q != to;
+    if (was_external) {
       boundary_cost_[static_cast<std::size_t>(from)] -= w;
       boundary_cost_[static_cast<std::size_t>(q)] -= w;
       cut_total_ -= w;
     }
-    if (to != kUnassigned && q != to) {
+    if (is_external) {
       boundary_cost_[static_cast<std::size_t>(to)] += w;
       boundary_cost_[static_cast<std::size_t>(q)] += w;
       cut_total_ += w;
+      ++new_ext;
+    }
+    if (was_external != is_external) {
+      ext_degree_[static_cast<std::size_t>(nbrs[i])] +=
+          is_external ? 1 : -1;
+      update_bucket(q, nbrs[i]);
     }
   }
   if (from != kUnassigned) {
     weight_[static_cast<std::size_t>(from)] -= g.vertex_weight(v);
+    bucket_erase(from, v);
   }
   if (to != kUnassigned) {
     weight_[static_cast<std::size_t>(to)] += g.vertex_weight(v);
   }
+  ext_degree_[static_cast<std::size_t>(v)] =
+      to == kUnassigned ? 0 : new_ext;
+  if (to != kUnassigned) update_bucket(to, v);
   p.part[static_cast<std::size_t>(v)] = to;
 }
 
@@ -78,11 +127,36 @@ void PartitionState::add_edge(const Partitioning& p, VertexId u, VertexId v,
   boundary_cost_[static_cast<std::size_t>(pu)] += weight;
   boundary_cost_[static_cast<std::size_t>(pv)] += weight;
   cut_total_ += weight;
+  ++ext_degree_[static_cast<std::size_t>(u)];
+  ++ext_degree_[static_cast<std::size_t>(v)];
+  update_bucket(pu, u);
+  update_bucket(pv, v);
 }
 
 void PartitionState::remove_edge(const Partitioning& p, VertexId u, VertexId v,
                                  double weight) {
-  add_edge(p, u, v, -weight);
+  if (u == v) return;
+  const PartId pu = p.part[static_cast<std::size_t>(u)];
+  const PartId pv = p.part[static_cast<std::size_t>(v)];
+  if (pu == kUnassigned || pv == kUnassigned || pu == pv) return;
+  boundary_cost_[static_cast<std::size_t>(pu)] -= weight;
+  boundary_cost_[static_cast<std::size_t>(pv)] -= weight;
+  cut_total_ -= weight;
+  --ext_degree_[static_cast<std::size_t>(u)];
+  --ext_degree_[static_cast<std::size_t>(v)];
+  update_bucket(pu, u);
+  update_bucket(pv, v);
+}
+
+void PartitionState::adjust_edge_weight(const Partitioning& p, VertexId u,
+                                        VertexId v, double delta_weight) {
+  if (u == v) return;
+  const PartId pu = p.part[static_cast<std::size_t>(u)];
+  const PartId pv = p.part[static_cast<std::size_t>(v)];
+  if (pu == kUnassigned || pv == kUnassigned || pu == pv) return;
+  boundary_cost_[static_cast<std::size_t>(pu)] += delta_weight;
+  boundary_cost_[static_cast<std::size_t>(pv)] += delta_weight;
+  cut_total_ += delta_weight;
 }
 
 void PartitionState::extend(const Graph& g, Partitioning& p,
@@ -92,6 +166,8 @@ void PartitionState::extend(const Graph& g, Partitioning& p,
   PIGP_CHECK(static_cast<VertexId>(p.part.size()) <= placed.num_vertices(),
              "current partitioning larger than the extended one");
   p.part.resize(static_cast<std::size_t>(g.num_vertices()), kUnassigned);
+  ext_degree_.resize(static_cast<std::size_t>(g.num_vertices()), 0);
+  boundary_pos_.resize(static_cast<std::size_t>(g.num_vertices()), -1);
   for (VertexId v = first_new; v < g.num_vertices(); ++v) {
     move_vertex(g, p, v, placed.part[static_cast<std::size_t>(v)]);
   }
@@ -104,12 +180,42 @@ void PartitionState::transition(const Graph& g, Partitioning& p,
   PIGP_CHECK(static_cast<VertexId>(p.part.size()) <= target.num_vertices(),
              "current partitioning larger than the target");
   p.part.resize(static_cast<std::size_t>(g.num_vertices()), kUnassigned);
+  ext_degree_.resize(static_cast<std::size_t>(g.num_vertices()), 0);
+  boundary_pos_.resize(static_cast<std::size_t>(g.num_vertices()), -1);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const PartId want = target.part[static_cast<std::size_t>(v)];
     if (p.part[static_cast<std::size_t>(v)] != want) {
       move_vertex(g, p, v, want);
     }
   }
+}
+
+void PartitionState::remap_vertices(const std::vector<VertexId>& old_to_new,
+                                    VertexId new_num_vertices) {
+  std::vector<std::int32_t> ext(static_cast<std::size_t>(new_num_vertices),
+                                0);
+  std::vector<std::int32_t> pos(static_cast<std::size_t>(new_num_vertices),
+                                -1);
+  // Only bucket members carry information: ext_degree > 0 iff in a bucket.
+  for (auto& bucket : boundary_) {
+    for (std::size_t slot = 0; slot < bucket.size(); ++slot) {
+      const VertexId old_v = bucket[slot];
+      PIGP_CHECK(old_v >= 0 &&
+                     old_v < static_cast<VertexId>(old_to_new.size()),
+                 "remap_vertices: boundary vertex out of range");
+      const VertexId new_v = old_to_new[static_cast<std::size_t>(old_v)];
+      PIGP_CHECK(new_v != kInvalidVertex,
+                 "remap_vertices: boundary vertex was removed but not "
+                 "retired first");
+      bucket[slot] = new_v;
+      ext[static_cast<std::size_t>(new_v)] =
+          ext_degree_[static_cast<std::size_t>(old_v)];
+      pos[static_cast<std::size_t>(new_v)] =
+          static_cast<std::int32_t>(slot);
+    }
+  }
+  ext_degree_ = std::move(ext);
+  boundary_pos_ = std::move(pos);
 }
 
 PartitionState::EdgeDiff PartitionState::reconcile_extension(
@@ -154,7 +260,7 @@ PartitionState::EdgeDiff PartitionState::reconcile_extension(
         ++b;
       } else {  // same neighbor; adjust if the weight changed
         if (ua > v && new_w[b] != old_w[a]) {
-          add_edge(p, v, ua, new_w[b] - old_w[a]);
+          adjust_edge_weight(p, v, ua, new_w[b] - old_w[a]);
         }
         ++a;
         ++b;

@@ -34,6 +34,21 @@
 /// The Partitioning remains the source of truth for assignments: mutating
 /// methods take it by reference and update it in lock-step with the
 /// aggregates, so state and assignment can never be out of sync.
+///
+/// Besides the aggregates, the state maintains a per-partition *boundary
+/// vertex index*: for every assigned vertex an external-edge count (number
+/// of distinct edges to assigned neighbors in other partitions), and per
+/// partition the bucket of vertices with a positive count.  This is what
+/// makes the repartition pipeline boundary-local — layering seeds and
+/// refinement candidates come straight from the buckets instead of a full
+/// vertex scan.  Invariant: v ∈ boundary_vertices(p.part[v]) iff
+/// external_degree(v) > 0 iff v is assigned and has an assigned neighbor
+/// in a different partition.  Bucket *order* is unspecified (swap-remove);
+/// consumers that need determinism must sort — every in-tree consumer
+/// does.  Because the index counts edges (integers), it is exact for any
+/// edge weights; the structural add_edge/remove_edge vs weight-only
+/// adjust_edge_weight split below exists so weight merges cannot
+/// double-count an edge.
 
 #include <cstdint>
 #include <vector>
@@ -64,15 +79,24 @@ class PartitionState {
   /// exactly once.
   void move_vertex(const Graph& g, Partitioning& p, VertexId v, PartId to);
 
-  /// Account for the undirected edge {u, v} of weight \p weight being
-  /// added (weight merges add the weight delta, matching GraphBuilder's
-  /// duplicate-merge semantics).  No-op contribution-wise unless both
-  /// endpoints are assigned to different partitions.  O(1).
+  /// Account for a *new* undirected edge {u, v} of weight \p weight — one
+  /// that did not exist before (the boundary index counts it).  For a
+  /// duplicate add that merges into an existing edge use
+  /// adjust_edge_weight.  No-op contribution-wise unless both endpoints
+  /// are assigned to different partitions.  O(1).
   void add_edge(const Partitioning& p, VertexId u, VertexId v, double weight);
 
-  /// Inverse of add_edge. O(1).
+  /// Inverse of add_edge: the edge disappears entirely and \p weight is
+  /// its full weight. O(1).
   void remove_edge(const Partitioning& p, VertexId u, VertexId v,
                    double weight);
+
+  /// The weight of an *existing* edge {u, v} changed by \p delta_weight
+  /// (GraphBuilder / apply_delta duplicate-merge semantics).  Updates the
+  /// costs only — the edge count, and therefore the boundary index, is
+  /// unchanged.  O(1).
+  void adjust_edge_weight(const Partitioning& p, VertexId u, VertexId v,
+                          double delta_weight);
 
   /// Fold the placements of the appended vertices [first_new,
   /// g.num_vertices()) into the state: \p p currently covers only
@@ -106,9 +130,53 @@ class PartitionState {
   EdgeDiff reconcile_extension(const Graph& g_old, const Graph& g_new,
                                const Partitioning& p, VertexId n_old);
 
+  /// Rewrite every per-vertex entry of the boundary index through the id
+  /// compaction of a delta with removals: surviving old vertex v becomes
+  /// old_to_new[v] (kInvalidVertex entries must already be retired via
+  /// move_vertex(…, kUnassigned)).  \p new_num_vertices is the vertex
+  /// count of the new graph; appended vertices start unassigned.  The
+  /// aggregates are id-free and unaffected.  O(V + boundary).
+  void remap_vertices(const std::vector<VertexId>& old_to_new,
+                      VertexId new_num_vertices);
+
   /// Full PartitionMetrics in O(P): copies W/C, derives max/min/avg/
   /// imbalance with exactly compute_metrics()'s formulas.
   [[nodiscard]] PartitionMetrics snapshot() const;
+
+  // --- boundary index ---
+
+  /// Vertices of partition \p q with at least one external edge, in
+  /// unspecified order.  O(1).
+  [[nodiscard]] const std::vector<VertexId>& boundary_vertices(
+      PartId q) const {
+    return boundary_[static_cast<std::size_t>(q)];
+  }
+  /// Number of distinct edges from \p v to assigned neighbors in other
+  /// partitions (0 for unassigned vertices).  O(1).
+  [[nodiscard]] std::int32_t external_degree(VertexId v) const {
+    return ext_degree_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool is_boundary(VertexId v) const {
+    return external_degree(v) > 0;
+  }
+
+  /// O(P) copy of just the aggregates (weights, boundary costs, cut) — the
+  /// cheap undo unit for speculative move batches: apply the inverse moves
+  /// to restore the partitioning and the (integer) boundary index exactly,
+  /// then restore_aggregates() to erase any floating-point drift.
+  struct AggregateSnapshot {
+    std::vector<double> weight;
+    std::vector<double> boundary_cost;
+    double cut_total = 0.0;
+  };
+  [[nodiscard]] AggregateSnapshot save_aggregates() const {
+    return {weight_, boundary_cost_, cut_total_};
+  }
+  void restore_aggregates(const AggregateSnapshot& saved) {
+    weight_ = saved.weight;
+    boundary_cost_ = saved.boundary_cost;
+    cut_total_ = saved.cut_total;
+  }
 
   [[nodiscard]] double cut_total() const noexcept { return cut_total_; }
   [[nodiscard]] PartId num_parts() const noexcept { return num_parts_; }
@@ -124,10 +192,23 @@ class PartitionState {
   [[nodiscard]] double imbalance() const noexcept;
 
  private:
+  /// Transition v's bucket membership after ext_degree_[v] changed while v
+  /// is assigned to \p q.
+  void update_bucket(PartId q, VertexId v);
+  /// Remove v from partition q's bucket if present (swap-remove).
+  void bucket_erase(PartId q, VertexId v);
+
   std::vector<double> weight_;         ///< W(q)
   std::vector<double> boundary_cost_;  ///< C(q)
   double cut_total_ = 0.0;
   PartId num_parts_ = 0;
+
+  /// Distinct external edges per vertex (0 when unassigned).
+  std::vector<std::int32_t> ext_degree_;
+  /// Per-partition bucket of boundary vertices, unordered.
+  std::vector<std::vector<VertexId>> boundary_;
+  /// Index of v inside its bucket, or -1.
+  std::vector<std::int32_t> boundary_pos_;
 };
 
 }  // namespace pigp::graph

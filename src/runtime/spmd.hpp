@@ -41,6 +41,7 @@ class Packet {
   void pack_vector(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     pack(static_cast<std::uint64_t>(values.size()));
+    if (values.empty()) return;  // data() may be null for empty vectors
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
     data_.insert(data_.end(), bytes, bytes + sizeof(T) * values.size());
   }
@@ -61,6 +62,7 @@ class Packet {
     const auto count = static_cast<std::size_t>(unpack<std::uint64_t>());
     PIGP_CHECK(cursor_ + sizeof(T) * count <= data_.size(), "packet underrun");
     std::vector<T> values(count);
+    if (count == 0) return values;  // data() may be null for empty vectors
     std::memcpy(values.data(), data_.data() + cursor_, sizeof(T) * count);
     cursor_ += sizeof(T) * count;
     return values;

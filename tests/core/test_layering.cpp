@@ -15,6 +15,39 @@ using graph::GraphBuilder;
 using graph::Partitioning;
 using graph::VertexId;
 
+TEST(Layering, ZeroWeightBoundaryEdgesLeaveVerticesUnlabeled) {
+  // Vertices {0,1} in partition 0, {2} in partition 1; the only cross edge
+  // {0,2} has weight zero.  Vertex 0 is structurally boundary but carries
+  // no label (all-zero tally), and vertex 1 — reachable only through the
+  // unlabeled vertex 0 — must also stay unlabeled instead of reading a
+  // tally slot at index -1 (regression: heap overflow under ASan).
+  GraphBuilder b(3);
+  b.add_edge(0, 2, 0.0);
+  b.add_edge(0, 1, 1.0);
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1};
+
+  const LayeringResult r = layer_partitions(g, p);
+  EXPECT_EQ(r.label[0], -1);
+  EXPECT_EQ(r.layer[0], 0);  // structurally boundary
+  EXPECT_EQ(r.label[1], -1);
+  EXPECT_EQ(r.label[2], -1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(r.eps(i, j), 0);
+    }
+  }
+
+  // The boundary-seeded path agrees bit for bit.
+  const graph::PartitionState state(g, p);
+  const LayeringResult boundary = layer_partitions_from(g, p, state);
+  EXPECT_EQ(boundary.label, r.label);
+  EXPECT_EQ(boundary.layer, r.layer);
+  EXPECT_EQ(boundary.eps, r.eps);
+}
+
 TEST(Layering, TwoBlockPathLabelsTowardTheOtherSide) {
   // Path 0-1-2-3-4-5 split {0,1,2 | 3,4,5}: every vertex's closest outside
   // partition is the other one; layers count distance to the boundary.

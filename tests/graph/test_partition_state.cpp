@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -256,6 +257,194 @@ TEST(PartitionState, ReconcileExtensionHandlesOldOldRewiring) {
   Partitioning view = p;  // old-vertex view; vertex 4 still unassigned
   state.extend(g_new, view, 4, placed);
   const PartitionState fresh(g_new, placed);
+  EXPECT_EQ(state.weights(), fresh.weights());
+  EXPECT_EQ(state.boundary_costs(), fresh.boundary_costs());
+  EXPECT_EQ(state.cut_total(), fresh.cut_total());
+}
+
+/// Brute-force check of the maintained boundary index: external degrees
+/// and per-partition bucket contents (order-insensitive — the index makes
+/// no order promise).
+void expect_boundary_index_matches(const PartitionState& state,
+                                   const Graph& g, const Partitioning& p,
+                                   const char* where) {
+  std::vector<std::vector<VertexId>> expected_buckets(
+      static_cast<std::size_t>(p.num_parts));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId pv = p.part[static_cast<std::size_t>(v)];
+    std::int32_t ext = 0;
+    if (pv != kUnassigned) {
+      for (const VertexId u : g.neighbors(v)) {
+        const PartId pu = p.part[static_cast<std::size_t>(u)];
+        if (pu != kUnassigned && pu != pv) ++ext;
+      }
+    }
+    EXPECT_EQ(state.external_degree(v), ext) << where << " vertex " << v;
+    EXPECT_EQ(state.is_boundary(v), ext > 0) << where << " vertex " << v;
+    if (ext > 0) {
+      expected_buckets[static_cast<std::size_t>(pv)].push_back(v);
+    }
+  }
+  for (PartId q = 0; q < p.num_parts; ++q) {
+    std::vector<VertexId> bucket(state.boundary_vertices(q).begin(),
+                                 state.boundary_vertices(q).end());
+    std::sort(bucket.begin(), bucket.end());
+    EXPECT_EQ(bucket, expected_buckets[static_cast<std::size_t>(q)])
+        << where << " partition " << q;
+  }
+}
+
+TEST(PartitionStateBoundaryIndex, RebuildMatchesBruteForce) {
+  SplitMix64 rng(51);
+  const Graph g = random_geometric_graph(200, 0.12, 17);
+  const Partitioning p = random_partitioning(g.num_vertices(), 5, rng);
+  const PartitionState state(g, p);
+  expect_boundary_index_matches(state, g, p, "rebuild");
+}
+
+TEST(PartitionStateBoundaryIndex, SurvivesRandomMoveRetirePlaceSequences) {
+  SplitMix64 rng(53);
+  const Graph g = random_geometric_graph(180, 0.12, 19);
+  Partitioning p = random_partitioning(g.num_vertices(), 4, rng);
+  PartitionState state(g, p);
+
+  for (int step = 0; step < 600; ++step) {
+    const auto v = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+    const PartId to = rng.next_below(6) == 0
+                          ? kUnassigned
+                          : static_cast<PartId>(rng.next_below(4));
+    state.move_vertex(g, p, v, to);
+    if (step % 97 == 0) {
+      expect_boundary_index_matches(state, g, p, "mid-sequence");
+    }
+  }
+  expect_boundary_index_matches(state, g, p, "after 600 moves");
+}
+
+TEST(PartitionStateBoundaryIndex, StructuralEdgesCountWeightMergesDoNot) {
+  // Path 0-1-2-3 split {0,1 | 2,3}: only the {1,2} edge is external.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 1.0);
+  const Graph g = b.build();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+  PartitionState state(g, p);
+  EXPECT_EQ(state.external_degree(1), 1);
+  EXPECT_EQ(state.external_degree(0), 0);
+
+  // A weight merge on the existing cross edge changes costs, not counts.
+  state.adjust_edge_weight(p, 1, 2, 4.0);
+  EXPECT_EQ(state.external_degree(1), 1);
+  EXPECT_EQ(state.cut_total(), 5.0);
+
+  // A structurally new cross edge bumps both endpoints into the boundary
+  // (vertex 3's other neighbor is internal, so this is its only external
+  // edge).
+  state.add_edge(p, 0, 3, 2.0);
+  EXPECT_EQ(state.external_degree(0), 1);
+  EXPECT_EQ(state.external_degree(3), 1);
+  EXPECT_TRUE(state.is_boundary(0));
+  EXPECT_TRUE(state.is_boundary(3));
+
+  // Removing it entirely takes them back out.
+  state.remove_edge(p, 0, 3, 2.0);
+  EXPECT_EQ(state.external_degree(0), 0);
+  EXPECT_FALSE(state.is_boundary(0));
+  EXPECT_EQ(state.external_degree(3), 0);
+  EXPECT_FALSE(state.is_boundary(3));
+  EXPECT_EQ(state.cut_total(), 5.0);
+}
+
+TEST(PartitionStateBoundaryIndex, ExtendAndTransitionKeepTheIndexExact) {
+  SplitMix64 rng(57);
+  const Graph g = random_geometric_graph(220, 0.11, 23);
+  Partitioning p1 = random_partitioning(g.num_vertices(), 5, rng);
+  const Partitioning p2 = random_partitioning(g.num_vertices(), 5, rng);
+  PartitionState state(g, p1);
+  state.transition(g, p1, p2);
+  expect_boundary_index_matches(state, g, p1, "after transition");
+}
+
+TEST(PartitionStateBoundaryIndex, RemapRewritesIdsAfterCompaction) {
+  SplitMix64 rng(59);
+  const Graph g = random_geometric_graph(150, 0.14, 29);
+  Partitioning p = random_partitioning(g.num_vertices(), 4, rng);
+  PartitionState state(g, p);
+
+  // Retire a handful of vertices (the session does this before the swap),
+  // then rebuild the graph without them and remap the index.
+  const std::vector<VertexId> removed = {3, 50, 51, 149};
+  for (const VertexId v : removed) state.move_vertex(g, p, v, kUnassigned);
+
+  std::vector<VertexId> old_to_new(
+      static_cast<std::size_t>(g.num_vertices()), kInvalidVertex);
+  GraphBuilder builder;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (p.part[static_cast<std::size_t>(v)] != kUnassigned) {
+      old_to_new[static_cast<std::size_t>(v)] =
+          builder.add_vertex(g.vertex_weight(v));
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId nv = old_to_new[static_cast<std::size_t>(v)];
+    if (nv == kInvalidVertex) continue;
+    for (std::size_t i = 0; i < g.neighbors(v).size(); ++i) {
+      const VertexId u = g.neighbors(v)[i];
+      const VertexId nu = old_to_new[static_cast<std::size_t>(u)];
+      if (u > v && nu != kInvalidVertex) {
+        builder.add_edge(nv, nu, g.incident_edge_weights(v)[i]);
+      }
+    }
+  }
+  const Graph compacted = builder.build();
+
+  Partitioning carried;
+  carried.num_parts = p.num_parts;
+  carried.part.resize(static_cast<std::size_t>(compacted.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId nv = old_to_new[static_cast<std::size_t>(v)];
+    if (nv != kInvalidVertex) {
+      carried.part[static_cast<std::size_t>(nv)] =
+          p.part[static_cast<std::size_t>(v)];
+    }
+  }
+
+  state.remap_vertices(old_to_new, compacted.num_vertices());
+  expect_boundary_index_matches(state, compacted, carried, "after remap");
+  const PartitionState fresh(compacted, carried);
+  EXPECT_EQ(state.weights(), fresh.weights());
+  EXPECT_EQ(state.cut_total(), fresh.cut_total());
+}
+
+TEST(PartitionStateBoundaryIndex, InverseMoveReplayRestoresExactly) {
+  // The refine revert protocol: journal the moves, replay in reverse,
+  // restore the aggregate snapshot — everything must be bit-identical.
+  SplitMix64 rng(61);
+  const Graph g = random_geometric_graph(160, 0.13, 31);
+  Partitioning p = random_partitioning(g.num_vertices(), 4, rng);
+  PartitionState state(g, p);
+  const Partitioning p_before = p;
+  const PartitionState::AggregateSnapshot saved = state.save_aggregates();
+
+  std::vector<std::pair<VertexId, PartId>> journal;
+  for (int k = 0; k < 40; ++k) {
+    const auto v = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+    journal.emplace_back(v, p.part[static_cast<std::size_t>(v)]);
+    state.move_vertex(g, p, v, static_cast<PartId>(rng.next_below(4)));
+  }
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    state.move_vertex(g, p, it->first, it->second);
+  }
+  state.restore_aggregates(saved);
+
+  EXPECT_EQ(p.part, p_before.part);
+  expect_boundary_index_matches(state, g, p, "after inverse replay");
+  const PartitionState fresh(g, p);
   EXPECT_EQ(state.weights(), fresh.weights());
   EXPECT_EQ(state.boundary_costs(), fresh.boundary_costs());
   EXPECT_EQ(state.cut_total(), fresh.cut_total());
