@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_speedup's machine-readable JSON.
+
+CI regenerates BENCH_streaming.json on every commit (the --smoke run) and
+this script compares it against the committed baseline in
+bench/baseline/BENCH_streaming.json.  The gate fails when any tracked
+throughput metric drops more than --tolerance (default 0.25, i.e. a >25%
+drop) below its baseline value, so the streaming numbers PR 3/4/5 fought
+for cannot regress silently.
+
+Tracked metrics:
+  * sections.session_streaming.policies[*].deltas_per_second
+      Absolute throughput per batch policy.  Runner-speed dependent, hence
+      the generous tolerance band; recalibrate the baseline (commit a fresh
+      smoke JSON) when the CI runner class changes.
+  * sections.layering_sweep.points[*].seeded_speedup
+      Batch-layering time over boundary-seeded-layering time per dirty
+      fraction.  A ratio of two timings on the same machine, so it is
+      largely runner-independent and tracks the boundary-locality property
+      itself.
+
+Improvements never fail the gate.  Metrics present in the baseline but
+missing from the fresh run fail it (a silently dropped section must not
+pass).  The tolerance can be overridden with --tolerance or the
+PIGP_BENCH_TOLERANCE environment variable for local experiments.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"check_bench: cannot read {path}: {error}")
+
+
+def tracked_metrics(doc):
+    """Yield (label, value) for every gated metric in a bench JSON."""
+    sections = doc.get("sections", {})
+    streaming = sections.get("session_streaming", {})
+    for policy in streaming.get("policies", []):
+        name = policy.get("policy", "?")
+        value = policy.get("deltas_per_second")
+        if value is not None:
+            yield (f"session_streaming/{name}/deltas_per_second", value)
+    sweep = sections.get("layering_sweep", {})
+    for point in sweep.get("points", []):
+        permille = point.get("permille", "?")
+        value = point.get("seeded_speedup")
+        if value is not None:
+            yield (f"layering_sweep/permille={permille}/seeded_speedup", value)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="JSON produced by this CI run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PIGP_BENCH_TOLERANCE", "0.25")),
+        help="maximum allowed fractional drop (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("check_bench: tolerance must be in [0, 1)")
+
+    fresh = dict(tracked_metrics(load(args.fresh)))
+    baseline = list(tracked_metrics(load(args.baseline)))
+    if not baseline:
+        sys.exit("check_bench: baseline contains no tracked metrics")
+
+    failures = []
+    width = max(len(label) for label, _ in baseline)
+    print(f"perf gate: tolerance {args.tolerance:.0%} drop "
+          f"({args.fresh} vs {args.baseline})")
+    for label, base_value in baseline:
+        fresh_value = fresh.get(label)
+        if fresh_value is None:
+            failures.append(f"{label}: missing from the fresh run")
+            print(f"  FAIL {label:<{width}}  missing from fresh run")
+            continue
+        floor = base_value * (1.0 - args.tolerance)
+        ratio = fresh_value / base_value if base_value > 0 else float("inf")
+        verdict = "ok  " if fresh_value >= floor else "FAIL"
+        print(f"  {verdict} {label:<{width}}  baseline {base_value:9.3f}"
+              f"  fresh {fresh_value:9.3f}  ({ratio:6.2%} of baseline)")
+        if fresh_value < floor:
+            failures.append(
+                f"{label}: {fresh_value:.3f} < floor {floor:.3f} "
+                f"(baseline {base_value:.3f})")
+
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("\nIf this is an expected machine/workload change, regenerate "
+              "the baseline:\n  ./build/bench/bench_speedup --smoke --json "
+              "bench/baseline/BENCH_streaming.json")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

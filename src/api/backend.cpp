@@ -1,10 +1,13 @@
 #include "api/backend.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "core/multilevel.hpp"
 #include "core/spmd_igp.hpp"
+#include "core/workspace.hpp"
 #include "graph/partition.hpp"
 #include "runtime/spmd.hpp"
 #include "runtime/timer.hpp"
@@ -47,10 +50,11 @@ class FlatBackend final : public Backend {
   }
 
   [[nodiscard]] BackendResult repartition(
-      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-      graph::VertexId n_old, graph::PartitionState& state) override {
+      const graph::Graph& g_new, graph::Partitioning& partitioning,
+      graph::VertexId n_old, graph::PartitionState& state,
+      core::Workspace& ws) override {
     BackendResult out = from_igp_result(
-        driver_.repartition(g_new, old_partitioning, n_old, &state));
+        driver_.repartition_in_place(g_new, partitioning, n_old, state, ws));
     out.state_maintained = true;
     return out;
   }
@@ -106,20 +110,34 @@ class SpmdBackend final : public Backend {
   }
 
   [[nodiscard]] BackendResult repartition(
-      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-      graph::VertexId n_old, graph::PartitionState& state) override {
+      const graph::Graph& g_new, graph::Partitioning& partitioning,
+      graph::VertexId n_old, graph::PartitionState& state,
+      core::Workspace& ws) override {
     const runtime::WallTimer timer;
+    if (ws.remap_generation != seen_remap_generation_) {
+      // A delta with removals compacted the id space since our last run:
+      // the per-rank persistent layerings address stale ids.
+      for (core::Workspace& rank : rank_ws_) rank.invalidate_vertex_ids();
+      seen_remap_generation_ = ws.remap_generation;
+    }
     BackendResult out = from_igp_result(
-        core::spmd_repartition(machine_, g_new, old_partitioning, n_old,
-                               options_, &state));
+        core::spmd_repartition_in_place(machine_, g_new, partitioning, n_old,
+                                        options_, state, ws, rank_ws_));
     out.timings.total = timer.seconds();
     out.state_maintained = true;
     return out;
   }
 
+  void trim_memory() override {
+    for (core::Workspace& rank : rank_ws_) rank.release_memory();
+  }
+
  private:
   core::IgpOptions options_;
   runtime::Machine machine_;
+  /// Persistent per-rank workspaces (resumable layering + pack buffers).
+  std::vector<core::Workspace> rank_ws_;
+  std::uint64_t seen_remap_generation_ = 0;
 };
 
 /// "scratch": ignore the old partitioning and partition from scratch with

@@ -32,15 +32,19 @@ namespace pigp {
 /// flat driver reports (backends without a given phase leave its stats at
 /// their defaults).
 struct BackendResult {
+  /// The new partitioning — empty when state_maintained is true (the
+  /// in-place entry point already wrote the answer into the partitioning
+  /// it was handed).
   graph::Partitioning partitioning;
   bool balanced = false;
   int stages = 0;  ///< balance stages used (the paper's IGP(k))
   core::BalanceResult balance;
   core::RefineStats refine;
   core::IgpTimings timings;
-  /// True when the state-threaded entry point consumed the session's
-  /// PartitionState: on return it already describes `partitioning`, so the
-  /// caller must not transition it again.
+  /// True when the state-threaded entry point ran in place on the
+  /// session's partitioning and PartitionState: on return both already
+  /// describe the result (result.partitioning stays empty), so the caller
+  /// must not transition the state again.
   bool state_maintained = false;
 };
 
@@ -55,23 +59,37 @@ class Backend {
   /// False for from-scratch backends that ignore the old partitioning.
   [[nodiscard]] virtual bool incremental() const noexcept { return true; }
 
+  /// Release any backend-owned pooled memory (Session::trim_memory
+  /// forwards here after releasing the session workspace).  The SPMD
+  /// backend frees its per-rank workspaces; most backends own nothing.
+  virtual void trim_memory() {}
+
   /// Repartition \p g_new given \p old_partitioning over its first
   /// \p n_old vertices (ids preserved).
   [[nodiscard]] virtual BackendResult repartition(
       const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
       graph::VertexId n_old) = 0;
 
-  /// State-threaded variant: \p state describes (g_new, old_partitioning)
-  /// — appended tail unassigned — and boundary-local backends run their
-  /// whole pipeline off its maintained boundary index, leaving it
-  /// describing the returned partitioning (result.state_maintained true).
-  /// The default forwards to the plain overload and leaves \p state
-  /// untouched; the session then folds the result in via transition().
+  /// State-threaded, in-place variant — the streaming hot path.
+  /// \p partitioning covers [0, n_old) on entry and \p state describes
+  /// (g_new, partitioning) with the appended tail unassigned.  Boundary-
+  /// local backends run the whole pipeline in place off the maintained
+  /// boundary index and the session-owned \p ws buffers, leaving
+  /// partitioning/state describing the result (result.state_maintained
+  /// true, result.partitioning empty) with zero per-call O(V) allocations
+  /// once \p ws is warm.  The default forwards to the plain overload and
+  /// touches neither \p partitioning, \p state nor \p ws; the session then
+  /// folds result.partitioning in via transition().  On exception
+  /// partitioning/state may be mid-run; the session restores them from its
+  /// rollback snapshot.
   [[nodiscard]] virtual BackendResult repartition(
-      const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-      graph::VertexId n_old, graph::PartitionState& state) {
+      const graph::Graph& g_new, graph::Partitioning& partitioning,
+      graph::VertexId n_old, graph::PartitionState& state,
+      core::Workspace& ws) {
     (void)state;
-    return repartition(g_new, old_partitioning, n_old);
+    (void)ws;
+    return repartition(
+        g_new, static_cast<const graph::Partitioning&>(partitioning), n_old);
   }
 };
 

@@ -1,6 +1,7 @@
 #include "api/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,18 @@ Session::Session(SessionConfig config, graph::Graph g)
 SessionReport Session::apply(const graph::GraphDelta& delta) {
   const runtime::WallTimer call_timer;
   runtime::WallTimer update_timer;
+
+  // A delta that changes nothing (no additions, no removals) is a pure
+  // repartition tick: skip the graph rebuild entirely, so at steady state
+  // the whole call runs off the warm workspace without touching the heap.
+  if (delta.added_vertices.empty() && delta.added_edges.empty() &&
+      !delta.has_removals()) {
+    counters_.deltas_applied += 1;
+    counters_.update_seconds += update_timer.seconds();
+    pending_updates_ += 1;
+    return finish_update(call_timer, std::move(partitioning_),
+                         graph_.num_vertices());
+  }
 
   // apply_delta validates the whole delta up front, so every reference
   // below is known good and the state bookkeeping cannot half-apply.
@@ -136,8 +149,10 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
   graph_ = std::move(applied.graph);
   if (delta.has_removals()) {
     // Deletions compacted the id space; rewrite the boundary index (the
-    // retired vertices already left it above, so every entry survives).
+    // retired vertices already left it above, so every entry survives)
+    // and flag every id-addressed workspace buffer as stale.
     state_.remap_vertices(applied.old_to_new, graph_.num_vertices());
+    workspace_.invalidate_vertex_ids();
   }
 
   counters_.deltas_applied += 1;
@@ -198,10 +213,10 @@ SessionReport Session::apply_extended(graph::Graph g_new,
 SessionReport Session::repartition() {
   const runtime::WallTimer call_timer;
   SessionReport report;
-  run_backend(report, partitioning_, graph_.num_vertices());
+  run_backend(report, std::move(partitioning_), graph_.num_vertices());
   report.pending_updates = pending_updates_;
   report.seconds = call_timer.seconds();
-  report.metrics = state_.snapshot();
+  report.metrics = state_.summary();
   report.counters = counters_;
   return report;
 }
@@ -222,58 +237,65 @@ SessionReport Session::finish_update(const runtime::WallTimer& started,
     // no point paying for an eager pass it would repeat.  run_backend
     // restores the graph/partitioning/state invariant itself if the
     // backend throws.
-    run_backend(report, old, n_old);
+    run_backend(report, std::move(old), n_old);
   } else {
-    // Deferred: place the new vertices now (step 1) so the session stays
+    // Deferred: place the new vertices now (step 1, in place through the
+    // state and the workspace's seeded BFS) so the session stays
     // queryable between repartitions, then check the imbalance trigger.
     // Only the placements are folded into the state — O(Σ deg(new)).
     runtime::WallTimer assign_timer;
-    const graph::Partitioning placed =
-        core::extend_assignment(graph_, old, n_old, resolved_.assign);
-    state_.extend(graph_, old, n_old, placed);
+    core::extend_assignment_state(graph_, old, n_old, state_, workspace_,
+                                  resolved_.assign);
     partitioning_ = std::move(old);
     counters_.update_seconds += assign_timer.seconds();
     if (policy == BatchPolicy::imbalance &&
         state_.imbalance() > resolved_.session.batch_imbalance_limit) {
-      run_backend(report, partitioning_, graph_.num_vertices());
+      run_backend(report, std::move(partitioning_), graph_.num_vertices());
     }
   }
   report.pending_updates = pending_updates_;
   report.seconds = started.seconds();
-  report.metrics = state_.snapshot();
+  report.metrics = state_.summary();
   report.counters = counters_;
   return report;
 }
 
-void Session::run_backend(SessionReport& report,
-                          const graph::Partitioning& old_partitioning,
+void Session::run_backend(SessionReport& report, graph::Partitioning old,
                           graph::VertexId n_old) {
   runtime::WallTimer timer;
+  // Rollback snapshot into the pooled workspace buffer: the backend works
+  // in place on partitioning_, so on exception the pre-backend assignment
+  // must come from somewhere.  This memcpy-speed copy is the one O(V)
+  // touch the session itself still pays per repartition.
+  workspace_.rollback_part.assign(old.part.begin(), old.part.end());
+  const graph::PartId rollback_parts = old.num_parts;
+  partitioning_ = std::move(old);
   BackendResult result;
   try {
-    result = backend_->repartition(graph_, old_partitioning, n_old, state_);
-    result.partitioning.validate(graph_);
+    result = backend_->repartition(graph_, partitioning_, n_old, state_,
+                                   workspace_);
+    if (!result.state_maintained) {
+      // Backend without the in-place path (multilevel, scratch, external
+      // registrations): fold its answer into the state by moving exactly
+      // the vertices whose assignment changed; partitioning_ ends equal
+      // to result.partitioning.
+      state_.transition(graph_, partitioning_, result.partitioning);
+    }
+    check_backend_invariants(result.state_maintained, n_old);
   } catch (...) {
     // Keep the graph/partitioning/state invariant intact for the caller:
-    // a state-threaded backend may have mutated state_ in lock-step with
-    // its (discarded) working copy, so fall back to the step-1 assignment
-    // and rebuild from scratch — the error path is the one place that
-    // rescan is acceptable.  (extend_assignment copies, so this is safe
-    // when old_partitioning aliases partitioning_.)
-    partitioning_ = core::extend_assignment(graph_, old_partitioning, n_old,
+    // restore the pre-backend assignment from the rollback snapshot, run
+    // step 1 on it, and rebuild the state from scratch — the error path
+    // is the one place that rescan is acceptable.
+    graph::Partitioning restored;
+    restored.num_parts = rollback_parts;
+    restored.part.assign(workspace_.rollback_part.begin(),
+                         workspace_.rollback_part.end());
+    partitioning_ = core::extend_assignment(graph_, restored, n_old,
                                             resolved_.assign);
     state_.rebuild(graph_, partitioning_);
     throw;
   }
-  if (!result.state_maintained) {
-    // Backend without the state-threaded path (multilevel, scratch,
-    // external registrations): fold its answer into the state by moving
-    // exactly the vertices whose assignment changed.  (The copy exists
-    // because old_partitioning may alias partitioning_.)
-    graph::Partitioning work = old_partitioning;
-    state_.transition(graph_, work, result.partitioning);
-  }
-  partitioning_ = std::move(result.partitioning);
 
   report.repartitioned = true;
   report.balanced = result.balanced;
@@ -292,6 +314,55 @@ void Session::run_backend(SessionReport& report,
 
   pending_updates_ = 0;
   pending_vertex_changes_ = 0;
+}
+
+void Session::check_backend_invariants(bool state_maintained,
+                                       graph::VertexId n_old) const {
+#if defined(PIGP_VALIDATE) || !defined(NDEBUG)
+  // Debug / PIGP_VALIDATE=ON builds keep the historical full validate —
+  // an O(V) scan of every assignment.
+  (void)state_maintained;
+  (void)n_old;
+  partitioning_.validate(graph_);
+#else
+  if (!state_maintained) {
+    // Backends that return a fresh partitioning (multilevel, scratch,
+    // external registrations) are off the streaming hot path and get the
+    // full check.
+    partitioning_.validate(graph_);
+    return;
+  }
+  // Streaming path: O(Δ + boundary + P) invariant check instead of the
+  // O(V) sweep.  The vertices below n_old were validated when they
+  // entered; the in-place pipeline only ever rewrites assignments through
+  // PartitionState::move_vertex, which rejects out-of-range destinations —
+  // so checking sizes, the appended tail, the weight conservation law and
+  // the boundary-index invariant covers everything a full validate would
+  // catch short of memory corruption.
+  const graph::VertexId n = graph_.num_vertices();
+  PIGP_CHECK(partitioning_.num_vertices() == n,
+             "backend left the partitioning covering the wrong vertex count");
+  PIGP_CHECK(partitioning_.num_parts == resolved_.session.num_parts,
+             "backend changed the partition count");
+  for (graph::VertexId v = n_old; v < n; ++v) {
+    const graph::PartId q = partitioning_.part[static_cast<std::size_t>(v)];
+    PIGP_CHECK(q >= 0 && q < partitioning_.num_parts,
+               "appended vertex left unassigned or out of range");
+  }
+  double total = 0.0;
+  for (const double w : state_.weights()) total += w;
+  const double expected = graph_.total_vertex_weight();
+  PIGP_CHECK(std::abs(total - expected) <=
+                 1e-6 * std::max(1.0, std::abs(expected)),
+             "maintained partition weights no longer sum to the graph total");
+  for (graph::PartId q = 0; q < partitioning_.num_parts; ++q) {
+    for (const graph::VertexId v : state_.boundary_vertices(q)) {
+      PIGP_CHECK(partitioning_.part[static_cast<std::size_t>(v)] == q &&
+                     state_.external_degree(v) > 0,
+                 "boundary index inconsistent with the assignment");
+    }
+  }
+#endif
 }
 
 }  // namespace pigp

@@ -38,6 +38,7 @@
 
 #include "api/backend.hpp"
 #include "api/config.hpp"
+#include "core/workspace.hpp"
 #include "graph/delta.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
@@ -85,8 +86,11 @@ struct SessionReport {
   core::RefineStats refine;
   core::IgpTimings timings;
 
-  /// Quality of the current partitioning after this call.
-  graph::PartitionMetrics metrics;
+  /// Quality of the current partitioning after this call — the scalar
+  /// summary (cut total/max/min, weight max/min/avg, imbalance), produced
+  /// in O(P) with zero allocations.  The per-partition breakdown is
+  /// available on demand through Session::metrics().
+  graph::PartitionSummary metrics;
   /// Snapshot of the cumulative stream counters.
   SessionCounters counters;
 };
@@ -137,6 +141,16 @@ class Session {
   /// graph rescan.
   [[nodiscard]] graph::PartitionMetrics metrics() const;
 
+  /// Return every pooled buffer to the allocator — the session workspace
+  /// and anything the backend owns (the SPMD backend's per-rank
+  /// workspaces).  Useful for a long-lived session after a burst much
+  /// larger than its steady state; the next repartition transparently
+  /// re-warms the pools (and is allocation-free again from then on).
+  void trim_memory() {
+    workspace_.release_memory();
+    backend_->trim_memory();
+  }
+
  private:
   /// Decide per batch policy, run the backend if due (handing it \p old
   /// over [0, n_old) so step 1 runs exactly once), and assemble the
@@ -144,9 +158,22 @@ class Session {
   SessionReport finish_update(const runtime::WallTimer& started,
                               graph::Partitioning old,
                               graph::VertexId n_old);
-  void run_backend(SessionReport& report,
-                   const graph::Partitioning& old_partitioning,
+  /// Run the backend in place: \p old (covering [0, n_old)) becomes the
+  /// session partitioning, a rollback snapshot of it is parked in the
+  /// workspace, and the backend's in-place overload extends/rebalances it
+  /// against graph_/state_ without any O(V) allocation.  On backend
+  /// exceptions the pre-backend assignment is restored (plus step 1) and
+  /// the state rebuilt, so the graph/partitioning/state invariant holds
+  /// for the caller either way.
+  void run_backend(SessionReport& report, graph::Partitioning old,
                    graph::VertexId n_old);
+  /// Post-backend sanity: a full Partitioning::validate in Debug and
+  /// PIGP_VALIDATE builds (and always for backends without the in-place
+  /// path); in Release an O(Δ + boundary + P) incremental invariant check
+  /// — appended assignments in range, maintained weights summing to the
+  /// graph total, boundary buckets consistent with the assignment.
+  void check_backend_invariants(bool state_maintained,
+                                graph::VertexId n_old) const;
 
   ResolvedConfig resolved_;
   std::unique_ptr<Backend> backend_;
@@ -159,6 +186,11 @@ class Session {
   /// imbalance (PartitionState::imbalance).  Also carries the boundary-
   /// vertex index the state-threaded backends repartition from.
   graph::PartitionState state_;
+  /// Session-lifetime reusable buffers for every pipeline phase (assignment
+  /// BFS epoch arrays, the persistent boundary layering, refine scratch,
+  /// the rollback snapshot): steady-state repartitions allocate nothing.
+  /// See "Workspace & steady-state memory discipline" in ARCHITECTURE.md.
+  core::Workspace workspace_;
   SessionCounters counters_;
   int pending_updates_ = 0;
   /// Vertices added + removed since the last repartition (vertex_count

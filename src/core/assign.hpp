@@ -13,7 +13,13 @@
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 
+namespace pigp::graph {
+class PartitionState;
+}  // namespace pigp::graph
+
 namespace pigp::core {
+
+struct Workspace;
 
 struct AssignOptions {
   int num_threads = 1;
@@ -24,5 +30,25 @@ struct AssignOptions {
 [[nodiscard]] graph::Partitioning extend_assignment(
     const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
     graph::VertexId n_old, const AssignOptions& options = {});
+
+/// In-place, state-maintained variant of extend_assignment for the
+/// streaming hot path: \p p covers [0, n_old) and grows to cover \p g_new,
+/// every placement goes through \p state (move_vertex) so the aggregates
+/// and the boundary index stay exact, and all per-vertex BFS storage comes
+/// from \p ws (epoch-cleared — zero allocations once warm).
+///
+/// The BFS is seeded only with the old vertices adjacent to the appended
+/// tail instead of all n_old of them.  Expansion can only ever enter
+/// appended vertices (old ones have distance 0 in the full formulation),
+/// and an appended vertex's old neighbors are seeds by construction, so
+/// distances and the min-label tie-break — hence every placement — are
+/// bit-identical to extend_assignment; tests/core/test_assign.cpp pins
+/// the parity.  Cost: O(Σ deg(appended) + labeled shell), not O(V + E).
+/// The orphan-cluster fallback (appended components with no old vertex)
+/// is the one sub-path that may allocate.
+void extend_assignment_state(const graph::Graph& g_new, graph::Partitioning& p,
+                             graph::VertexId n_old,
+                             graph::PartitionState& state, Workspace& ws,
+                             const AssignOptions& options = {});
 
 }  // namespace pigp::core

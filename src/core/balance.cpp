@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "core/transfer.hpp"
+#include "core/workspace.hpp"
 #include "lp/bounded_simplex.hpp"
 #include "support/check.hpp"
 
@@ -206,14 +207,20 @@ BalanceResult balance_load(const graph::Graph& g,
 BalanceResult balance_load(const graph::Graph& g,
                            graph::Partitioning& partitioning,
                            graph::PartitionState& state,
-                           const BalanceOptions& options) {
+                           const BalanceOptions& options, Workspace* ws) {
   BalanceResult result;
   const auto parts = static_cast<std::size_t>(partitioning.num_parts);
-  const std::vector<double> targets =
-      graph::balance_targets(g.total_vertex_weight(), partitioning.num_parts);
-  std::vector<double> excess(parts, 0.0);
-  // Constructed on first use: an already-balanced call (the common case on
-  // a well-behaved stream) never pays the O(V) per-vertex array setup.
+  std::vector<double> local_targets;
+  std::vector<double> local_excess;
+  std::vector<double>& targets = ws ? ws->balance_targets : local_targets;
+  std::vector<double>& excess = ws ? ws->balance_excess : local_excess;
+  graph::balance_targets_into(g.total_vertex_weight(), partitioning.num_parts,
+                              targets);
+  excess.assign(parts, 0.0);
+  // Bound on first use: an already-balanced call (the common case on a
+  // well-behaved stream) never pays any per-vertex array setup.  With a
+  // workspace the layering is the session-persistent one — its bind() is
+  // O(1) at steady state; without one, a call-local instance.
   std::optional<BoundaryLayering> layering_storage;
 
   for (int stage = 0; stage < options.max_stages; ++stage) {
@@ -224,8 +231,11 @@ BalanceResult balance_load(const graph::Graph& g,
       result.balanced = true;
       return result;
     }
-    if (!layering_storage) layering_storage.emplace(g, partitioning);
-    BoundaryLayering& layering = *layering_storage;
+    if (ws == nullptr && !layering_storage) {
+      layering_storage.emplace(g, partitioning);
+    }
+    BoundaryLayering& layering = ws ? ws->layering : *layering_storage;
+    if (ws != nullptr && stage == 0) ws->layering.bind(g, partitioning);
 
     // Boundary-seeded layering, depth-capped with lazy deepening: a mildly
     // imbalanced stream labels a thin shell and stops as soon as the

@@ -27,6 +27,8 @@
 
 namespace pigp::core {
 
+struct Workspace;
+
 /// Which simplex implementation to use.
 enum class LpSolverKind {
   dense,    ///< the paper's dense two-phase simplex
@@ -130,10 +132,14 @@ struct StageDecision {
 /// lazy deepening on infeasibility, and transfers are applied through the
 /// state so it ends consistent with \p partitioning.  \p state must
 /// describe (g, partitioning) on entry and partitioning must be fully
-/// assigned.
+/// assigned.  A non-null \p ws supplies the target/excess buffers and the
+/// persistent BoundaryLayering, making an already-balanced call (and the
+/// per-stage layering setup) allocation-free; decisions are identical
+/// either way.
 [[nodiscard]] BalanceResult balance_load(const graph::Graph& g,
                                          graph::Partitioning& partitioning,
                                          graph::PartitionState& state,
-                                         const BalanceOptions& options = {});
+                                         const BalanceOptions& options = {},
+                                         Workspace* ws = nullptr);
 
 }  // namespace pigp::core

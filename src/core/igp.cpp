@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/workspace.hpp"
 #include "runtime/timer.hpp"
 #include "support/check.hpp"
 
@@ -9,7 +10,19 @@ namespace pigp::core {
 
 IgpResult IncrementalPartitioner::repartition(
     const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-    graph::VertexId n_old, graph::PartitionState* state) const {
+    graph::VertexId n_old, graph::PartitionState* state, Workspace* ws) const {
+  if (state != nullptr) {
+    // Maintained state handed in by the caller: copy the old assignment
+    // and run the in-place pipeline on it (sessions skip even this copy by
+    // calling repartition_in_place on their own partitioning directly).
+    Workspace local_ws;
+    graph::Partitioning working = old_partitioning;
+    IgpResult result = repartition_in_place(g_new, working, n_old, *state,
+                                            ws ? *ws : local_ws);
+    result.partitioning = std::move(working);
+    return result;
+  }
+
   const runtime::WallTimer total_timer;
   IgpResult result;
 
@@ -17,25 +30,16 @@ IgpResult IncrementalPartitioner::repartition(
   runtime::WallTimer timer;
   AssignOptions assign_options;
   assign_options.num_threads = options_.num_threads;
-  graph::Partitioning placed =
+  result.partitioning =
       extend_assignment(g_new, old_partitioning, n_old, assign_options);
   graph::PartitionState local_state;
-  if (state != nullptr) {
-    // Maintained state handed in by the session: fold just the new
-    // placements in — O(Σ deg(new)), not a rescan.
-    result.partitioning = old_partitioning;
-    state->extend(g_new, result.partitioning, n_old, placed);
-  } else {
-    result.partitioning = std::move(placed);
-    local_state.rebuild(g_new, result.partitioning);
-    state = &local_state;
-  }
+  local_state.rebuild(g_new, result.partitioning);
   result.timings.assign = timer.seconds();
 
   // Steps 2–3: layering + LP balancing (multi-stage, boundary-local).
   timer.reset();
   result.balance_result =
-      balance_load(g_new, result.partitioning, *state, options_.balance);
+      balance_load(g_new, result.partitioning, local_state, options_.balance);
   result.balanced = result.balance_result.balanced;
   result.stages = static_cast<int>(result.balance_result.stages.size());
   result.timings.balance = timer.seconds();
@@ -44,7 +48,44 @@ IgpResult IncrementalPartitioner::repartition(
   if (options_.refine) {
     timer.reset();
     result.refine_stats = refine_partitioning(
-        g_new, result.partitioning, *state, options_.refinement);
+        g_new, result.partitioning, local_state, options_.refinement);
+    result.timings.refine = timer.seconds();
+  }
+
+  result.timings.total = total_timer.seconds();
+  return result;
+}
+
+IgpResult IncrementalPartitioner::repartition_in_place(
+    const graph::Graph& g_new, graph::Partitioning& partitioning,
+    graph::VertexId n_old, graph::PartitionState& state, Workspace& ws) const {
+  const runtime::WallTimer total_timer;
+  IgpResult result;
+
+  // Step 1: seeded assignment of the appended vertices, folded straight
+  // into the maintained state — O(Σ deg(new) + shell), not an O(V+E)
+  // multi-source sweep, and allocation-free once the workspace is warm.
+  runtime::WallTimer timer;
+  AssignOptions assign_options;
+  assign_options.num_threads = options_.num_threads;
+  extend_assignment_state(g_new, partitioning, n_old, state, ws,
+                          assign_options);
+  result.timings.assign = timer.seconds();
+
+  // Steps 2–3: layering + LP balancing (multi-stage, boundary-local, with
+  // the workspace's persistent layering arrays).
+  timer.reset();
+  result.balance_result =
+      balance_load(g_new, partitioning, state, options_.balance, &ws);
+  result.balanced = result.balance_result.balanced;
+  result.stages = static_cast<int>(result.balance_result.stages.size());
+  result.timings.balance = timer.seconds();
+
+  // Step 4: refinement (IGPR).
+  if (options_.refine) {
+    timer.reset();
+    result.refine_stats = refine_partitioning(g_new, partitioning, state,
+                                              options_.refinement, &ws);
     result.timings.refine = timer.seconds();
   }
 

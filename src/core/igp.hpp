@@ -24,6 +24,8 @@
 
 namespace pigp::core {
 
+struct Workspace;
+
 /// Plain-data options for the flat driver.  Thread-count and solver
 /// propagation into the nested structs lives in SessionConfig::resolve()
 /// (src/api/config.hpp) — the single derivation path, guarded by
@@ -69,10 +71,25 @@ class IncrementalPartitioner {
   /// candidates come from the maintained index instead of full rescans,
   /// and on return the state describes the returned partitioning.  With a
   /// null state an internal one is seeded with one O(V+E) rescan, so both
-  /// paths make bit-identical decisions.
+  /// paths make bit-identical decisions.  \p ws (only meaningful with a
+  /// state) reuses a caller-owned Workspace across calls.
   [[nodiscard]] IgpResult repartition(
       const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
-      graph::VertexId n_old, graph::PartitionState* state = nullptr) const;
+      graph::VertexId n_old, graph::PartitionState* state = nullptr,
+      Workspace* ws = nullptr) const;
+
+  /// The streaming hot path: run the pipeline *in place* on
+  /// \p partitioning (covering [0, n_old) on entry, all of \p g_new on
+  /// return) and \p state, with every reusable buffer drawn from \p ws —
+  /// zero per-call O(V) allocations or copies once the workspace is warm.
+  /// Decisions are bit-identical to the copying overloads (the parity
+  /// suites pin this).  result.partitioning is left empty — the answer IS
+  /// \p partitioning.  On exception partitioning/state are left
+  /// inconsistent; the session rolls back from its own snapshot.
+  [[nodiscard]] IgpResult repartition_in_place(
+      const graph::Graph& g_new, graph::Partitioning& partitioning,
+      graph::VertexId n_old, graph::PartitionState& state,
+      Workspace& ws) const;
 
   /// Apply \p delta to \p g_old and repartition the result.  Handles vertex
   /// deletions via the delta's id remapping.  \p result_graph (optional)

@@ -229,16 +229,36 @@ LayeringResult layer_partitions(const graph::Graph& g,
 // BoundaryLayering
 
 BoundaryLayering::BoundaryLayering(const graph::Graph& g,
-                                   const graph::Partitioning& p)
-    : g_(&g), p_(&p) {
+                                   const graph::Partitioning& p) {
+  bind(g, p);
+}
+
+void BoundaryLayering::bind(const graph::Graph& g,
+                            const graph::Partitioning& p) {
+  g_ = &g;
+  p_ = &p;
   const auto n = static_cast<std::size_t>(g.num_vertices());
   const auto parts = static_cast<std::size_t>(p.num_parts);
-  label_.assign(n, -1);
-  layer_.assign(n, -1);
-  eps_ = pigp::DenseMatrix<std::int64_t>(parts, parts, 0);
-  frontier_.assign(parts, {});
-  labeled_.assign(parts, {});
-  depth_.assign(parts, 0);
+  if (dirty_ || label_.size() > n || eps_.rows() != parts) {
+    // Remapped ids / shrunk graph / changed part count / fresh or
+    // taken-from object: the labeled lists can no longer undo the previous
+    // stage, so reset everything once.  (This path is only reached after
+    // a delta with removals — itself an O(V) operation — or on first use.)
+    label_.assign(n, -1);
+    layer_.assign(n, -1);
+    eps_ = pigp::DenseMatrix<std::int64_t>(parts, parts, 0);
+    frontier_.assign(parts, {});
+    labeled_.assign(parts, {});
+    depth_.assign(parts, 0);
+    seeded_.clear();
+    dirty_ = false;
+  } else if (label_.size() < n) {
+    // Appended vertices: grow with unlabeled tails (amortized, and only
+    // when the graph actually grew).  Existing entries still match the
+    // labeled lists, so the O(labeled) reseed undo stays valid.
+    label_.resize(n, -1);
+    layer_.resize(n, -1);
+  }
 }
 
 void BoundaryLayering::reseed(const graph::PartitionState& state,
@@ -299,6 +319,18 @@ void BoundaryLayering::reseed(const graph::PartitionState& state,
   }
 }
 
+void BoundaryLayering::release() {
+  std::vector<graph::PartId>().swap(label_);
+  std::vector<std::int32_t>().swap(layer_);
+  eps_ = pigp::DenseMatrix<std::int64_t>();
+  std::vector<std::vector<graph::VertexId>>().swap(frontier_);
+  std::vector<std::vector<graph::VertexId>>().swap(labeled_);
+  std::vector<std::int32_t>().swap(depth_);
+  std::vector<graph::PartId>().swap(seeded_);
+  std::vector<LayerScratch>().swap(scratch_);
+  dirty_ = true;
+}
+
 void BoundaryLayering::grow(int levels, int num_threads) {
   if (levels == 0) return;
   const bool parallel = num_threads > 1 && seeded_.size() > 1;
@@ -341,6 +373,10 @@ LayeringResult BoundaryLayering::take_result() {
   result.layer = std::move(layer_);
   result.eps = std::move(eps_);
   seeded_.clear();
+  // The moved-from eps_ may keep its shape (only the storage moved), which
+  // bind()'s cheap checks cannot distinguish from a live matrix — force
+  // the next bind() onto the full-reset path.
+  dirty_ = true;
   return result;
 }
 

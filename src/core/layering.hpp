@@ -105,7 +105,30 @@ void layer_one_partition(const graph::Graph& g, const graph::Partitioning& p,
 /// bit-identical to layer_partitions(g, p).
 class BoundaryLayering {
  public:
+  /// Empty; bind() before use.  A default-constructed instance living in a
+  /// core::Workspace persists across repartitions — that is the hot path.
+  BoundaryLayering() = default;
+
+  /// Equivalent to default construction + bind(g, p).
   BoundaryLayering(const graph::Graph& g, const graph::Partitioning& p);
+
+  /// Point the layering at (g, p) and make the arrays consistent: after
+  /// invalidate(), take_result(), or a vertex-count change this performs
+  /// one full O(V) reset; otherwise it only refreshes the pointers and
+  /// grows the per-vertex arrays for appended ids (amortized), so a
+  /// steady-state rebind costs O(1) and allocates nothing.  Must be called
+  /// before the first reseed() of every balance run — the graph and
+  /// partitioning may have moved since the last one.
+  void bind(const graph::Graph& g, const graph::Partitioning& p);
+
+  /// The vertex-id space was remapped (a delta with removals compacts
+  /// ids): the labeled-vertex lists no longer address the entries they
+  /// labeled, so the next bind() must fall back to a full reset.
+  void invalidate() { dirty_ = true; }
+
+  /// Deallocate everything (Workspace::release_memory); the next bind()
+  /// re-creates the arrays with a full reset.
+  void release();
 
   /// Reset the previous stage (O(labeled)) and seed layer 0 of every
   /// partition — or only of \p owned_parts when non-null (the SPMD driver
@@ -141,14 +164,14 @@ class BoundaryLayering {
     return depth_[static_cast<std::size_t>(q)];
   }
 
-  /// Move the arrays out as a batch-shaped LayeringResult.  This ends the
-  /// object's useful life — any further reseed() throws (the arrays are
-  /// gone; construct a fresh BoundaryLayering instead).
+  /// Move the arrays out as a batch-shaped LayeringResult.  Any further
+  /// reseed() throws until bind() restores the arrays (with a full reset).
   [[nodiscard]] LayeringResult take_result();
 
  private:
-  const graph::Graph* g_;
-  const graph::Partitioning* p_;
+  const graph::Graph* g_ = nullptr;
+  const graph::Partitioning* p_ = nullptr;
+  bool dirty_ = false;
   std::vector<graph::PartId> label_;
   std::vector<std::int32_t> layer_;
   pigp::DenseMatrix<std::int64_t> eps_;

@@ -8,6 +8,7 @@
 #endif
 
 #include "core/transfer.hpp"
+#include "core/workspace.hpp"
 #include "graph/partition_state.hpp"
 #include "support/check.hpp"
 
@@ -19,16 +20,25 @@ namespace {
 /// scanning the maintained index instead of [0, V) yields the identical
 /// candidate set).  \p boundary must be sorted ascending — bucket order
 /// within each (i, j) list feeds a floating-point gain sum in the LP
-/// objective, so it must match the historical full-scan order.
-pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
+/// objective, so it must match the historical full-scan order.  Results
+/// land in \p candidates (cells cleared, capacity reused) with per-thread
+/// tallies from \p scratch, so a warm call allocates nothing.
+void collect_candidates(
     const graph::Graph& g, const graph::Partitioning& p,
     const std::vector<graph::VertexId>& boundary, bool strict,
-    int num_threads) {
+    int num_threads,
+    std::vector<Workspace::RefineThreadScratch>& scratch,
+    pigp::DenseMatrix<std::vector<GainCandidate>>& candidates) {
   const auto parts = static_cast<std::size_t>(p.num_parts);
-  pigp::DenseMatrix<std::vector<GainCandidate>> candidates(parts, parts);
-
-  std::vector<std::vector<std::pair<std::size_t, GainCandidate>>> local(
-      static_cast<std::size_t>(std::max(1, num_threads)));
+  if (candidates.rows() != parts || candidates.cols() != parts) {
+    candidates = pigp::DenseMatrix<std::vector<GainCandidate>>(parts, parts);
+  } else {
+    for (std::size_t i = 0; i < parts; ++i) {
+      for (std::size_t j = 0; j < parts; ++j) candidates(i, j).clear();
+    }
+  }
+  scratch.resize(static_cast<std::size_t>(std::max(1, num_threads)));
+  for (auto& s : scratch) s.found.clear();
   const bool parallel = num_threads > 1 && boundary.size() > 4096;
 
 #pragma omp parallel num_threads(num_threads) if (parallel)
@@ -38,8 +48,9 @@ pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
 #else
     const int tid = 0;
 #endif
-    auto& mine = local[static_cast<std::size_t>(tid)];
-    std::vector<double> out(parts, 0.0);
+    auto& mine = scratch[static_cast<std::size_t>(tid)].found;
+    auto& out = scratch[static_cast<std::size_t>(tid)].out;
+    out.assign(parts, 0.0);
 #pragma omp for schedule(static)
     for (std::size_t b = 0; b < boundary.size(); ++b) {
       const graph::VertexId v = boundary[b];
@@ -80,24 +91,23 @@ pigp::DenseMatrix<std::vector<GainCandidate>> collect_candidates(
   // Static scheduling hands thread t a contiguous ascending chunk, so
   // concatenating in tid order keeps each bucket ascending by vertex id —
   // the same order the historical 0..V scan produced.
-  for (const auto& chunk : local) {
-    for (const auto& [slot, cand] : chunk) {
+  for (const auto& chunk : scratch) {
+    for (const auto& [slot, cand] : chunk.found) {
       candidates(slot / parts, slot % parts).push_back(cand);
     }
   }
-  return candidates;
 }
 
-/// Sorted union of all partitions' boundary buckets.
-std::vector<graph::VertexId> sorted_boundary(
-    const graph::PartitionState& state) {
-  std::vector<graph::VertexId> boundary;
+/// Sorted union of all partitions' boundary buckets, into \p boundary
+/// (capacity reused).
+void sorted_boundary(const graph::PartitionState& state,
+                     std::vector<graph::VertexId>& boundary) {
+  boundary.clear();
   for (graph::PartId q = 0; q < state.num_parts(); ++q) {
     const auto& bucket = state.boundary_vertices(q);
     boundary.insert(boundary.end(), bucket.begin(), bucket.end());
   }
   std::sort(boundary.begin(), boundary.end());
-  return boundary;
 }
 
 /// The refinement LP (eqs. 14–16) with a gain-aware objective.  The paper
@@ -179,7 +189,7 @@ RefineStats refine_partitioning(const graph::Graph& g,
 RefineStats refine_partitioning(const graph::Graph& g,
                                 graph::Partitioning& partitioning,
                                 graph::PartitionState& state,
-                                const RefineOptions& options) {
+                                const RefineOptions& options, Workspace* ws) {
   RefineStats stats;
   const auto parts = static_cast<std::size_t>(partitioning.num_parts);
   double cut = state.cut_total();
@@ -188,14 +198,33 @@ RefineStats refine_partitioning(const graph::Graph& g,
 
   bool force_strict = false;
   double cap_scale = 1.0;
-  std::vector<std::pair<graph::VertexId, graph::PartId>> journal;
+  // Working storage: pooled in the session workspace when given, call-local
+  // otherwise — identical decisions either way.
+  std::vector<std::pair<graph::VertexId, graph::PartId>> local_journal;
+  std::vector<graph::VertexId> local_boundary;
+  pigp::DenseMatrix<std::vector<GainCandidate>> local_candidates;
+  std::vector<Workspace::RefineThreadScratch> local_scratch;
+  auto& journal = ws ? ws->refine_journal : local_journal;
+  auto& boundary = ws ? ws->refine_boundary : local_boundary;
+  auto& candidates = ws ? ws->refine_candidates : local_candidates;
+  auto& scratch = ws ? ws->refine_scratch : local_scratch;
+
   // The sorted boundary only changes when a round's moves are kept; a
   // reverted round restores the index exactly, so the retry reuses it.
-  std::vector<graph::VertexId> boundary = sorted_boundary(state);
+  sorted_boundary(state, boundary);
   for (int round = 0; round < options.max_rounds; ++round) {
     const bool strict = force_strict || round >= options.strict_after_round;
-    const auto candidates = collect_candidates(g, partitioning, boundary,
-                                               strict, options.num_threads);
+    collect_candidates(g, partitioning, boundary, strict, options.num_threads,
+                       scratch, candidates);
+    // No candidates at all: the LP would have zero variables — skip its
+    // construction entirely (same terminal decision, no model churn).
+    bool any_candidate = false;
+    for (std::size_t i = 0; i < parts && !any_candidate; ++i) {
+      for (std::size_t j = 0; j < parts && !any_candidate; ++j) {
+        any_candidate = !candidates(i, j).empty();
+      }
+    }
+    if (!any_candidate) break;
 
     pigp::DenseMatrix<int> pos_vars;
     pigp::DenseMatrix<int> zero_vars;
@@ -263,7 +292,7 @@ RefineStats refine_partitioning(const graph::Graph& g,
     cut = new_cut;
     stats.cut_after = cut;
     if (gain < options.min_gain) break;
-    boundary = sorted_boundary(state);  // moves kept: boundary changed
+    sorted_boundary(state, boundary);  // moves kept: boundary changed
   }
   return stats;
 }

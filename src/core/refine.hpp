@@ -28,6 +28,8 @@
 
 namespace pigp::core {
 
+struct Workspace;
+
 struct RefineOptions {
   int max_rounds = 8;
   /// Round index from which candidates require out(v,j) - in(v) > 0
@@ -65,9 +67,13 @@ struct RefineStats {
 /// bookkeeping, and a regressing round is undone by replaying its move
 /// journal in reverse (O(moved)) instead of copying the partitioning.
 /// \p state must describe (g, partitioning) on entry and is left
-/// consistent with the refined partitioning.
+/// consistent with the refined partitioning.  A non-null \p ws supplies
+/// the boundary/candidate/journal buffers, so a converged call (no
+/// positive-gain candidates) allocates nothing; decisions are identical
+/// either way.
 [[nodiscard]] RefineStats refine_partitioning(
     const graph::Graph& g, graph::Partitioning& partitioning,
-    graph::PartitionState& state, const RefineOptions& options = {});
+    graph::PartitionState& state, const RefineOptions& options = {},
+    Workspace* ws = nullptr);
 
 }  // namespace pigp::core

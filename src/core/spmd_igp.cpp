@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 #include <utility>
 
 #include "core/layering.hpp"
 #include "core/transfer.hpp"
+#include "core/workspace.hpp"
 #include "support/check.hpp"
 
 namespace pigp::core {
@@ -22,31 +22,18 @@ int owner_of(PartId q, int num_ranks) {
   return static_cast<int>(q) % num_ranks;
 }
 
-}  // namespace
-
-IgpResult spmd_repartition(runtime::Machine& machine,
-                           const graph::Graph& g_new,
-                           const graph::Partitioning& old_partitioning,
-                           VertexId n_old, const IgpOptions& options,
-                           graph::PartitionState* state) {
-  // Step 1 runs once up front (multi-source BFS is a global operation; the
-  // CM-5 version distributes the frontier, which the OpenMP path models).
-  AssignOptions assign_options;
-  assign_options.num_threads = 1;
-  graph::Partitioning placed =
-      extend_assignment(g_new, old_partitioning, n_old, assign_options);
-
-  graph::PartitionState local_state;
-  graph::Partitioning shared;
-  if (state != nullptr) {
-    shared = old_partitioning;
-    state->extend(g_new, shared, n_old, placed);
-  } else {
-    shared = std::move(placed);
-    local_state.rebuild(g_new, shared);
-    state = &local_state;
-  }
-
+/// Balance stages + refinement on an already-extended (g_new, shared,
+/// state) triple — the SPMD engine shared by the compat and in-place entry
+/// points.  \p rank_ws holds one persistent Workspace per rank (resumable
+/// layering + gather/pack staging); \p refine_ws is the caller's workspace
+/// for the refinement pass (null = call-local buffers).
+IgpResult run_spmd_engine(runtime::Machine& machine, const graph::Graph& g_new,
+                          graph::Partitioning& shared,
+                          const IgpOptions& options,
+                          graph::PartitionState& state,
+                          std::vector<Workspace>& rank_ws,
+                          Workspace* refine_ws) {
+  rank_ws.resize(static_cast<std::size_t>(machine.num_ranks()));
   const auto parts = static_cast<std::size_t>(shared.num_parts);
   const std::vector<double> targets =
       graph::balance_targets(g_new.total_vertex_weight(), shared.num_parts);
@@ -55,15 +42,19 @@ IgpResult spmd_repartition(runtime::Machine& machine,
 
   // ---------------------------------------------------- balance stages
   machine.run([&](RankContext& ctx) {
-    // Rank-local ownership and resumable layering (per-vertex arrays are
-    // allocated once per rank and reset in O(labeled) per stage).
+    // Rank-local ownership and resumable layering.  The per-vertex arrays
+    // live in this rank's persistent Workspace: bind() refreshes the
+    // graph/partitioning pointers and only pays a full reset after an
+    // id remap or a shrink, so steady-state stages reset in O(labeled).
+    Workspace& mine_ws = rank_ws[static_cast<std::size_t>(ctx.rank())];
     std::vector<PartId> owned;
     for (PartId q = 0; q < shared.num_parts; ++q) {
       if (owner_of(q, ctx.num_ranks()) == ctx.rank()) owned.push_back(q);
     }
-    std::optional<BoundaryLayering> layering_storage;  // built on first use
+    bool layering_bound = false;
     std::vector<double> excess(parts, 0.0);
-    std::vector<std::int64_t> moves_flat(parts * parts, 0);
+    std::vector<std::int64_t>& moves_flat = mine_ws.spmd_moves_flat;
+    moves_flat.assign(parts * parts, 0);
 
     for (int stage = 0; stage < options.balance.max_stages; ++stage) {
       // Every rank reads the excess off the shared state's maintained
@@ -71,7 +62,7 @@ IgpResult spmd_repartition(runtime::Machine& machine,
       // and the stage ends in a barrier).
       double max_dev = 0.0;
       for (std::size_t q = 0; q < parts; ++q) {
-        excess[q] = state->weights()[q] - targets[q];
+        excess[q] = state.weights()[q] - targets[q];
         max_dev = std::max(max_dev, std::abs(excess[q]));
       }
       if (max_dev <= options.balance.tolerance) {
@@ -80,9 +71,12 @@ IgpResult spmd_repartition(runtime::Machine& machine,
       }
 
       // Boundary-seeded, depth-capped layering of the owned partitions.
-      if (!layering_storage) layering_storage.emplace(g_new, shared);
-      BoundaryLayering& layering = *layering_storage;
-      layering.reseed(*state, 1, &owned);
+      BoundaryLayering& layering = mine_ws.layering;
+      if (!layering_bound) {
+        layering.bind(g_new, shared);
+        layering_bound = true;
+      }
+      layering.reseed(state, 1, &owned);
       const int cap = options.balance.max_layers;
       int depth_budget = cap == 0 ? -1 : cap;
       layering.grow(depth_budget, 1);
@@ -98,7 +92,8 @@ IgpResult spmd_repartition(runtime::Machine& machine,
       while (true) {
         Packet mine;
         mine.pack(layering.exhausted() ? 1 : 0);
-        std::vector<std::int64_t> eps_rows(owned.size() * parts, 0);
+        std::vector<std::int64_t>& eps_rows = mine_ws.spmd_eps_rows;
+        eps_rows.assign(owned.size() * parts, 0);
         for (std::size_t k = 0; k < owned.size(); ++k) {
           const auto row =
               layering.eps().row(static_cast<std::size_t>(owned[k]));
@@ -205,8 +200,8 @@ IgpResult spmd_repartition(runtime::Machine& machine,
           if (by_source[i].empty()) continue;
           for (std::size_t j = 0; j < parts; ++j) {
             for (const VertexId v : by_source[i][j]) {
-              state->move_vertex(g_new, shared, v,
-                                 static_cast<PartId>(j));
+              state.move_vertex(g_new, shared, v,
+                                static_cast<PartId>(j));
             }
           }
         }
@@ -221,7 +216,7 @@ IgpResult spmd_repartition(runtime::Machine& machine,
     // Final deviation for reporting — O(P) off the maintained weights.
     double max_dev = 0.0;
     for (std::size_t q = 0; q < parts; ++q) {
-      max_dev = std::max(max_dev, std::abs(state->weights()[q] - targets[q]));
+      max_dev = std::max(max_dev, std::abs(state.weights()[q] - targets[q]));
     }
     result.balance_result.final_max_deviation = max_dev;
     result.balanced = max_dev <= options.balance.tolerance;
@@ -231,12 +226,59 @@ IgpResult spmd_repartition(runtime::Machine& machine,
   // ---------------------------------------------------- refinement
   // The refinement LP is identical to the shared-memory path; candidate
   // gathering is the parallel part and reuses the OpenMP implementation.
-  result.partitioning = std::move(shared);
   if (options.refine) {
-    result.refine_stats = refine_partitioning(
-        g_new, result.partitioning, *state, options.refinement);
+    result.refine_stats = refine_partitioning(g_new, shared, state,
+                                              options.refinement, refine_ws);
   }
   return result;
+}
+
+}  // namespace
+
+IgpResult spmd_repartition(runtime::Machine& machine,
+                           const graph::Graph& g_new,
+                           const graph::Partitioning& old_partitioning,
+                           VertexId n_old, const IgpOptions& options,
+                           graph::PartitionState* state) {
+  std::vector<Workspace> rank_ws;
+  if (state != nullptr) {
+    Workspace ws;
+    graph::Partitioning working = old_partitioning;
+    IgpResult result = spmd_repartition_in_place(
+        machine, g_new, working, n_old, options, *state, ws, rank_ws);
+    result.partitioning = std::move(working);
+    return result;
+  }
+
+  // Step 1 runs once up front (multi-source BFS is a global operation; the
+  // CM-5 version distributes the frontier, which the OpenMP path models).
+  AssignOptions assign_options;
+  assign_options.num_threads = 1;
+  graph::Partitioning working =
+      extend_assignment(g_new, old_partitioning, n_old, assign_options);
+  graph::PartitionState local_state;
+  local_state.rebuild(g_new, working);
+  IgpResult result = run_spmd_engine(machine, g_new, working, options,
+                                     local_state, rank_ws, nullptr);
+  result.partitioning = std::move(working);
+  return result;
+}
+
+IgpResult spmd_repartition_in_place(runtime::Machine& machine,
+                                    const graph::Graph& g_new,
+                                    graph::Partitioning& partitioning,
+                                    VertexId n_old, const IgpOptions& options,
+                                    graph::PartitionState& state,
+                                    Workspace& ws,
+                                    std::vector<Workspace>& rank_ws) {
+  // Step 1: seeded in-place assignment through the maintained state (the
+  // SPMD engine replicates the graph, so step 1 is a single global pass).
+  AssignOptions assign_options;
+  assign_options.num_threads = 1;
+  extend_assignment_state(g_new, partitioning, n_old, state, ws,
+                          assign_options);
+  return run_spmd_engine(machine, g_new, partitioning, options, state,
+                         rank_ws, &ws);
 }
 
 }  // namespace pigp::core

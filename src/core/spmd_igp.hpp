@@ -13,12 +13,16 @@
 /// test_spmd_igp asserts it — so the communication structure is exercised
 /// without changing semantics.
 
+#include <vector>
+
 #include "core/igp.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "runtime/spmd.hpp"
 
 namespace pigp::core {
+
+struct Workspace;
 
 /// Run the full IGP/IGPR pipeline on \p machine.  The graph is replicated
 /// (the CM-5 implementation also kept the small meshes resident per node);
@@ -40,5 +44,20 @@ namespace pigp::core {
     runtime::Machine& machine, const graph::Graph& g_new,
     const graph::Partitioning& old_partitioning, graph::VertexId n_old,
     const IgpOptions& options = {}, graph::PartitionState* state = nullptr);
+
+/// The streaming hot path, mirroring
+/// IncrementalPartitioner::repartition_in_place: the pipeline runs in
+/// place on \p partitioning / \p state with the session's \p ws for the
+/// assignment step and one persistent Workspace per rank (\p rank_ws,
+/// resized to the machine's rank count) for the per-rank resumable
+/// layering and the gather/pack staging buffers — so a steady-state SPMD
+/// repartition reuses all per-vertex storage instead of reallocating it
+/// every call.  Decisions stay bit-identical to the flat driver.
+/// result.partitioning is left empty — the answer IS \p partitioning.
+[[nodiscard]] IgpResult spmd_repartition_in_place(
+    runtime::Machine& machine, const graph::Graph& g_new,
+    graph::Partitioning& partitioning, graph::VertexId n_old,
+    const IgpOptions& options, graph::PartitionState& state, Workspace& ws,
+    std::vector<Workspace>& rank_ws);
 
 }  // namespace pigp::core

@@ -1,0 +1,27 @@
+#include "core/workspace.hpp"
+
+namespace pigp::core {
+
+void Workspace::invalidate_vertex_ids() {
+  layering.invalidate();
+  ++remap_generation;
+}
+
+void Workspace::release_memory() {
+  assign_distance.release();
+  assign_label.release();
+  std::vector<graph::VertexId>().swap(assign_frontier);
+  std::vector<graph::VertexId>().swap(assign_next);
+  std::vector<double>().swap(balance_targets);
+  std::vector<double>().swap(balance_excess);
+  layering.release();
+  std::vector<graph::VertexId>().swap(refine_boundary);
+  refine_candidates = pigp::DenseMatrix<std::vector<GainCandidate>>();
+  std::vector<RefineThreadScratch>().swap(refine_scratch);
+  decltype(refine_journal)().swap(refine_journal);
+  std::vector<graph::PartId>().swap(rollback_part);
+  std::vector<std::int64_t>().swap(spmd_eps_rows);
+  std::vector<std::int64_t>().swap(spmd_moves_flat);
+}
+
+}  // namespace pigp::core

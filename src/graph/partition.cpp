@@ -24,20 +24,26 @@ PartitionMetrics compute_metrics(const Graph& g, const Partitioning& p) {
 }
 
 std::vector<double> balance_targets(double total_weight, PartId num_parts) {
+  std::vector<double> targets;
+  balance_targets_into(total_weight, num_parts, targets);
+  return targets;
+}
+
+void balance_targets_into(double total_weight, PartId num_parts,
+                          std::vector<double>& out) {
   PIGP_CHECK(num_parts >= 1, "need at least one partition");
-  std::vector<double> targets(static_cast<std::size_t>(num_parts));
+  out.assign(static_cast<std::size_t>(num_parts), 0.0);
   // Largest-remainder apportionment on the integer part; exact for unit
   // weights and a sane default otherwise.
   const double base = std::floor(total_weight / num_parts);
-  double assigned = base * num_parts;
-  for (double& t : targets) t = base;
+  const double assigned = base * num_parts;
+  for (double& t : out) t = base;
   std::int64_t leftover =
       static_cast<std::int64_t>(std::llround(total_weight - assigned));
-  for (std::size_t q = 0; leftover > 0;
-       q = (q + 1) % targets.size(), --leftover) {
-    targets[q] += 1.0;
+  for (std::size_t q = 0; leftover > 0; --leftover) {
+    out[q] += 1.0;
+    q = (q + 1) % out.size();
   }
-  return targets;
 }
 
 bool is_balanced(const Graph& g, const Partitioning& p, double tolerance) {

@@ -36,6 +36,22 @@ struct Partitioning {
   void validate(const Graph& g) const;
 };
 
+/// Scalar quality summary of a partitioning — the per-report companion of
+/// PartitionMetrics.  Field names match PartitionMetrics' scalars exactly;
+/// only the O(P) per-partition vectors are dropped, so producing one (e.g.
+/// per absorbed delta in a SessionReport) allocates nothing.  Callers that
+/// need the per-partition breakdown ask for a full PartitionMetrics.
+struct PartitionSummary {
+  double cut_total = 0.0;   ///< cross edges, each counted once (weighted)
+  double cut_max = 0.0;     ///< max over partitions of boundary cost C(q)
+  double cut_min = 0.0;     ///< min over partitions of boundary cost C(q)
+  double max_weight = 0.0;
+  double min_weight = 0.0;
+  double avg_weight = 0.0;
+  /// max W(q) / average W — 1.0 is perfect balance.
+  double imbalance = 0.0;
+};
+
 /// Quality summary of a partitioning.
 struct PartitionMetrics {
   double cut_total = 0.0;   ///< cross edges, each counted once (weighted)
@@ -65,6 +81,11 @@ struct PartitionMetrics {
 /// remainder apportionment of total/num_parts).
 [[nodiscard]] std::vector<double> balance_targets(double total_weight,
                                                   PartId num_parts);
+
+/// Same, written into \p out (resized to num_parts) — the allocation-free
+/// variant the steady-state balance driver calls with a pooled buffer.
+void balance_targets_into(double total_weight, PartId num_parts,
+                          std::vector<double>& out);
 
 /// True when every partition weight is within \p tolerance of its target.
 [[nodiscard]] bool is_balanced(const Graph& g, const Partitioning& p,

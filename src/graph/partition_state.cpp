@@ -159,6 +159,13 @@ void PartitionState::adjust_edge_weight(const Partitioning& p, VertexId u,
   cut_total_ += delta_weight;
 }
 
+void PartitionState::grow_vertices(VertexId n) {
+  PIGP_CHECK(static_cast<std::size_t>(n) >= ext_degree_.size(),
+             "grow_vertices cannot shrink the vertex-id space");
+  ext_degree_.resize(static_cast<std::size_t>(n), 0);
+  boundary_pos_.resize(static_cast<std::size_t>(n), -1);
+}
+
 void PartitionState::extend(const Graph& g, Partitioning& p,
                             VertexId first_new, const Partitioning& placed) {
   PIGP_CHECK(placed.num_vertices() == g.num_vertices(),
@@ -166,8 +173,7 @@ void PartitionState::extend(const Graph& g, Partitioning& p,
   PIGP_CHECK(static_cast<VertexId>(p.part.size()) <= placed.num_vertices(),
              "current partitioning larger than the extended one");
   p.part.resize(static_cast<std::size_t>(g.num_vertices()), kUnassigned);
-  ext_degree_.resize(static_cast<std::size_t>(g.num_vertices()), 0);
-  boundary_pos_.resize(static_cast<std::size_t>(g.num_vertices()), -1);
+  grow_vertices(g.num_vertices());
   for (VertexId v = first_new; v < g.num_vertices(); ++v) {
     move_vertex(g, p, v, placed.part[static_cast<std::size_t>(v)]);
   }
@@ -272,19 +278,33 @@ PartitionState::EdgeDiff PartitionState::reconcile_extension(
 
 PartitionMetrics PartitionState::snapshot() const {
   PIGP_CHECK(num_parts_ >= 1, "snapshot of an empty PartitionState");
+  const PartitionSummary s = summary();
   PartitionMetrics m;
   m.boundary_cost = boundary_cost_;
   m.weight = weight_;
-  m.cut_total = cut_total_;
-  m.cut_max = *std::max_element(boundary_cost_.begin(), boundary_cost_.end());
-  m.cut_min = *std::min_element(boundary_cost_.begin(), boundary_cost_.end());
-  m.max_weight = *std::max_element(weight_.begin(), weight_.end());
-  m.min_weight = *std::min_element(weight_.begin(), weight_.end());
-  m.avg_weight = std::accumulate(weight_.begin(), weight_.end(), 0.0) /
+  m.cut_total = s.cut_total;
+  m.cut_max = s.cut_max;
+  m.cut_min = s.cut_min;
+  m.max_weight = s.max_weight;
+  m.min_weight = s.min_weight;
+  m.avg_weight = s.avg_weight;
+  m.imbalance = s.imbalance;
+  return m;
+}
+
+PartitionSummary PartitionState::summary() const {
+  PIGP_CHECK(num_parts_ >= 1, "summary of an empty PartitionState");
+  PartitionSummary s;
+  s.cut_total = cut_total_;
+  s.cut_max = *std::max_element(boundary_cost_.begin(), boundary_cost_.end());
+  s.cut_min = *std::min_element(boundary_cost_.begin(), boundary_cost_.end());
+  s.max_weight = *std::max_element(weight_.begin(), weight_.end());
+  s.min_weight = *std::min_element(weight_.begin(), weight_.end());
+  s.avg_weight = std::accumulate(weight_.begin(), weight_.end(), 0.0) /
                  static_cast<double>(num_parts_);
   // Zero-weight fallback: an empty load profile is "perfectly balanced".
-  m.imbalance = m.avg_weight > 0.0 ? m.max_weight / m.avg_weight : 1.0;
-  return m;
+  s.imbalance = s.avg_weight > 0.0 ? s.max_weight / s.avg_weight : 1.0;
+  return s;
 }
 
 double PartitionState::imbalance() const noexcept {

@@ -98,6 +98,13 @@ class PartitionState {
   void adjust_edge_weight(const Partitioning& p, VertexId u, VertexId v,
                           double delta_weight);
 
+  /// Grow the per-vertex arrays to cover \p n vertices (the appended ids
+  /// start unassigned with no boundary presence) without touching any
+  /// aggregate.  The in-place assignment path resizes once and then
+  /// places each appended vertex through move_vertex — the same protocol
+  /// extend() follows internally.
+  void grow_vertices(VertexId n);
+
   /// Fold the placements of the appended vertices [first_new,
   /// g.num_vertices()) into the state: \p p currently covers only
   /// [0, first_new) (the state's view), \p placed covers every vertex with
@@ -142,6 +149,11 @@ class PartitionState {
   /// Full PartitionMetrics in O(P): copies W/C, derives max/min/avg/
   /// imbalance with exactly compute_metrics()'s formulas.
   [[nodiscard]] PartitionMetrics snapshot() const;
+
+  /// The scalar fields of snapshot() without the per-partition vector
+  /// copies — O(P) arithmetic, zero allocations.  This is what every
+  /// SessionReport carries.
+  [[nodiscard]] PartitionSummary summary() const;
 
   // --- boundary index ---
 

@@ -373,6 +373,39 @@ TEST(Session, CountersIncludeExtensionEdges) {
   EXPECT_EQ(c.edges_removed, 0);
 }
 
+TEST(Session, EmptyDeltaIsAPureRepartitionTick) {
+  // An empty delta skips the graph rebuild entirely but still runs the
+  // backend under every_delta — the steady-state "nudge" the allocation
+  // smoke test measures.  It must count as a delta, leave the graph
+  // untouched, and land on exactly the state a forced repartition reaches.
+  const Graph g = graph::random_geometric_graph(300, 0.1, 31);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+
+  Session session(basic_config(4, "igpr"), g, initial);
+  Session reference(basic_config(4, "igpr"), g, initial);
+
+  const SessionReport tick = session.apply(GraphDelta{});
+  const SessionReport forced = reference.repartition();
+
+  EXPECT_TRUE(tick.repartitioned);
+  EXPECT_EQ(session.graph(), g);
+  EXPECT_EQ(session.partitioning().part, reference.partitioning().part);
+  EXPECT_DOUBLE_EQ(tick.metrics.cut_total, forced.metrics.cut_total);
+  EXPECT_EQ(session.counters().deltas_applied, 1);
+  EXPECT_EQ(session.counters().vertices_added, 0);
+  EXPECT_EQ(session.counters().edges_added, 0);
+  EXPECT_EQ(session.counters().repartitions, 1);
+
+  // Deferred policies batch the tick like any other delta.
+  SessionConfig deferred = basic_config(4, "igpr");
+  deferred.batch_policy = BatchPolicy::vertex_count;
+  deferred.batch_vertex_limit = 100;
+  Session batched(deferred, g, initial);
+  const SessionReport pending = batched.apply(GraphDelta{});
+  EXPECT_FALSE(pending.repartitioned);
+  EXPECT_EQ(pending.pending_updates, 1);
+}
+
 TEST(Session, CountersAccumulateAcrossTheStream) {
   const Graph g = graph::random_geometric_graph(300, 0.1, 23);
   const Partitioning initial = spectral::recursive_graph_bisection(g, 4);

@@ -1,0 +1,220 @@
+// Steady-state memory discipline: once a Session's Workspace is warm, a
+// repartition tick (an empty delta under every_delta, or a forced
+// repartition()) performs ZERO heap allocations — pinning the tentpole
+// property of the workspace subsystem with an operator-new counting hook
+// instead of relying on bench numbers.
+//
+// The workload is quiescent by construction: equal-size cliques joined in
+// a ring by single bridge edges.  The partitioning is perfectly balanced
+// (balance early-returns before any layering or LP) and every boundary
+// vertex has strictly negative gain (7 internal edges vs 1 external), so
+// refinement collects zero candidates and never builds an LP — the phases
+// that are *documented* to allocate (LP model construction and solves)
+// are legitimately idle, and everything else must come from the pooled
+// workspace buffers.
+//
+// Under ASan/UBSan the allocator is interposed and the accounting below
+// would measure the sanitizer runtime, not the library — the tests skip
+// themselves there (the smoke label still runs them in every other CI
+// configuration, Debug included).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "api/session.hpp"
+#include "graph/builder.hpp"
+#include "support/check.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PIGP_ALLOC_COUNTING_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#define PIGP_ALLOC_COUNTING_DISABLED 1
+#endif
+#endif
+
+namespace {
+
+std::atomic<long long> g_new_calls{0};
+
+[[nodiscard]] long long allocation_count() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+#ifndef PIGP_ALLOC_COUNTING_DISABLED
+// Global operator new/delete replacement: count every allocation, forward
+// to malloc/free.  The full set (array, nothrow, sized, aligned) is
+// replaced so no variant silently falls back to a different allocator.
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // PIGP_ALLOC_COUNTING_DISABLED
+
+namespace pigp {
+namespace {
+
+constexpr graph::PartId kParts = 4;
+constexpr int kCliqueSize = 8;
+
+/// kParts cliques of kCliqueSize vertices, joined in a ring by one bridge
+/// edge each: balanced, and every boundary vertex has strictly more
+/// internal than external edge weight.
+graph::Graph clique_ring() {
+  graph::GraphBuilder builder(kParts * kCliqueSize);
+  for (int c = 0; c < kParts; ++c) {
+    const graph::VertexId base = c * kCliqueSize;
+    for (int i = 0; i < kCliqueSize; ++i) {
+      for (int j = i + 1; j < kCliqueSize; ++j) {
+        builder.add_edge(base + i, base + j, 1.0);
+      }
+    }
+  }
+  for (int c = 0; c < kParts; ++c) {
+    const graph::VertexId from = c * kCliqueSize;
+    const graph::VertexId to =
+        ((c + 1) % kParts) * kCliqueSize + 1;
+    builder.add_edge(from, to, 1.0);
+  }
+  return builder.build();
+}
+
+graph::Partitioning clique_partitioning() {
+  graph::Partitioning p;
+  p.num_parts = kParts;
+  p.part.resize(static_cast<std::size_t>(kParts * kCliqueSize));
+  for (std::size_t v = 0; v < p.part.size(); ++v) {
+    p.part[v] = static_cast<graph::PartId>(v / kCliqueSize);
+  }
+  return p;
+}
+
+Session make_quiescent_session() {
+  SessionConfig config;
+  config.num_parts = kParts;
+  config.backend = "igpr";
+  config.num_threads = 1;
+  config.batch_policy = BatchPolicy::every_delta;
+  return Session(config, clique_ring(), clique_partitioning());
+}
+
+TEST(SessionAlloc, SteadyStateApplyPerformsZeroHeapAllocations) {
+#ifdef PIGP_ALLOC_COUNTING_DISABLED
+  GTEST_SKIP() << "allocator interposed by a sanitizer";
+#else
+  Session session = make_quiescent_session();
+  const graph::GraphDelta empty;
+
+  // Warm-up: the first ticks size every workspace buffer.
+  for (int i = 0; i < 3; ++i) {
+    const SessionReport warm = session.apply(empty);
+    ASSERT_TRUE(warm.repartitioned);
+    ASSERT_TRUE(warm.balanced);
+  }
+
+  for (int i = 0; i < 5; ++i) {
+    const long long before = allocation_count();
+    const SessionReport report = session.apply(empty);
+    const long long allocated = allocation_count() - before;
+    EXPECT_EQ(allocated, 0) << "steady-state apply #" << i
+                            << " touched the heap";
+    EXPECT_TRUE(report.repartitioned);
+    EXPECT_TRUE(report.balanced);
+    EXPECT_DOUBLE_EQ(report.metrics.imbalance, 1.0);
+  }
+
+  // trim_memory() hands the pools back; the next tick re-warms them and
+  // the one after is allocation-free again.
+  session.trim_memory();
+  (void)session.apply(empty);  // re-warm
+  const long long before = allocation_count();
+  (void)session.apply(empty);
+  EXPECT_EQ(allocation_count() - before, 0)
+      << "apply after trim_memory + re-warm touched the heap";
+#endif
+}
+
+TEST(SessionAlloc, SteadyStateForcedRepartitionPerformsZeroHeapAllocations) {
+#ifdef PIGP_ALLOC_COUNTING_DISABLED
+  GTEST_SKIP() << "allocator interposed by a sanitizer";
+#else
+  Session session = make_quiescent_session();
+  for (int i = 0; i < 3; ++i) (void)session.repartition();  // warm-up
+
+  for (int i = 0; i < 5; ++i) {
+    const long long before = allocation_count();
+    const SessionReport report = session.repartition();
+    const long long allocated = allocation_count() - before;
+    EXPECT_EQ(allocated, 0) << "steady-state repartition #" << i
+                            << " touched the heap";
+    EXPECT_TRUE(report.repartitioned);
+  }
+#endif
+}
+
+TEST(SessionAlloc, QuiescentWorkloadStillExercisesTheFullPipeline) {
+  // Companion sanity check (runs everywhere, sanitizers included): the
+  // quiescent stream really goes through the backend and stays healthy,
+  // so the zero-allocation assertions above are measuring a live
+  // repartition path, not a short-circuit.
+  Session session = make_quiescent_session();
+  const graph::GraphDelta empty;
+  for (int i = 0; i < 3; ++i) {
+    const SessionReport report = session.apply(empty);
+    EXPECT_TRUE(report.repartitioned);
+    EXPECT_TRUE(report.balanced);
+  }
+  EXPECT_EQ(session.counters().repartitions, 3);
+  EXPECT_EQ(session.counters().deltas_applied, 3);
+  EXPECT_DOUBLE_EQ(session.metrics().cut_total, kParts);  // the bridges
+  session.partitioning().validate(session.graph());
+#ifdef PIGP_ALLOC_COUNTING_DISABLED
+  (void)allocation_count();
+#endif
+}
+
+}  // namespace
+}  // namespace pigp

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "core/workspace.hpp"
 #include "graph/builder.hpp"
 #include "graph/delta.hpp"
 #include "graph/generators.hpp"
+#include "graph/partition_state.hpp"
 #include "support/check.hpp"
 
 namespace pigp::core {
@@ -127,6 +132,97 @@ TEST(ExtendAssignment, ParallelMatchesSerial) {
   const Partitioning a = extend_assignment(g, old_p, 1500, serial);
   const Partitioning c = extend_assignment(g, old_p, 1500, parallel);
   EXPECT_EQ(a.part, c.part);
+}
+
+/// The seeded in-place path must place every appended vertex exactly like
+/// the batch multi-source sweep, and leave the maintained state equal to a
+/// fresh rebuild — across graph shapes, old/new splits, and a reused
+/// workspace (the hot configuration: one Workspace across many calls).
+TEST(ExtendAssignmentState, MatchesBatchAssignmentOnRandomGraphs) {
+  Workspace ws;  // deliberately shared across all cases: reuse is the point
+  for (const int seed : {3, 11, 29, 57}) {
+    for (const int n_old_permille : {500, 900, 990}) {
+      const Graph g = graph::random_geometric_graph(
+          600, 0.06, static_cast<std::uint64_t>(seed));
+      const auto n = g.num_vertices();
+      const auto n_old =
+          static_cast<VertexId>(static_cast<std::int64_t>(n) *
+                                n_old_permille / 1000);
+      Partitioning old_p;
+      old_p.num_parts = 8;
+      for (VertexId v = 0; v < n_old; ++v) {
+        old_p.part.push_back((v * 7 + seed) % 8);
+      }
+
+      const Partitioning expected = extend_assignment(g, old_p, n_old);
+
+      // Build the mid-update state shape Session::apply hands the backend
+      // (old prefix assigned, appended tail unassigned): rebuild over the
+      // full assignment, then retire the tail one vertex at a time.
+      graph::PartitionState tail_state(g, expected);
+      Partitioning working = expected;
+      for (VertexId v = n - 1; v >= n_old; --v) {
+        tail_state.move_vertex(g, working, v, graph::kUnassigned);
+      }
+      working.part.resize(static_cast<std::size_t>(n_old));
+      working.num_parts = old_p.num_parts;
+
+      extend_assignment_state(g, working, n_old, tail_state, ws);
+
+      EXPECT_EQ(working.part, expected.part)
+          << "seed " << seed << " n_old " << n_old;
+      // The state must equal a fresh rebuild over the final assignment.
+      const graph::PartitionState fresh(g, expected);
+      EXPECT_EQ(tail_state.weights(), fresh.weights());
+      EXPECT_DOUBLE_EQ(tail_state.cut_total(), fresh.cut_total());
+      for (VertexId v = 0; v < n; ++v) {
+        EXPECT_EQ(tail_state.external_degree(v), fresh.external_degree(v))
+            << "vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(ExtendAssignmentState, OrphanClustersMatchBatchFallback) {
+  // Old: a triangle split 2/1; appended: a chain reaching it plus an
+  // isolated pair (the orphan cluster the BFS can never reach).
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);  // chain into the appended tail
+  b.add_edge(3, 4);
+  b.add_edge(5, 6);  // orphan component
+  b.add_edge(6, 7);
+  const Graph g = b.build();
+  Partitioning old_p;
+  old_p.num_parts = 2;
+  old_p.part = {0, 0, 1};
+
+  const Partitioning expected = extend_assignment(g, old_p, 3);
+
+  graph::PartitionState state(g, expected);
+  Partitioning working = expected;
+  for (VertexId v = 7; v >= 3; --v) {
+    state.move_vertex(g, working, v, graph::kUnassigned);
+  }
+  working.part.resize(3);
+  Workspace ws;
+  extend_assignment_state(g, working, 3, state, ws);
+  EXPECT_EQ(working.part, expected.part);
+}
+
+TEST(ExtendAssignmentState, NoAppendedTailIsANoOp) {
+  const Graph g = graph::path_graph(6);
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 0, 1, 1, 1};
+  graph::PartitionState state(g, p);
+  const auto weights_before = state.weights();
+  Workspace ws;
+  extend_assignment_state(g, p, 6, state, ws);
+  EXPECT_EQ(p.part, (std::vector<graph::PartId>{0, 0, 0, 1, 1, 1}));
+  EXPECT_EQ(state.weights(), weights_before);
 }
 
 TEST(ExtendAssignment, RejectsEmptyOldSet) {

@@ -269,6 +269,53 @@ TEST(BoundaryLayeringParity, ReseedReusesArraysAcrossStages) {
   }
 }
 
+TEST(BoundaryLayeringParity, PersistentBindReusesAcrossGrowthAndRemap) {
+  // The workspace configuration: ONE BoundaryLayering living across a
+  // whole stream, rebound per repartition.  Appended vertices exercise the
+  // amortized-growth path; removal deltas remap ids and must go through
+  // invalidate() + the full-reset bind.  Every step must still equal the
+  // batch layering bit for bit.
+  const Graph base = graph::random_geometric_graph(350, 0.09, 91);
+  const Partitioning initial =
+      spectral::recursive_graph_bisection(base, 6);
+  StreamHarness harness(base, initial, 9101);
+  BoundaryLayering persistent;  // lives across all steps, like a Workspace
+  SplitMix64 delta_rng(9102);
+  for (int step = 0; step < 10; ++step) {
+    const bool removals = step % 3 == 2;
+    harness.apply(random_delta(harness.g, delta_rng, removals));
+    if (removals) persistent.invalidate();
+    persistent.bind(harness.g, harness.p);
+    persistent.reseed(harness.state);
+    persistent.grow(-1);
+    const LayeringResult batch = layer_partitions(harness.g, harness.p);
+    EXPECT_EQ(persistent.label(), batch.label) << step;
+    EXPECT_EQ(persistent.layer(), batch.layer) << step;
+    EXPECT_EQ(persistent.eps(), batch.eps) << step;
+  }
+}
+
+TEST(BoundaryLayeringParity, BindRevivesAfterTakeResult) {
+  // take_result() moves the arrays out; bind() must detect that (even
+  // when graph size and part count are unchanged — the moved-from eps
+  // keeps its shape) and full-reset, after which the object produces the
+  // batch answer again.
+  const Graph g = graph::random_geometric_graph(250, 0.11, 97);
+  const Partitioning p = spectral::recursive_graph_bisection(g, 4);
+  const PartitionState state(g, p);
+  BoundaryLayering layering(g, p);
+  layering.reseed(state);
+  layering.grow(-1);
+  const LayeringResult taken = layering.take_result();
+
+  layering.bind(g, p);  // same n, same parts — must still full-reset
+  layering.reseed(state);
+  layering.grow(-1);
+  EXPECT_EQ(layering.label(), taken.label);
+  EXPECT_EQ(layering.layer(), taken.layer);
+  EXPECT_EQ(layering.eps(), taken.eps);
+}
+
 TEST(BoundaryLayeringParity, ThreadedMatchesSerial) {
   const Graph g = graph::random_geometric_graph(500, 0.07, 83);
   const Partitioning p = spectral::recursive_graph_bisection(g, 8);
