@@ -9,16 +9,25 @@
 //     selected via the "spmd" backend;
 //  3. session streaming throughput: deltas absorbed per second on the
 //     scaled 400k-vertex workload, with and without batching — the
-//     baseline number for streaming-path perf PRs.
+//     baseline number for streaming-path perf PRs;
+//  4. concurrent ingest/serve: the same stream through an AsyncSession
+//     while reader threads hammer part_of on the epoch-published view —
+//     sustained deltas/s with readers attached should stay close to the
+//     single-threaded vertex_count row.
 //
 // Absolute speedups differ from a 1994 CM-5 (this problem is tiny for a
 // modern core, so Amdahl effects bite sooner); the shape to verify is that
 // parallel time is well below serial time and scales with workers.
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <cmath>
@@ -239,18 +248,117 @@ int main(int argc, char** argv) {
     // Flush any batched tail so the comparison ends balanced.
     if (session.pending_updates() > 0) (void)session.repartition();
     const double seconds = timer.seconds();
+    // summary() is the O(P) incremental read — no O(V+E) recount inside
+    // the measured region's tail.
     stream_table.add_row(point.label, session.counters().repartitions,
                          seconds, session.counters().update_seconds,
                          session.counters().repartition_seconds,
                          stream_deltas / seconds,
-                         session.metrics().imbalance);
+                         session.summary().imbalance);
     stream_rows.push_back({point.key, session.counters().repartitions,
                            seconds, session.counters().update_seconds,
                            session.counters().repartition_seconds,
                            stream_deltas / seconds,
-                           session.metrics().imbalance});
+                           session.summary().imbalance});
   }
   stream_table.print(std::cout);
+
+  // ---------------------------------------------------------------------
+  // Concurrent ingest/serve: the same vertex_count delta stream pushed
+  // through an AsyncSession while reader threads hammer part_of on the
+  // epoch-published view.  The number to watch is sustained deltas/s with
+  // readers attached vs the single-threaded vertex_count row above — the
+  // view publication protocol should cost the writer almost nothing.
+  // Readers duty-cycle (a lookup batch, then a short sleep) so the bench
+  // is meaningful on few-core CI runners where 1 + 1 + N busy threads
+  // would otherwise just time-slice the writer to death.
+  const int reader_threads = 4;
+  std::cout << "\n=== Concurrent ingest/serve: " << stream_deltas
+            << " deltas x " << burst << " new vertices, " << reader_threads
+            << " readers on the published view ===\n";
+  double cs_seconds = 0.0;
+  double cs_dps = 0.0;
+  double cs_lookups_per_second = 0.0;
+  double cs_imbalance = 0.0;
+  std::uint64_t cs_epochs = 0;
+  std::int64_t cs_committed = 0;
+  std::uint64_t cs_lookups = 0;
+  {
+    SessionConfig config;
+    config.num_parts = bench::kPaperPartitions;
+    config.backend = "igpr";
+    config.num_threads = threads;
+    config.batch_policy = BatchPolicy::vertex_count;
+    config.batch_vertex_limit = 8 * burst;
+    AsyncSession session(config, big, stream_initial);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> checksum{0};
+    std::vector<std::thread> readers;
+    readers.reserve(static_cast<std::size_t>(reader_threads));
+    for (int r = 0; r < reader_threads; ++r) {
+      readers.emplace_back([&session, &stop, &lookups, &checksum, r] {
+        SplitMix64 reader_rng(0x9e3779b9u + static_cast<std::uint64_t>(r));
+        std::shared_ptr<const PartitionView> view = session.view();
+        std::uint64_t seen = view->epoch();
+        std::uint64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (session.epoch() != seen) {  // one relaxed load per batch
+            view = session.view();
+            seen = view->epoch();
+          }
+          const auto n = static_cast<std::uint64_t>(view->num_vertices());
+          for (int i = 0; i < 256; ++i) {
+            const auto v =
+                static_cast<graph::VertexId>(reader_rng.next_below(n));
+            local += static_cast<std::uint64_t>(view->part_of(v));
+          }
+          lookups.fetch_add(256, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+        checksum.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+
+    SplitMix64 rng(2026);
+    graph::VertexId current = big.num_vertices();
+    runtime::WallTimer timer;
+    for (int d = 0; d < stream_deltas; ++d) {
+      session.submit(make_stream_delta(current, burst, rng));
+      current += burst;
+    }
+    session.flush();
+    cs_seconds = timer.seconds();
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : readers) t.join();
+    if (checksum.load() == std::uint64_t(-1)) return 1;  // keep loops live
+
+    cs_lookups = lookups.load();
+    cs_dps = stream_deltas / cs_seconds;
+    cs_lookups_per_second = static_cast<double>(cs_lookups) / cs_seconds;
+    cs_epochs = session.epoch();
+    cs_committed =
+        static_cast<std::int64_t>(session.stats().rebalances_committed);
+    cs_imbalance = session.view()->summary().imbalance;
+    session.close();
+  }
+  double baseline_dps = 0.0;
+  for (const StreamRow& r : stream_rows) {
+    if (std::strcmp(r.key, "vertex_count") == 0) {
+      baseline_dps = r.deltas_per_second;
+    }
+  }
+  const double cs_ratio = baseline_dps > 0.0 ? cs_dps / baseline_dps : 0.0;
+  {
+    TextTable cs_table({"readers", "rebalances", "time (s)", "deltas/s",
+                        "lookups/s", "epochs", "vs 1-thread"});
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", cs_ratio);
+    cs_table.add_row(reader_threads, cs_committed, cs_seconds, cs_dps,
+                     cs_lookups_per_second, cs_epochs, buf);
+    cs_table.print(std::cout);
+  }
 
   // ---------------------------------------------------------------------
   // Boundary-fraction layering sweep: batch layering vs the boundary-
@@ -365,6 +473,19 @@ int main(int argc, char** argv) {
           << (i + 1 < stream_rows.size() ? "," : "") << "\n";
     }
     out << "      ]\n"
+        << "    },\n"
+        << "    \"concurrent_streaming\": {\n"
+        << "      \"graph_vertices\": " << big_n << ",\n"
+        << "      \"num_parts\": " << bench::kPaperPartitions << ",\n"
+        << "      \"deltas\": " << stream_deltas << ",\n"
+        << "      \"burst\": " << burst << ",\n"
+        << "      \"reader_threads\": " << reader_threads << ",\n"
+        << "      \"deltas_per_second\": " << cs_dps << ",\n"
+        << "      \"lookups_per_second\": " << cs_lookups_per_second << ",\n"
+        << "      \"epochs_published\": " << cs_epochs << ",\n"
+        << "      \"rebalances_committed\": " << cs_committed << ",\n"
+        << "      \"final_imbalance\": " << cs_imbalance << ",\n"
+        << "      \"single_thread_ratio\": " << cs_ratio << "\n"
         << "    },\n"
         << "    \"layering_sweep\": {\n"
         << "      \"graph_vertices\": " << sweep_n << ",\n"

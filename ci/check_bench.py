@@ -13,6 +13,10 @@ Tracked metrics:
       Absolute throughput per batch policy.  Runner-speed dependent, hence
       the generous tolerance band; recalibrate the baseline (commit a fresh
       smoke JSON) when the CI runner class changes.
+  * sections.concurrent_streaming.deltas_per_second
+      Sustained ingest throughput of the AsyncSession while reader threads
+      hammer part_of on the published view.  Runner-speed dependent like
+      the session_streaming rows.
   * sections.layering_sweep.points[*].seeded_speedup
       Batch-layering time over boundary-seeded-layering time per dirty
       fraction.  A ratio of two timings on the same machine, so it is
@@ -48,6 +52,10 @@ def tracked_metrics(doc):
         value = policy.get("deltas_per_second")
         if value is not None:
             yield (f"session_streaming/{name}/deltas_per_second", value)
+    concurrent = sections.get("concurrent_streaming", {})
+    value = concurrent.get("deltas_per_second")
+    if value is not None:
+        yield ("concurrent_streaming/deltas_per_second", value)
     sweep = sections.get("layering_sweep", {})
     for point in sweep.get("points", []):
         permille = point.get("permille", "?")

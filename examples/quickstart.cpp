@@ -94,7 +94,10 @@ int main(int argc, char** argv) {
   const SessionReport result =
       session.apply_extended(after, before.num_vertices());
 
-  const auto& m_final = result.metrics;
+  // summary() reads the session's incrementally maintained totals — O(P),
+  // no allocation, no O(V+E) recount — which is the right call for
+  // per-batch reporting in streaming loops.
+  const graph::PartitionSummary m_final = session.summary();
   std::cout << "step 3 (balance LP): " << result.stages << " stage(s), "
             << (result.balanced ? "balanced" : "NOT balanced") << "\n";
   if (!result.balance.stages.empty()) {

@@ -1,0 +1,353 @@
+#include "api/async_session.hpp"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "api/backend.hpp"
+#include "api/errors.hpp"
+
+namespace pigp {
+namespace {
+
+/// The ingest session must never trigger its own backend — the async layer
+/// evaluates the user's batch policy itself and runs rebalances on the
+/// repartition thread.  A vertex_count policy with an unreachable limit
+/// keeps every apply() on the deferred step-1 path.
+SessionConfig defused(SessionConfig config) {
+  config.batch_policy = BatchPolicy::vertex_count;
+  config.batch_vertex_limit = std::numeric_limits<int>::max();
+  return config;
+}
+
+/// Validates the whole config (throws ConfigError before any thread or
+/// session exists) and yields the ingest-queue bound.
+std::size_t validated_queue_capacity(const SessionConfig& config) {
+  return static_cast<std::size_t>(
+      config.resolve().session.async_queue_capacity);
+}
+
+}  // namespace
+
+AsyncSession::AsyncSession(const SessionConfig& config, graph::Graph g,
+                           graph::Partitioning p)
+    : config_(config),
+      ingest_queue_(validated_queue_capacity(config)),
+      job_queue_(1),
+      commit_queue_(1) {
+  const ResolvedConfig resolved = config.resolve();
+  rear_backend_ = BackendRegistry::global().create(config.backend, resolved);
+  front_.emplace(defused(config), std::move(g), std::move(p));
+  start();
+}
+
+AsyncSession::AsyncSession(const SessionConfig& config, graph::Graph g)
+    : config_(config),
+      ingest_queue_(validated_queue_capacity(config)),
+      job_queue_(1),
+      commit_queue_(1) {
+  const ResolvedConfig resolved = config.resolve();
+  rear_backend_ = BackendRegistry::global().create(config.backend, resolved);
+  front_.emplace(defused(config), std::move(g));
+  start();
+}
+
+AsyncSession::~AsyncSession() {
+  try {
+    close();
+  } catch (...) {
+    // The stored error is observable through flush()/close() before
+    // destruction; a destructor must not throw.
+  }
+}
+
+void AsyncSession::start() {
+  publish_view();  // epoch 1: readers have a view before any delta lands
+  pool_ = std::make_unique<runtime::ThreadPool>(2);
+  ingest_done_ = pool_->submit([this] {
+    try {
+      ingest_loop();
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    // Unblock the repartition thread no matter how the loop ended: close
+    // its input, and close the commit mailbox so a commit push in flight
+    // cannot block on a consumer that is gone.
+    job_queue_.close();
+    commit_queue_.close();
+  });
+  repartition_done_ = pool_->submit([this] {
+    try {
+      repartition_loop();
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+  });
+}
+
+void AsyncSession::submit(graph::GraphDelta delta) {
+  rethrow_if_error();
+  IngestItem item;
+  item.delta = std::move(delta);
+  if (!ingest_queue_.push(std::move(item))) {
+    throw DeltaError("AsyncSession::submit: session is closed");
+  }
+  deltas_submitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AsyncSession::flush() {
+  IngestItem item;
+  item.flush_ticket.emplace();
+  std::future<void> done = item.flush_ticket->get_future();
+  if (!ingest_queue_.push(std::move(item))) {
+    throw DeltaError("AsyncSession::flush: session is closed");
+  }
+  done.get();  // rethrows the stored error, if any, via the ticket
+}
+
+void AsyncSession::close() {
+  std::lock_guard lock(close_mutex_);
+  if (closed_) return;
+  closed_ = true;
+  ingest_queue_.close();
+  if (ingest_done_.valid()) ingest_done_.get();
+  if (repartition_done_.valid()) repartition_done_.get();
+  pool_.reset();
+}
+
+AsyncStats AsyncSession::stats() const {
+  AsyncStats out;
+  out.deltas_submitted = deltas_submitted_.load(std::memory_order_relaxed);
+  out.deltas_absorbed = deltas_absorbed_.load(std::memory_order_relaxed);
+  out.deltas_rejected = deltas_rejected_.load(std::memory_order_relaxed);
+  out.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  out.rebalances_started =
+      rebalances_started_.load(std::memory_order_relaxed);
+  out.rebalances_committed =
+      rebalances_committed_.load(std::memory_order_relaxed);
+  out.commits_discarded =
+      commits_discarded_.load(std::memory_order_relaxed);
+  out.rebalance_failures =
+      rebalance_failures_.load(std::memory_order_relaxed);
+  out.queue_high_watermark = ingest_queue_.high_watermark();
+  return out;
+}
+
+// ----------------------------------------------------------- ingest thread
+
+void AsyncSession::ingest_loop() {
+  using namespace std::chrono_literals;
+  for (;;) {
+    std::optional<IngestItem> item;
+    if (job_in_flight_) {
+      // Multiplex: prefer a finished rebalance, otherwise wait briefly for
+      // the next delta so neither channel starves the other.
+      if (std::optional<Commit> commit = commit_queue_.try_pop()) {
+        handle_commit(std::move(*commit));
+        continue;
+      }
+      item = ingest_queue_.pop_for(500us);
+      if (!item && ingest_queue_.closed()) item = ingest_queue_.try_pop();
+      if (!item) {
+        if (ingest_queue_.closed()) break;  // closed AND drained
+        continue;                           // timeout: poll the mailbox
+      }
+    } else {
+      item = ingest_queue_.pop();
+      if (!item) break;  // closed and drained
+    }
+    if (item->flush_ticket) {
+      handle_flush(std::move(*item->flush_ticket));
+    } else {
+      absorb(std::move(item->delta));
+    }
+  }
+  // Shutdown: settle the in-flight rebalance so close() leaves the live
+  // session consistent (adopted or cleanly discarded, never abandoned).
+  if (job_in_flight_) {
+    if (std::optional<Commit> commit = commit_queue_.pop()) {
+      handle_commit(std::move(*commit));
+    }
+  }
+}
+
+void AsyncSession::absorb(graph::GraphDelta delta) {
+  const SessionCounters before = front_->counters();
+  try {
+    (void)front_->apply(delta);
+  } catch (...) {
+    // apply() validates before mutating, so a rejected delta leaves the
+    // session untouched: skip it, surface the error on the next
+    // submit()/flush().
+    deltas_rejected_.fetch_add(1, std::memory_order_relaxed);
+    record_error(std::current_exception());
+    return;
+  }
+  const SessionCounters& after = front_->counters();
+  deltas_absorbed_.fetch_add(1, std::memory_order_relaxed);
+  pending_updates_ += 1;
+  pending_vertex_changes_ +=
+      (after.vertices_added - before.vertices_added) +
+      (after.vertices_removed - before.vertices_removed);
+  if (delta.has_removals()) ++remap_count_;
+  publish_view();
+  if (!job_in_flight_ && rebalance_due()) dispatch_job();
+}
+
+void AsyncSession::handle_flush(std::promise<void> ticket) {
+  try {
+    // Everything submitted before the ticket is already absorbed (FIFO).
+    // Settle the in-flight rebalance, then force rounds until nothing is
+    // pending: the published view ends fully rebalanced.  The loop
+    // terminates because no new deltas are absorbed while we are here —
+    // a round can only be re-run when a pre-flush removal delta staled the
+    // in-flight snapshot, and that happens at most once.
+    while (first_error() == nullptr) {
+      if (job_in_flight_) {
+        std::optional<Commit> commit = commit_queue_.pop();
+        if (!commit) break;  // repartition thread shut down under us
+        handle_commit(std::move(*commit));
+        continue;
+      }
+      if (pending_updates_ > 0) {
+        dispatch_job();
+        continue;
+      }
+      break;
+    }
+    if (std::exception_ptr error = first_error()) {
+      ticket.set_exception(error);
+    } else {
+      ticket.set_value();
+    }
+  } catch (...) {
+    ticket.set_exception(std::current_exception());
+  }
+}
+
+void AsyncSession::publish_view() {
+  ++next_epoch_;
+  channel_.publish(std::make_shared<const PartitionView>(
+      next_epoch_, front_->partitioning(), front_->summary()));
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool AsyncSession::rebalance_due() const {
+  if (pending_updates_ <= 0) return false;
+  switch (config_.batch_policy) {
+    case BatchPolicy::every_delta:
+      return true;
+    case BatchPolicy::vertex_count:
+      return pending_vertex_changes_ >= config_.batch_vertex_limit;
+    case BatchPolicy::imbalance:
+      return front_->summary().imbalance > config_.batch_imbalance_limit;
+  }
+  return false;
+}
+
+void AsyncSession::dispatch_job() {
+  // Recycle the previous round's buffers: copy-assignment reuses their
+  // capacity, so at steady state a snapshot costs copies, not allocations.
+  Job job = std::move(spare_job_);
+  job.graph = front_->graph();
+  job.partitioning = front_->partitioning();
+  job.state = front_->partition_state();
+  job.remap_tag = remap_count_;
+  job.pending_updates = pending_updates_;
+  job.pending_vertex_changes = pending_vertex_changes_;
+  pending_updates_ = 0;
+  pending_vertex_changes_ = 0;
+  rebalances_started_.fetch_add(1, std::memory_order_relaxed);
+  // Capacity 1 and at most one job in flight: this never blocks.
+  (void)job_queue_.push(std::move(job));
+  job_in_flight_ = true;
+}
+
+void AsyncSession::handle_commit(Commit commit) {
+  job_in_flight_ = false;
+  if (!commit.success) {
+    // Backend failure: the live session was never touched (the snapshot
+    // absorbed the damage).  Surface the error, restore the pending
+    // counters, and do NOT retry immediately — a broken backend would
+    // spin; the next absorbed delta re-evaluates the policy.
+    rebalance_failures_.fetch_add(1, std::memory_order_relaxed);
+    record_error(commit.error);
+    pending_updates_ += commit.job.pending_updates;
+    pending_vertex_changes_ += commit.job.pending_vertex_changes;
+  } else if (commit.job.remap_tag != remap_count_) {
+    // A removal delta compacted the id space after the snapshot was
+    // taken: the rebalanced assignment addresses dead ids.  Discard it
+    // and re-trigger on the current state.
+    commits_discarded_.fetch_add(1, std::memory_order_relaxed);
+    pending_updates_ += commit.job.pending_updates;
+    pending_vertex_changes_ += commit.job.pending_vertex_changes;
+  } else {
+    // Ids are append-only since the snapshot, so the rebalanced
+    // assignment is a valid prefix of the live session: adopt it (O(moved
+    // vertices)); vertices absorbed after the snapshot keep their step-1
+    // placement until the next round.
+    front_->adopt_rebalance(commit.job.partitioning);
+    rebalances_committed_.fetch_add(1, std::memory_order_relaxed);
+    publish_view();
+  }
+  const bool failed = !commit.success;
+  spare_job_ = std::move(commit.job);
+  if (!failed && !job_in_flight_ && rebalance_due()) dispatch_job();
+}
+
+// ------------------------------------------------------ repartition thread
+
+void AsyncSession::repartition_loop() {
+  std::uint64_t seen_remap_tag = 0;
+  while (std::optional<Job> job = job_queue_.pop()) {
+    Commit commit;
+    if (job->remap_tag != seen_remap_tag) {
+      // A removal delta compacted the id space since the last snapshot we
+      // processed: the pooled layering/epoch buffers address stale ids.
+      rear_ws_.invalidate_vertex_ids();
+      seen_remap_tag = job->remap_tag;
+    }
+    try {
+      // Pure rebalance tick: the snapshot is fully placed (the ingest
+      // session runs step 1 eagerly), so n_old == num_vertices and the
+      // backend's in-place entry point rebalances off the snapshot's
+      // maintained state and this thread's own pooled workspace.
+      BackendResult result = rear_backend_->repartition(
+          job->graph, job->partitioning, job->graph.num_vertices(),
+          job->state, rear_ws_);
+      if (!result.state_maintained) {
+        // Backend without the in-place path: its answer replaces the
+        // snapshot assignment wholesale.
+        job->partitioning = std::move(result.partitioning);
+      }
+      commit.success = true;
+    } catch (...) {
+      commit.success = false;
+      commit.error = std::current_exception();
+    }
+    commit.job = std::move(*job);
+    // false only when the ingest thread already shut the mailbox; the
+    // result is moot then.
+    if (!commit_queue_.push(std::move(commit))) break;
+  }
+}
+
+// ------------------------------------------------------------------ errors
+
+void AsyncSession::record_error(std::exception_ptr error) {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+std::exception_ptr AsyncSession::first_error() const {
+  std::lock_guard lock(error_mutex_);
+  return first_error_;
+}
+
+void AsyncSession::rethrow_if_error() const {
+  if (std::exception_ptr error = first_error()) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace pigp

@@ -1,0 +1,244 @@
+#pragma once
+
+/// \file async_session.hpp
+/// pigp::AsyncSession — concurrent ingest/serve on top of the synchronous
+/// Session.
+///
+/// The paper's pipeline is stop-the-world: while a rebalance runs, nothing
+/// can answer "which part owns vertex v?".  AsyncSession splits the stream
+/// into three roles so ingestion, repartitioning and lookups overlap:
+///
+///   * submit() (any thread) enqueues a GraphDelta into a bounded MPMC
+///     queue (runtime/delta_queue.hpp).  A full queue blocks the producer —
+///     backpressure instead of an unbounded backlog.
+///   * The ingest thread drains the queue into a private synchronous
+///     Session whose batch policy is defused: each delta is absorbed and
+///     its new vertices get their step-1 nearest-partition placement
+///     immediately, then a fresh PartitionView is published.  The ingest
+///     thread evaluates the configured batch policy itself, and when a
+///     rebalance is due it snapshots (graph, partitioning, state) and hands
+///     the snapshot to the repartition thread — ingestion continues while
+///     the backend runs.
+///   * The repartition thread runs the configured backend on the snapshot
+///     (the same in-place Workspace-pooled entry point the synchronous
+///     session uses, as a pure rebalance tick) and mails the rebalanced
+///     Partitioning back.  The ingest thread adopts it into the live
+///     session through Session::adopt_rebalance — O(moved vertices), not a
+///     rescan — and publishes the new epoch.  Snapshot buffers shuttle
+///     back and forth between the two threads, so the steady state reuses
+///     two generations of capacity instead of reallocating per rebalance.
+///
+/// Readers never touch any of this machinery: view() hands out an
+/// immutable epoch-stamped PartitionView (api/view.hpp) whose part_of() is
+/// a plain array load.  Every published view is a committed state of the
+/// ingest session — a reader can never observe a torn assignment or a
+/// half-applied rebalance.
+///
+/// Staleness protocol: a rebalance computed on a snapshot is only adopted
+/// if the vertex id space did not change in between.  Append-only deltas
+/// never invalidate a snapshot (new vertices simply keep their step-1
+/// placement until the next rebalance); a delta with removals remaps ids,
+/// so a rebalance that raced with one is discarded (counted in
+/// AsyncStats::commits_discarded) and the pending work re-triggers.
+///
+/// flush() is the barrier: it returns once everything submitted before it
+/// is absorbed, any in-flight rebalance is committed, and — if deltas are
+/// pending — one final rebalance has run, so the published view is fully
+/// rebalanced.  close() (also run by the destructor) drains the queue,
+/// waits for the in-flight rebalance, and joins both threads without
+/// forcing a final rebalance.
+///
+/// Errors: an invalid delta is rejected by the ingest session before any
+/// mutation, skipped, and the first such error is rethrown from the next
+/// submit()/flush(); backend failures leave the live session untouched
+/// (the failed snapshot is simply dropped) and are likewise recorded.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "api/config.hpp"
+#include "api/session.hpp"
+#include "api/view.hpp"
+#include "core/workspace.hpp"
+#include "graph/delta.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
+#include "runtime/delta_queue.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pigp {
+
+/// Cumulative statistics of one AsyncSession, readable from any thread.
+struct AsyncStats {
+  std::int64_t deltas_submitted = 0;   ///< submit() calls accepted
+  std::int64_t deltas_absorbed = 0;    ///< deltas applied by the ingest thread
+  std::int64_t deltas_rejected = 0;    ///< invalid deltas skipped
+  std::int64_t epochs_published = 0;   ///< PartitionViews published
+  std::int64_t rebalances_started = 0; ///< snapshots handed to the backend
+  std::int64_t rebalances_committed = 0;
+  /// Rebalances discarded because a removal delta remapped vertex ids
+  /// between snapshot and commit.
+  std::int64_t commits_discarded = 0;
+  std::int64_t rebalance_failures = 0;  ///< backend threw on a snapshot
+  /// Fullest the ingest queue ever got (capacity hit => producers blocked).
+  std::size_t queue_high_watermark = 0;
+};
+
+/// Concurrent ingest/serve wrapper around a synchronous Session.
+///
+/// Thread roles: submit()/flush() may be called from any number of
+/// producer threads; view()/epoch()/channel()/stats() from any thread;
+/// close() from any thread (idempotent).  The wrapped Session itself is
+/// confined to the internal ingest thread.
+class AsyncSession {
+ public:
+  /// Adopt \p g with an existing partitioning (see Session).  The
+  /// constructor validates the config, builds the ingest session, creates
+  /// a second backend instance for the repartition thread, publishes the
+  /// initial view (epoch 1), and starts both threads.
+  AsyncSession(const SessionConfig& config, graph::Graph g,
+               graph::Partitioning p);
+
+  /// Partition \p g from scratch with config.scratch_method (see Session).
+  AsyncSession(const SessionConfig& config, graph::Graph g);
+
+  /// close()s, swallowing any stored error (call flush()/close() yourself
+  /// to observe it).
+  ~AsyncSession();
+
+  AsyncSession(const AsyncSession&) = delete;
+  AsyncSession& operator=(const AsyncSession&) = delete;
+
+  /// Enqueue one delta for ingestion.  Blocks while the queue is full
+  /// (backpressure).  Throws DeltaError if the session is closed; rethrows
+  /// the first stored ingest/backend error if one occurred.
+  void submit(graph::GraphDelta delta);
+
+  /// Barrier: returns once every previously submitted delta is absorbed,
+  /// any in-flight rebalance is committed, and pending deltas (if any)
+  /// have been rebalanced — the published view is then fully rebalanced.
+  /// Rethrows the first stored error.  Throws DeltaError if closed.
+  void flush();
+
+  /// Drain the queue, commit or discard the in-flight rebalance, and join
+  /// both threads.  Idempotent; does not force a final rebalance (use
+  /// flush() first for that).
+  void close();
+
+  /// Latest published snapshot — wait-free part_of() lookups, never null.
+  [[nodiscard]] std::shared_ptr<const PartitionView> view() const {
+    return channel_.acquire();
+  }
+
+  /// Epoch of the latest published snapshot (one relaxed atomic load).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return channel_.epoch();
+  }
+
+  /// The publication channel itself, for readers that poll the epoch and
+  /// re-acquire only on change (see view.hpp for the pattern).
+  [[nodiscard]] const ViewChannel& channel() const noexcept {
+    return channel_;
+  }
+
+  [[nodiscard]] const SessionConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] AsyncStats stats() const;
+
+ private:
+  /// One queue entry: a delta to absorb, or a flush barrier ticket.
+  struct IngestItem {
+    graph::GraphDelta delta;
+    std::optional<std::promise<void>> flush_ticket;
+  };
+
+  /// Snapshot handed to the repartition thread.  The buffers shuttle:
+  /// ingest copy-assigns into them (reusing capacity), the repartition
+  /// thread rebalances `partitioning` in place, and the whole struct rides
+  /// the commit back to the ingest thread for the next round.
+  struct Job {
+    graph::Graph graph;
+    graph::Partitioning partitioning;
+    graph::PartitionState state;
+    /// remap_count_ at snapshot time; a mismatch at commit time means ids
+    /// were remapped and the result must be discarded.
+    std::uint64_t remap_tag = 0;
+    /// Pending-work counters folded into this snapshot (restored if the
+    /// commit is discarded or fails).
+    std::int64_t pending_updates = 0;
+    std::int64_t pending_vertex_changes = 0;
+  };
+
+  struct Commit {
+    Job job;
+    bool success = false;
+    std::exception_ptr error;  ///< set when !success
+  };
+
+  void start();
+  void ingest_loop();
+  void repartition_loop();
+  void absorb(graph::GraphDelta delta);
+  void handle_flush(std::promise<void> ticket);
+  void publish_view();
+  [[nodiscard]] bool rebalance_due() const;
+  void dispatch_job();
+  void handle_commit(Commit commit);
+  void record_error(std::exception_ptr error);
+  [[nodiscard]] std::exception_ptr first_error() const;
+  void rethrow_if_error() const;
+
+  SessionConfig config_;
+  /// The live single-threaded core, confined to the ingest thread after
+  /// construction.  optional<> only for in-place construction of a
+  /// move-deleted type.
+  std::optional<Session> front_;
+  /// The repartition thread's own backend instance and pooled workspace
+  /// (never shared with front_'s).
+  std::unique_ptr<Backend> rear_backend_;
+  core::Workspace rear_ws_;
+
+  ViewChannel channel_;
+  std::uint64_t next_epoch_ = 0;
+
+  runtime::BoundedQueue<IngestItem> ingest_queue_;
+  runtime::BoundedQueue<Job> job_queue_;      ///< capacity 1
+  runtime::BoundedQueue<Commit> commit_queue_;  ///< capacity 1
+
+  // Ingest-thread-only bookkeeping.
+  std::uint64_t remap_count_ = 0;
+  std::int64_t pending_updates_ = 0;
+  std::int64_t pending_vertex_changes_ = 0;
+  bool job_in_flight_ = false;
+  Job spare_job_;  ///< recycled snapshot buffers
+
+  mutable std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::int64_t> deltas_submitted_{0};
+  std::atomic<std::int64_t> deltas_absorbed_{0};
+  std::atomic<std::int64_t> deltas_rejected_{0};
+  std::atomic<std::int64_t> epochs_published_{0};
+  std::atomic<std::int64_t> rebalances_started_{0};
+  std::atomic<std::int64_t> rebalances_committed_{0};
+  std::atomic<std::int64_t> commits_discarded_{0};
+  std::atomic<std::int64_t> rebalance_failures_{0};
+
+  std::mutex close_mutex_;
+  bool closed_ = false;
+  /// Pool declared last so members outlive the threads if close() was
+  /// never reached; close() joins through these futures.
+  std::future<void> ingest_done_;
+  std::future<void> repartition_done_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+};
+
+}  // namespace pigp

@@ -1,10 +1,10 @@
 #include "api/backend.hpp"
 
 #include <cstdint>
-#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "api/errors.hpp"
 #include "core/multilevel.hpp"
 #include "core/spmd_igp.hpp"
 #include "core/workspace.hpp"
@@ -13,7 +13,6 @@
 #include "runtime/timer.hpp"
 #include "spectral/kernighan_lin.hpp"
 #include "spectral/partitioners.hpp"
-#include "support/check.hpp"
 
 namespace pigp {
 namespace {
@@ -213,8 +212,10 @@ BackendRegistry& BackendRegistry::global() {
 }
 
 void BackendRegistry::add(std::string name, BackendFactory factory) {
-  PIGP_CHECK(!name.empty(), "backend name must not be empty");
-  PIGP_CHECK(factory != nullptr, "backend factory must not be null");
+  if (name.empty()) throw ConfigError("backend name must not be empty");
+  if (factory == nullptr) {
+    throw ConfigError("backend factory must not be null");
+  }
   const std::scoped_lock lock(mutex_);
   factories_[std::move(name)] = std::move(factory);
 }
@@ -240,12 +241,7 @@ std::unique_ptr<Backend> BackendRegistry::create(
     const auto it = factories_.find(name);
     if (it != factories_.end()) factory = it->second;
   }
-  if (!factory) {
-    std::ostringstream os;
-    os << "unknown backend \"" << name << "\"; registered backends:";
-    for (const std::string& known : names()) os << ' ' << known;
-    PIGP_CHECK(false, os.str());
-  }
+  if (!factory) throw UnknownBackendError(name, names());
   return factory(config);
 }
 

@@ -111,7 +111,8 @@ class BackendRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
 
   /// Instantiate the backend registered under \p name.  Throws
-  /// pigp::CheckError listing the known names when \p name is unknown.
+  /// pigp::UnknownBackendError carrying the known names when \p name is
+  /// unknown.
   [[nodiscard]] std::unique_ptr<Backend> create(
       std::string_view name, const ResolvedConfig& config) const;
 

@@ -1,12 +1,19 @@
 #include "api/config.hpp"
 
 #include <cstddef>
+#include <string>
 #include <utility>
 
-#include "support/check.hpp"
+#include "api/errors.hpp"
 
 namespace pigp {
 namespace {
+
+/// Field-validation helper: a failed predicate throws ConfigError with the
+/// message naming the offending field.
+void config_check(bool ok, std::string message) {
+  if (!ok) throw ConfigError(message);
+}
 
 // ------------------------------------------------------------------ guards
 //
@@ -43,57 +50,60 @@ static_assert(has_exactly_n_fields<core::IgpOptions, 4>,
               "IgpOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<core::MultilevelOptions, 3>,
               "MultilevelOptions changed — update SessionConfig::resolve()");
-static_assert(has_exactly_n_fields<SessionConfig, 17>,
+static_assert(has_exactly_n_fields<SessionConfig, 18>,
               "SessionConfig changed — update SessionConfig::resolve()");
 
 }  // namespace
 
 ResolvedConfig SessionConfig::resolve() const {
-  PIGP_CHECK(num_parts >= 1,
-             "SessionConfig.num_parts must be >= 1 (got " +
-                 std::to_string(num_parts) + ")");
-  PIGP_CHECK(!backend.empty(), "SessionConfig.backend must not be empty");
-  PIGP_CHECK(num_threads >= 1,
-             "SessionConfig.num_threads must be >= 1 (got " +
-                 std::to_string(num_threads) + ")");
-  PIGP_CHECK(alpha_max >= 1.0,
-             "SessionConfig.alpha_max must be >= 1.0 (got " +
-                 std::to_string(alpha_max) + ")");
-  PIGP_CHECK(max_balance_stages >= 1,
-             "SessionConfig.max_balance_stages must be >= 1 (got " +
-                 std::to_string(max_balance_stages) + ")");
-  PIGP_CHECK(balance_tolerance > 0.0,
-             "SessionConfig.balance_tolerance must be > 0 (got " +
-                 std::to_string(balance_tolerance) + ")");
-  PIGP_CHECK(balance_max_layers >= 0,
-             "SessionConfig.balance_max_layers must be >= 0 (got " +
-                 std::to_string(balance_max_layers) + ")");
-  PIGP_CHECK(max_refine_rounds >= 0,
-             "SessionConfig.max_refine_rounds must be >= 0 (got " +
-                 std::to_string(max_refine_rounds) + ")");
-  PIGP_CHECK(refine_strict_after_round >= 0,
-             "SessionConfig.refine_strict_after_round must be >= 0 (got " +
-                 std::to_string(refine_strict_after_round) + ")");
-  PIGP_CHECK(multilevel_coarsest_size >= 1,
-             "SessionConfig.multilevel_coarsest_size must be >= 1 (got " +
-                 std::to_string(multilevel_coarsest_size) + ")");
-  PIGP_CHECK(multilevel_max_levels >= 1,
-             "SessionConfig.multilevel_max_levels must be >= 1 (got " +
-                 std::to_string(multilevel_max_levels) + ")");
-  PIGP_CHECK(spmd_ranks >= 1,
-             "SessionConfig.spmd_ranks must be >= 1 (got " +
-                 std::to_string(spmd_ranks) + ")");
-  PIGP_CHECK(scratch_method == "rsb" || scratch_method == "rgb" ||
-                 scratch_method == "rsb+kl",
-             "SessionConfig.scratch_method must be one of rsb, rgb, rsb+kl "
-             "(got \"" +
-                 scratch_method + "\")");
-  PIGP_CHECK(batch_imbalance_limit >= 1.0,
-             "SessionConfig.batch_imbalance_limit must be >= 1.0 (got " +
-                 std::to_string(batch_imbalance_limit) + ")");
-  PIGP_CHECK(batch_vertex_limit >= 1,
-             "SessionConfig.batch_vertex_limit must be >= 1 (got " +
-                 std::to_string(batch_vertex_limit) + ")");
+  config_check(num_parts >= 1,
+               "SessionConfig.num_parts must be >= 1 (got " +
+                   std::to_string(num_parts) + ")");
+  config_check(!backend.empty(), "SessionConfig.backend must not be empty");
+  config_check(num_threads >= 1,
+               "SessionConfig.num_threads must be >= 1 (got " +
+                   std::to_string(num_threads) + ")");
+  config_check(alpha_max >= 1.0,
+               "SessionConfig.alpha_max must be >= 1.0 (got " +
+                   std::to_string(alpha_max) + ")");
+  config_check(max_balance_stages >= 1,
+               "SessionConfig.max_balance_stages must be >= 1 (got " +
+                   std::to_string(max_balance_stages) + ")");
+  config_check(balance_tolerance > 0.0,
+               "SessionConfig.balance_tolerance must be > 0 (got " +
+                   std::to_string(balance_tolerance) + ")");
+  config_check(balance_max_layers >= 0,
+               "SessionConfig.balance_max_layers must be >= 0 (got " +
+                   std::to_string(balance_max_layers) + ")");
+  config_check(max_refine_rounds >= 0,
+               "SessionConfig.max_refine_rounds must be >= 0 (got " +
+                   std::to_string(max_refine_rounds) + ")");
+  config_check(refine_strict_after_round >= 0,
+               "SessionConfig.refine_strict_after_round must be >= 0 (got " +
+                   std::to_string(refine_strict_after_round) + ")");
+  config_check(multilevel_coarsest_size >= 1,
+               "SessionConfig.multilevel_coarsest_size must be >= 1 (got " +
+                   std::to_string(multilevel_coarsest_size) + ")");
+  config_check(multilevel_max_levels >= 1,
+               "SessionConfig.multilevel_max_levels must be >= 1 (got " +
+                   std::to_string(multilevel_max_levels) + ")");
+  config_check(spmd_ranks >= 1,
+               "SessionConfig.spmd_ranks must be >= 1 (got " +
+                   std::to_string(spmd_ranks) + ")");
+  config_check(scratch_method == "rsb" || scratch_method == "rgb" ||
+                   scratch_method == "rsb+kl",
+               "SessionConfig.scratch_method must be one of rsb, rgb, rsb+kl "
+               "(got \"" +
+                   scratch_method + "\")");
+  config_check(batch_imbalance_limit >= 1.0,
+               "SessionConfig.batch_imbalance_limit must be >= 1.0 (got " +
+                   std::to_string(batch_imbalance_limit) + ")");
+  config_check(batch_vertex_limit >= 1,
+               "SessionConfig.batch_vertex_limit must be >= 1 (got " +
+                   std::to_string(batch_vertex_limit) + ")");
+  config_check(async_queue_capacity >= 1,
+               "SessionConfig.async_queue_capacity must be >= 1 (got " +
+                   std::to_string(async_queue_capacity) + ")");
 
   ResolvedConfig resolved;
   resolved.session = *this;

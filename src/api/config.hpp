@@ -80,7 +80,12 @@ struct SessionConfig {
   /// vertices added + removed since the last repartition reaches this.
   int batch_vertex_limit = 256;
 
-  /// Validate every field (throws pigp::CheckError naming the offending
+  // --- async session (AsyncSession only; ignored by Session) ---
+  /// Capacity of the bounded ingest queue: how many submitted deltas may
+  /// be in flight before submit() blocks (backpressure).  >= 1.
+  int async_queue_capacity = 256;
+
+  /// Validate every field (throws pigp::ConfigError naming the offending
   /// field) and propagate threads/solver/knobs into the core option
   /// structs.  The one and only derivation path.
   [[nodiscard]] ResolvedConfig resolve() const;

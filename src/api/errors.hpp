@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file errors.hpp
+/// The typed pigp error taxonomy.
+///
+/// Every error the API layer throws derives from pigp::Error, which itself
+/// derives from pigp::CheckError (the exception PIGP_CHECK has always
+/// thrown), so pre-taxonomy catch sites keep working while new code can
+/// catch by cause:
+///
+///   * ConfigError          — an invalid SessionConfig field, an invalid
+///                            backend registration, or a graph/partitioning
+///                            pair that contradicts the config (wrong part
+///                            count, empty graph).
+///   * UnknownBackendError  — SessionConfig.backend names no registered
+///                            backend; carries the registered names both in
+///                            the message and programmatically through
+///                            known_backends().
+///   * DeltaError           — a stream operation whose arguments cannot be
+///                            applied to the session's current graph
+///                            (apply_extended with a non-matching n_old,
+///                            adopt_rebalance with an incompatible
+///                            partitioning, submissions to a closed
+///                            AsyncSession).
+///
+/// Deeper layers (graph::apply_delta, the LP core) still throw CheckError
+/// directly for malformed inputs; the taxonomy covers the API surface where
+/// callers realistically dispatch on the cause.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pigp {
+
+/// Base of the typed error taxonomy.  Derives from CheckError so existing
+/// `catch (const pigp::CheckError&)` sites see every API error too.
+class Error : public CheckError {
+ public:
+  explicit Error(const std::string& what) : CheckError(what) {}
+};
+
+/// An invalid configuration value — SessionConfig::resolve() names the
+/// offending field in the message.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// SessionConfig.backend names no registered backend.
+class UnknownBackendError : public Error {
+ public:
+  UnknownBackendError(std::string_view name, std::vector<std::string> known)
+      : Error(format(name, known)), known_backends_(std::move(known)) {}
+
+  /// The names registered at throw time (sorted), for programmatic
+  /// "did you mean" handling; the what() message lists them too.
+  [[nodiscard]] const std::vector<std::string>& known_backends()
+      const noexcept {
+    return known_backends_;
+  }
+
+ private:
+  static std::string format(std::string_view name,
+                            const std::vector<std::string>& known) {
+    std::string out = "unknown backend \"";
+    out += name;
+    out += "\"; registered backends:";
+    for (const std::string& k : known) {
+      out += ' ';
+      out += k;
+    }
+    return out;
+  }
+
+  std::vector<std::string> known_backends_;
+};
+
+/// A stream operation incompatible with the session's current graph.
+class DeltaError : public Error {
+ public:
+  explicit DeltaError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace pigp

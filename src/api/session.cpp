@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/errors.hpp"
 #include "core/assign.hpp"
 #include "support/check.hpp"
 
@@ -15,18 +16,21 @@ Session::Session(SessionConfig config, graph::Graph g, graph::Partitioning p)
       backend_(BackendRegistry::global().create(config.backend, resolved_)),
       graph_(std::move(g)),
       partitioning_(std::move(p)) {
-  PIGP_CHECK(partitioning_.num_parts == resolved_.session.num_parts,
-             "adopted partitioning has " +
-                 std::to_string(partitioning_.num_parts) +
-                 " parts but SessionConfig.num_parts is " +
-                 std::to_string(resolved_.session.num_parts));
+  if (partitioning_.num_parts != resolved_.session.num_parts) {
+    throw ConfigError("adopted partitioning has " +
+                      std::to_string(partitioning_.num_parts) +
+                      " parts but SessionConfig.num_parts is " +
+                      std::to_string(resolved_.session.num_parts));
+  }
   state_.rebuild(graph_, partitioning_);  // validates, seeds the O(Δ) path
 }
 
 Session::Session(SessionConfig config, graph::Graph g)
     : resolved_(config.resolve()),
       backend_(BackendRegistry::global().create(config.backend, resolved_)) {
-  PIGP_CHECK(g.num_vertices() > 0, "cannot start a session on an empty graph");
+  if (g.num_vertices() <= 0) {
+    throw ConfigError("cannot start a session on an empty graph");
+  }
   graph_ = std::move(g);
   partitioning_ = partition_from_scratch(graph_, resolved_);
   state_.rebuild(graph_, partitioning_);
@@ -180,12 +184,15 @@ SessionReport Session::apply_extended(graph::Graph g_new,
   const runtime::WallTimer call_timer;
   runtime::WallTimer update_timer;
 
-  PIGP_CHECK(n_old == graph_.num_vertices(),
-             "apply_extended: n_old (" + std::to_string(n_old) +
-                 ") must equal the session's current vertex count (" +
-                 std::to_string(graph_.num_vertices()) + ")");
-  PIGP_CHECK(g_new.num_vertices() >= n_old,
-             "apply_extended: the new graph must extend the current graph");
+  if (n_old != graph_.num_vertices()) {
+    throw DeltaError("apply_extended: n_old (" + std::to_string(n_old) +
+                     ") must equal the session's current vertex count (" +
+                     std::to_string(graph_.num_vertices()) + ")");
+  }
+  if (g_new.num_vertices() < n_old) {
+    throw DeltaError(
+        "apply_extended: the new graph must extend the current graph");
+  }
 
   const graph::VertexId added = g_new.num_vertices() - n_old;
   const std::int64_t old_edges = graph_.num_edges();
@@ -222,6 +229,47 @@ SessionReport Session::repartition() {
 }
 
 graph::PartitionMetrics Session::metrics() const { return state_.snapshot(); }
+
+void Session::adopt_rebalance(const graph::Partitioning& rebalanced) {
+  if (rebalanced.num_parts != partitioning_.num_parts) {
+    throw DeltaError("adopt_rebalance: rebalanced partitioning has " +
+                     std::to_string(rebalanced.num_parts) +
+                     " parts but the session has " +
+                     std::to_string(partitioning_.num_parts));
+  }
+  if (rebalanced.num_vertices() > graph_.num_vertices()) {
+    throw DeltaError(
+        "adopt_rebalance: rebalanced partitioning covers " +
+        std::to_string(rebalanced.num_vertices()) +
+        " vertices but the session's graph has only " +
+        std::to_string(graph_.num_vertices()));
+  }
+  runtime::WallTimer timer;
+  const graph::VertexId covered = rebalanced.num_vertices();
+  // Validate before mutating: a mid-loop throw must not leave a
+  // half-adopted assignment behind.
+  for (graph::VertexId v = 0; v < covered; ++v) {
+    const graph::PartId target =
+        rebalanced.part[static_cast<std::size_t>(v)];
+    if (target < 0 || target >= partitioning_.num_parts) {
+      throw DeltaError(
+          "adopt_rebalance: assignment out of range for vertex " +
+          std::to_string(v));
+    }
+  }
+  for (graph::VertexId v = 0; v < covered; ++v) {
+    const graph::PartId target =
+        rebalanced.part[static_cast<std::size_t>(v)];
+    if (target == partitioning_.part[static_cast<std::size_t>(v)]) continue;
+    // move_vertex keeps the weights, cut and boundary index exact, so
+    // adoption costs O(moved vertices x their degree), not a rescan.
+    state_.move_vertex(graph_, partitioning_, v, target);
+  }
+  counters_.repartitions += 1;
+  counters_.repartition_seconds += timer.seconds();
+  pending_updates_ = 0;
+  pending_vertex_changes_ = 0;
+}
 
 SessionReport Session::finish_update(const runtime::WallTimer& started,
                                      graph::Partitioning old,

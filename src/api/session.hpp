@@ -105,8 +105,17 @@ class Session {
   /// Partition \p g from scratch with config.scratch_method.
   Session(SessionConfig config, graph::Graph g);
 
-  Session(Session&&) noexcept = default;
-  Session& operator=(Session&&) noexcept = default;
+  // A Session is address-stable: the warm workspace's persistent boundary
+  // layering holds pointers into the session's graph and partitioning
+  // (core::BoundaryLayering::bind), so a moved-from/moved-to pair would
+  // leave the layering bound to buffers the move relocated.  bind() is
+  // re-run before every use today, but that is an internal detail of the
+  // igp pipeline, not a contract — rather than pin a fragile invariant,
+  // moving is deleted.  Construct in place (std::optional<Session>::emplace,
+  // containers of unique_ptr) where relocation is needed; factory returns
+  // still work via guaranteed copy elision.
+  Session(Session&&) = delete;
+  Session& operator=(Session&&) = delete;
 
   /// Absorb one incremental modification (insertions and/or deletions).
   /// Repartitions now or defers per config.batch_policy.
@@ -140,6 +149,30 @@ class Session {
   /// snapshot of the incrementally maintained graph::PartitionState, not a
   /// graph rescan.
   [[nodiscard]] graph::PartitionMetrics metrics() const;
+  /// Scalar quality summary (cut total/max/min, weight max/min/avg,
+  /// imbalance) in O(num_parts) with zero allocations — the cheap
+  /// counterpart of metrics() for reports and periodic monitoring.
+  [[nodiscard]] graph::PartitionSummary summary() const {
+    return state_.summary();
+  }
+  /// The incrementally maintained metrics/boundary state — read-only, for
+  /// callers that snapshot the session (the async layer hands copies of it
+  /// to its background rebalancer so the backend can seed boundary-local
+  /// work without a rescan).
+  [[nodiscard]] const graph::PartitionState& partition_state()
+      const noexcept {
+    return state_;
+  }
+
+  /// Adopt the result of an out-of-session rebalance computed on a
+  /// snapshot of this session's current graph: every vertex below
+  /// \p rebalanced.num_vertices() whose assignment differs is moved (O(Δ)
+  /// through the maintained state), the batch counters reset, and one
+  /// repartition is counted.  \p rebalanced must have the session's part
+  /// count and must not cover more vertices than the current graph —
+  /// vertices the session gained after the snapshot keep their step-1
+  /// placement.  This is the commit half of the AsyncSession protocol.
+  void adopt_rebalance(const graph::Partitioning& rebalanced);
 
   /// Return every pooled buffer to the allocator — the session workspace
   /// and anything the backend owns (the SPMD backend's per-rank

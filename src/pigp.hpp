@@ -16,10 +16,27 @@
 /// CI compiles a standalone consumer against the installed tree with only
 /// this include, so everything a user needs must be reachable (and
 /// installed) from here — the install tree can never go self-insufficient.
+///
+/// Concurrent serving: pigp::AsyncSession (api/async_session.hpp) wraps the
+/// synchronous Session with a bounded ingest queue, a background
+/// repartition thread, and an epoch-published pigp::PartitionView
+/// (api/view.hpp) whose part_of() lookups are wait-free for any number of
+/// reader threads.
+///
+/// Errors: everything the API layer throws derives from pigp::Error
+/// (api/errors.hpp) — ConfigError for invalid SessionConfig fields and
+/// backend registrations, UnknownBackendError (carrying the registered
+/// names) for an unknown backend string, DeltaError for stream operations
+/// incompatible with the current graph.  pigp::Error derives from
+/// pigp::CheckError, the exception the library's internal invariant checks
+/// throw, so `catch (const pigp::CheckError&)` catches everything.
 
+#include "api/async_session.hpp"
 #include "api/backend.hpp"
 #include "api/config.hpp"
+#include "api/errors.hpp"
 #include "api/session.hpp"
+#include "api/view.hpp"
 #include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"

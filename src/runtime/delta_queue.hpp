@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file delta_queue.hpp
+/// Bounded blocking MPMC queue — the ingest buffer of pigp::AsyncSession.
+///
+/// Modeled on the producer/consumer shape of PARSA's streaming partitioner
+/// (a reader thread fills a size-limited thread-safe queue while partition
+/// workers drain it): a fixed capacity gives natural backpressure — when
+/// the repartitioning pipeline falls behind, producers block in push()
+/// instead of growing an unbounded backlog — and close() gives shutdown
+/// *drain* semantics: producers are refused immediately, consumers keep
+/// popping until the queue is empty and only then see "closed".
+///
+/// Mutex + two condition variables; every operation is safe from any
+/// number of producer and consumer threads.  This is deliberately not a
+/// lock-free queue: items are whole GraphDeltas (microseconds of work
+/// each), so queue synchronization is noise — the lock-free structure in
+/// this subsystem is the read side (api/view.hpp), where per-lookup cost
+/// actually matters.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pigp::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// \p capacity >= 1 items (there is no partial/overweight admission:
+  /// unlike PARSA's byte-budget queue the bound is a simple item count).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (backpressure), then enqueue.  Returns
+  /// false — without enqueuing — when the queue is (or becomes) closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue only if there is room right now; false when full or closed
+  /// (\p item is left untouched so the caller can retry or drop it).
+  bool try_push(T& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available and dequeue it.  Returns nullopt
+  /// only when the queue is closed AND drained — items enqueued before
+  /// close() are always delivered.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked(lock);
+  }
+
+  /// pop() with a deadline: additionally returns nullopt when \p timeout
+  /// elapses with the queue still empty (and not closed).  Lets a consumer
+  /// multiplex this queue with another completion channel.
+  std::optional<T> pop_for(std::chrono::microseconds timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    return pop_locked(lock);
+  }
+
+  /// Dequeue only if an item is available right now.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    return pop_locked(lock);
+  }
+
+  /// Refuse all future pushes and wake every waiter.  Consumers drain the
+  /// remaining items, then see nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Largest size ever reached — how close the stream came to blocking.
+  [[nodiscard]] std::size_t high_watermark() const {
+    std::lock_guard lock(mutex_);
+    return high_watermark_;
+  }
+
+ private:
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pigp::runtime

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "api/errors.hpp"
 #include "support/check.hpp"
 
 namespace pigp {
@@ -95,12 +96,14 @@ TEST(SessionConfigResolve, KeepsAValidatedCopyOfTheSessionFields) {
 }
 
 TEST(SessionConfigResolve, RejectsEachInvalidFieldNamingIt) {
+  // Rejections are typed ConfigErrors (which still derive from CheckError,
+  // so pre-taxonomy catch sites keep working) naming the offending field.
   const auto expect_rejection = [](SessionConfig config,
                                    const std::string& field) {
     try {
       (void)config.resolve();
-      FAIL() << "expected CheckError for " << field;
-    } catch (const CheckError& e) {
+      FAIL() << "expected ConfigError for " << field;
+    } catch (const ConfigError& e) {
       EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
           << "error should name " << field << ": " << e.what();
     }
@@ -147,6 +150,16 @@ TEST(SessionConfigResolve, RejectsEachInvalidFieldNamingIt) {
   bad = valid_config();
   bad.backend = "";
   expect_rejection(bad, "backend");
+
+  bad = valid_config();
+  bad.async_queue_capacity = 0;
+  expect_rejection(bad, "async_queue_capacity");
+}
+
+TEST(SessionConfigResolve, KeepsTheAsyncQueueCapacity) {
+  SessionConfig config = valid_config();
+  config.async_queue_capacity = 17;
+  EXPECT_EQ(config.resolve().session.async_queue_capacity, 17);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 
 #include <algorithm>
 #include <string>
+#include <type_traits>
 
+#include "api/errors.hpp"
 #include "core/igp.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -133,12 +135,79 @@ TEST(Session, UnknownBackendRejectedWithKnownNamesListed) {
   const Graph g = graph::random_geometric_graph(200, 0.12, 5);
   try {
     Session session(basic_config(4, "no-such-backend"), g);
-    FAIL() << "expected CheckError";
-  } catch (const CheckError& e) {
+    FAIL() << "expected UnknownBackendError";
+  } catch (const UnknownBackendError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("no-such-backend"), std::string::npos) << what;
     EXPECT_NE(what.find("igpr"), std::string::npos) << what;
+    // The names ride along programmatically, not just in the message.
+    const std::vector<std::string>& known = e.known_backends();
+    EXPECT_NE(std::find(known.begin(), known.end(), "igpr"), known.end());
   }
+  // The taxonomy keeps pre-existing catch sites working: every typed error
+  // is a pigp::Error and a pigp::CheckError.
+  EXPECT_THROW((Session{basic_config(4, "no-such-backend"), g}), Error);
+  EXPECT_THROW((Session{basic_config(4, "no-such-backend"), g}), CheckError);
+}
+
+TEST(Session, MoveOperationsAreDeleted) {
+  // Regression for an audit finding: the warm workspace's boundary
+  // layering holds pointers into the session's graph/partitioning, so a
+  // moved Session would leave them dangling unless an internal re-bind
+  // happens to run first.  The operations are deleted outright; factory
+  // returns still compile through guaranteed copy elision
+  // (test_session_alloc.cpp's make_quiescent_session is the living proof).
+  static_assert(!std::is_move_constructible_v<Session>);
+  static_assert(!std::is_move_assignable_v<Session>);
+  static_assert(!std::is_copy_constructible_v<Session>);
+  static_assert(!std::is_copy_assignable_v<Session>);
+}
+
+TEST(Session, SummaryMatchesFullMetrics) {
+  const Graph g = graph::random_geometric_graph(300, 0.1, 37);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+  Session session(basic_config(4, "igpr"), g, initial);
+  (void)session.apply(mixed_delta(g.num_vertices(), 0));
+
+  const graph::PartitionSummary summary = session.summary();
+  const graph::PartitionMetrics metrics = session.metrics();
+  EXPECT_DOUBLE_EQ(summary.cut_total, metrics.cut_total);
+  EXPECT_DOUBLE_EQ(summary.imbalance, metrics.imbalance);
+  EXPECT_DOUBLE_EQ(summary.max_weight, metrics.max_weight);
+  EXPECT_DOUBLE_EQ(summary.min_weight, metrics.min_weight);
+}
+
+TEST(Session, AdoptRebalanceFoldsAnExternalResultIn) {
+  const Graph g = graph::random_geometric_graph(300, 0.1, 41);
+  const Partitioning initial = spectral::recursive_graph_bisection(g, 4);
+
+  SessionConfig config = basic_config(4, "igpr");
+  config.batch_policy = BatchPolicy::vertex_count;
+  config.batch_vertex_limit = 1000;  // never self-triggers
+  Session session(config, g, initial);
+
+  // Compute the rebalance out of band, exactly like the async layer does.
+  Session oracle(basic_config(4, "igpr"), g, initial);
+  (void)oracle.repartition();
+
+  session.adopt_rebalance(oracle.partitioning());
+  EXPECT_EQ(session.partitioning().part, oracle.partitioning().part);
+  EXPECT_EQ(session.counters().repartitions, 1);
+  EXPECT_EQ(session.pending_updates(), 0);
+  // The maintained state absorbed every move: summaries agree without any
+  // rescan having happened.
+  EXPECT_DOUBLE_EQ(session.summary().cut_total, oracle.summary().cut_total);
+  session.partitioning().validate(session.graph());
+
+  // Incompatible adoptions are typed DeltaErrors.
+  Partitioning wrong_parts = spectral::recursive_graph_bisection(g, 8);
+  EXPECT_THROW(session.adopt_rebalance(wrong_parts), DeltaError);
+
+  // A shorter (prefix) partitioning is fine — vertices past its end keep
+  // their placement; a longer one is rejected.
+  Partitioning longer = session.partitioning();
+  longer.part.push_back(0);
+  EXPECT_THROW(session.adopt_rebalance(longer), DeltaError);
 }
 
 TEST(Session, InvalidConfigRejectedWithClearError) {

@@ -1,0 +1,159 @@
+// BoundedQueue: the backpressure and shutdown-drain contracts the async
+// session's ingest pipeline is built on, plus an MPMC stress run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/delta_queue.hpp"
+
+namespace pigp::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const std::optional<int> item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_watermark(), 4u);
+}
+
+TEST(BoundedQueue, CapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFullWithoutConsuming) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  int item = 2;
+  EXPECT_FALSE(q.try_push(item));
+  EXPECT_EQ(item, 2);  // left untouched for the caller
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.try_push(item));
+  EXPECT_EQ(q.pop().value_or(-1), 2);
+}
+
+TEST(BoundedQueue, TryPopReturnsNulloptWhenEmpty) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+  ASSERT_TRUE(q.push(7));
+  EXPECT_EQ(q.try_pop().value_or(-1), 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, PopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.pop_for(1ms).has_value());
+  ASSERT_TRUE(q.push(9));
+  EXPECT_EQ(q.pop_for(1ms).value_or(-1), 9);
+}
+
+TEST(BoundedQueue, PushBlocksUntilAConsumerMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(pushed.load());  // still blocked on backpressure
+  EXPECT_EQ(q.pop().value_or(-1), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value_or(-1), 2);
+}
+
+TEST(BoundedQueue, CloseWakesABlockedProducerWithFalse) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  producer.join();
+  // The refused item was never enqueued; the pre-close item drains.
+  EXPECT_EQ(q.pop().value_or(-1), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesABlockedConsumerWithNullopt) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, ShutdownDrainDeliversEverythingEnqueuedBeforeClose) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(99));  // refused immediately
+  for (int i = 0; i < 5; ++i) {
+    const std::optional<int> item = q.pop();  // must not block
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());      // drained + closed
+  EXPECT_FALSE(q.pop_for(1ms).has_value());
+  q.close();  // idempotent
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(16);  // small: forces constant backpressure
+
+  std::vector<std::future<void>> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.push_back(std::async(std::launch::async, [&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    }));
+  }
+  std::vector<std::future<std::vector<int>>> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.push_back(std::async(std::launch::async, [&q] {
+      std::vector<int> seen;
+      while (std::optional<int> item = q.pop()) seen.push_back(*item);
+      return seen;
+    }));
+  }
+  for (auto& p : producers) p.get();
+  q.close();
+
+  std::vector<int> all;
+  for (auto& c : consumers) {
+    const std::vector<int> seen = c.get();
+    all.insert(all.end(), seen.begin(), seen.end());
+  }
+  ASSERT_EQ(all.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i) << "lost or duplicated";
+  }
+  EXPECT_LE(q.high_watermark(), q.capacity());
+  EXPECT_GE(q.high_watermark(), 1u);
+}
+
+}  // namespace
+}  // namespace pigp::runtime
