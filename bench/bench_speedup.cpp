@@ -361,6 +361,74 @@ int main(int argc, char** argv) {
   }
 
   // ---------------------------------------------------------------------
+  // Distributed streaming: the same vertex_count delta stream through the
+  // SPMD backend, once per transport.  "in_process" is the thread-backed
+  // Machine; "tcp" and "tcp+delta" run every rank over real loopback
+  // sockets (framing, filter chain, socket timeouts).  The deltas/s gap
+  // between the rows is the wire cost of the distributed path, and all
+  // transports must land on the identical partition (bit-parity is a
+  // correctness gate here, not just a test).
+  const int dist_ranks = 2;
+  std::cout << "\n=== Distributed streaming: SPMD backend, " << dist_ranks
+            << " ranks, " << stream_deltas << " deltas x " << burst
+            << " new vertices ===\n";
+  struct DistRow {
+    std::string key;
+    std::int64_t repartitions;
+    double seconds;
+    double deltas_per_second;
+    double final_imbalance;
+  };
+  std::vector<DistRow> dist_rows;
+  std::vector<graph::PartId> dist_reference;
+  TextTable dist_table({"transport", "repartitions", "time (s)", "deltas/s",
+                        "final imbalance", "parity"});
+  struct TransportPoint {
+    const char* key;
+    const char* transport;
+    const char* filters;
+  };
+  for (const TransportPoint point :
+       {TransportPoint{"in_process", "in_process", ""},
+        TransportPoint{"tcp", "tcp", ""},
+        TransportPoint{"tcp+delta", "tcp", "delta"}}) {
+    SessionConfig config;
+    config.num_parts = bench::kPaperPartitions;
+    config.backend = "spmd";
+    config.spmd_ranks = dist_ranks;
+    config.spmd_transport = point.transport;
+    config.spmd_wire_filters = point.filters;
+    config.batch_policy = BatchPolicy::vertex_count;
+    config.batch_vertex_limit = 8 * burst;
+    Session session(config, big, stream_initial);
+    SplitMix64 rng(2026);
+    runtime::WallTimer timer;
+    for (int d = 0; d < stream_deltas; ++d) {
+      (void)session.apply(make_stream_delta(session.graph().num_vertices(),
+                                            burst, rng));
+    }
+    if (session.pending_updates() > 0) (void)session.repartition();
+    const double seconds = timer.seconds();
+    const char* parity = "reference";
+    if (dist_reference.empty()) {
+      dist_reference = session.partitioning().part;
+    } else if (session.partitioning().part == dist_reference) {
+      parity = "identical";
+    } else {
+      std::cerr << "FATAL: transport " << point.key
+                << " diverged from in_process\n";
+      return 1;
+    }
+    dist_table.add_row(point.key, session.counters().repartitions, seconds,
+                       stream_deltas / seconds, session.summary().imbalance,
+                       parity);
+    dist_rows.push_back({point.key, session.counters().repartitions, seconds,
+                         stream_deltas / seconds,
+                         session.summary().imbalance});
+  }
+  dist_table.print(std::cout);
+
+  // ---------------------------------------------------------------------
   // Boundary-fraction layering sweep: batch layering vs the boundary-
   // seeded, depth-capped layering as the dirty-boundary share grows —
   // the cost model the streaming path's step 2 rides on.  Starting from a
@@ -486,6 +554,24 @@ int main(int argc, char** argv) {
         << "      \"rebalances_committed\": " << cs_committed << ",\n"
         << "      \"final_imbalance\": " << cs_imbalance << ",\n"
         << "      \"single_thread_ratio\": " << cs_ratio << "\n"
+        << "    },\n"
+        << "    \"distributed_streaming\": {\n"
+        << "      \"graph_vertices\": " << big_n << ",\n"
+        << "      \"num_parts\": " << bench::kPaperPartitions << ",\n"
+        << "      \"deltas\": " << stream_deltas << ",\n"
+        << "      \"burst\": " << burst << ",\n"
+        << "      \"ranks\": " << dist_ranks << ",\n"
+        << "      \"transports\": [\n";
+    for (std::size_t i = 0; i < dist_rows.size(); ++i) {
+      const DistRow& r = dist_rows[i];
+      out << "        {\"transport\": \"" << r.key << "\""
+          << ", \"repartitions\": " << r.repartitions
+          << ", \"seconds\": " << r.seconds
+          << ", \"deltas_per_second\": " << r.deltas_per_second
+          << ", \"final_imbalance\": " << r.final_imbalance << "}"
+          << (i + 1 < dist_rows.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n"
         << "    },\n"
         << "    \"layering_sweep\": {\n"
         << "      \"graph_vertices\": " << sweep_n << ",\n"

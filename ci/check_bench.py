@@ -17,6 +17,10 @@ Tracked metrics:
       Sustained ingest throughput of the AsyncSession while reader threads
       hammer part_of on the published view.  Runner-speed dependent like
       the session_streaming rows.
+  * sections.distributed_streaming.transports[*].deltas_per_second
+      The same stream through the SPMD backend per transport ("in_process"
+      vs real loopback TCP, with and without wire filters).  Gates the
+      distributed path's overhead; runner-speed dependent.
   * sections.layering_sweep.points[*].seeded_speedup
       Batch-layering time over boundary-seeded-layering time per dirty
       fraction.  A ratio of two timings on the same machine, so it is
@@ -56,6 +60,13 @@ def tracked_metrics(doc):
     value = concurrent.get("deltas_per_second")
     if value is not None:
         yield ("concurrent_streaming/deltas_per_second", value)
+    distributed = sections.get("distributed_streaming", {})
+    for transport in distributed.get("transports", []):
+        name = transport.get("transport", "?")
+        value = transport.get("deltas_per_second")
+        if value is not None:
+            yield (
+                f"distributed_streaming/{name}/deltas_per_second", value)
     sweep = sections.get("layering_sweep", {})
     for point in sweep.get("points", []):
         permille = point.get("permille", "?")

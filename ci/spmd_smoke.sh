@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Two-process localhost SPMD smoke: one pigp_spmd_worker OS process per
+# rank over real TCP sockets must (a) balance, (b) produce a partition
+# byte-identical to the in-process run of the same protocol, and (c) hold
+# only a strict fraction of the graph's adjacency per rank.
+#
+# Usage: spmd_smoke.sh [path/to/pigp_spmd_worker]
+set -euo pipefail
+
+BIN=${1:-build/examples/pigp_spmd_worker}
+PARTS=8
+N=4000
+SEED=9
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BIN" generate "$tmp/g.metis" "$N" "$SEED"
+
+# pid-derived ports keep concurrent CI runs on one host from colliding.
+p0=$((10000 + $$ % 40000))
+p1=$((p0 + 1))
+endpoints="127.0.0.1:${p0},127.0.0.1:${p1}"
+
+# Rank 1 in the background first: its connect to rank 0 must retry until
+# rank 0's listener binds, which exercises the any-launch-order path.
+"$BIN" worker "$tmp/g.metis" 1 "$PARTS" "$endpoints" --filters=delta \
+  > "$tmp/rank1.log" 2>&1 &
+rank1_pid=$!
+
+"$BIN" worker "$tmp/g.metis" 0 "$PARTS" "$endpoints" --filters=delta \
+  --out="$tmp/tcp.part" | tee "$tmp/rank0.log"
+wait "$rank1_pid"
+cat "$tmp/rank1.log"
+
+"$BIN" inprocess "$tmp/g.metis" 2 "$PARTS" --out="$tmp/inproc.part" \
+  > "$tmp/inproc.log"
+
+cmp "$tmp/tcp.part" "$tmp/inproc.part"
+echo "OK: two-process TCP partition byte-identical to the in-process run"
+
+# Memory claim: each rank's resident+halo adjacency is < 90% of the graph.
+for log in "$tmp/rank0.log" "$tmp/rank1.log"; do
+  awk '/ shard: / {
+    if ($4 + $7 >= 0.9 * $10) { print "shard too large: " $0; exit 1 }
+    found = 1
+  }
+  END { if (!found) { print "missing shard report in '"$log"'"; exit 1 } }
+  ' "$log"
+done
+echo "OK: per-rank shards are strict fractions of the graph"

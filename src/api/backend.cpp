@@ -1,6 +1,7 @@
 #include "api/backend.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -86,12 +87,26 @@ class MultilevelBackend final : public Backend {
   core::MultilevelOptions options_;
 };
 
-/// "spmd": the CM-5-style message-passing engine on a thread-backed Machine
-/// owned by the backend (one rank block of partitions per rank).
+/// "spmd": the CM-5-style message-passing engine on a backend-owned
+/// executor (one rank block of partitions per rank).  config.spmd_transport
+/// picks the carrier: "in_process" is the Machine-mailbox oracle, "tcp"
+/// runs the same ranks over real loopback sockets with the configured
+/// filter chain and timeouts — decisions are bit-identical either way.
 class SpmdBackend final : public Backend {
  public:
-  explicit SpmdBackend(const ResolvedConfig& config)
-      : options_(config.igp), machine_(config.session.spmd_ranks) {}
+  explicit SpmdBackend(const ResolvedConfig& config) : options_(config.igp) {
+    if (config.session.spmd_transport == "tcp") {
+      net::TcpOptions tcp;
+      tcp.send_timeout_ms = config.session.spmd_timeout_ms;
+      tcp.recv_timeout_ms = config.session.spmd_timeout_ms;
+      tcp.filters = config.session.spmd_wire_filters;
+      executor_ = std::make_unique<core::TcpLoopbackExecutor>(
+          config.session.spmd_ranks, std::move(tcp));
+    } else {
+      executor_ =
+          std::make_unique<core::MachineExecutor>(config.session.spmd_ranks);
+    }
+  }
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "spmd";
@@ -102,7 +117,7 @@ class SpmdBackend final : public Backend {
       graph::VertexId n_old) override {
     const runtime::WallTimer timer;
     BackendResult out = from_igp_result(
-        core::spmd_repartition(machine_, g_new, old_partitioning, n_old,
+        core::spmd_repartition(*executor_, g_new, old_partitioning, n_old,
                                options_));
     out.timings.total = timer.seconds();
     return out;
@@ -120,8 +135,9 @@ class SpmdBackend final : public Backend {
       seen_remap_generation_ = ws.remap_generation;
     }
     BackendResult out = from_igp_result(
-        core::spmd_repartition_in_place(machine_, g_new, partitioning, n_old,
-                                        options_, state, ws, rank_ws_));
+        core::spmd_repartition_in_place(*executor_, g_new, partitioning,
+                                        n_old, options_, state, ws,
+                                        rank_ws_));
     out.timings.total = timer.seconds();
     out.state_maintained = true;
     return out;
@@ -133,7 +149,7 @@ class SpmdBackend final : public Backend {
 
  private:
   core::IgpOptions options_;
-  runtime::Machine machine_;
+  std::unique_ptr<core::SpmdExecutor> executor_;
   /// Persistent per-rank workspaces (resumable layering + pack buffers).
   std::vector<core::Workspace> rank_ws_;
   std::uint64_t seen_remap_generation_ = 0;

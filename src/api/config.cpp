@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "api/errors.hpp"
+#include "runtime/net/filters.hpp"
 
 namespace pigp {
 namespace {
@@ -50,7 +51,7 @@ static_assert(has_exactly_n_fields<core::IgpOptions, 4>,
               "IgpOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<core::MultilevelOptions, 3>,
               "MultilevelOptions changed — update SessionConfig::resolve()");
-static_assert(has_exactly_n_fields<SessionConfig, 18>,
+static_assert(has_exactly_n_fields<SessionConfig, 21>,
               "SessionConfig changed — update SessionConfig::resolve()");
 
 }  // namespace
@@ -90,6 +91,19 @@ ResolvedConfig SessionConfig::resolve() const {
   config_check(spmd_ranks >= 1,
                "SessionConfig.spmd_ranks must be >= 1 (got " +
                    std::to_string(spmd_ranks) + ")");
+  config_check(spmd_transport == "in_process" || spmd_transport == "tcp",
+               "SessionConfig.spmd_transport must be one of in_process, tcp "
+               "(got \"" +
+                   spmd_transport + "\")");
+  try {
+    (void)net::parse_filter_chain(spmd_wire_filters);
+  } catch (const CheckError& e) {
+    throw ConfigError("SessionConfig.spmd_wire_filters is invalid: " +
+                      std::string(e.what()));
+  }
+  config_check(spmd_timeout_ms >= 1,
+               "SessionConfig.spmd_timeout_ms must be >= 1 (got " +
+                   std::to_string(spmd_timeout_ms) + ")");
   config_check(scratch_method == "rsb" || scratch_method == "rgb" ||
                    scratch_method == "rsb+kl",
                "SessionConfig.scratch_method must be one of rsb, rgb, rsb+kl "

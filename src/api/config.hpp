@@ -65,6 +65,18 @@ struct SessionConfig {
 
   // --- spmd backend knobs ---
   int spmd_ranks = 4;
+  /// What carries the SPMD messages: "in_process" (Machine mailboxes, the
+  /// bit-parity oracle) or "tcp" (real loopback sockets — the full wire
+  /// path with framing, filters, and timeouts; decisions stay
+  /// bit-identical).
+  std::string spmd_transport = "in_process";
+  /// Comma-separated message-filter chain applied to every TCP payload,
+  /// e.g. "delta" or "delta,zlib" (see net::parse_filter_chain).  Empty =
+  /// raw payloads.  Ignored by the in_process transport.
+  std::string spmd_wire_filters;
+  /// Socket send/recv timeout for the tcp transport, milliseconds (>= 1).
+  /// A rank stuck longer than this surfaces a pigp::TransportError.
+  int spmd_timeout_ms = 30000;
 
   // --- scratch backend / initial partitioning ---
   /// "rsb" (recursive spectral bisection), "rgb" (BFS bisection), or

@@ -22,6 +22,11 @@
 ///                            adopt_rebalance with an incompatible
 ///                            partitioning, submissions to a closed
 ///                            AsyncSession).
+///   * TransportError       — the SPMD wire failed (peer closed, socket
+///                            timeout, malformed frame).  Defined in
+///                            runtime/net/error.hpp, re-exported here; a
+///                            Session whose backend threw one is sticky-
+///                            failed and rethrows it on further use.
 ///
 /// Deeper layers (graph::apply_delta, the LP core) still throw CheckError
 /// directly for malformed inputs; the taxonomy covers the API surface where
@@ -31,9 +36,15 @@
 #include <string_view>
 #include <vector>
 
+#include "runtime/net/error.hpp"
 #include "support/check.hpp"
 
 namespace pigp {
+
+/// Re-export: the SPMD wire failure (see runtime/net/error.hpp).  Not part
+/// of the Error branch — it originates below the API layer — but catchable
+/// as pigp::CheckError like everything else.
+using net::TransportError;
 
 /// Base of the typed error taxonomy.  Derives from CheckError so existing
 /// `catch (const pigp::CheckError&)` sites see every API error too.

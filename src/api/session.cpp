@@ -37,6 +37,7 @@ Session::Session(SessionConfig config, graph::Graph g)
 }
 
 SessionReport Session::apply(const graph::GraphDelta& delta) {
+  throw_if_failed();
   const runtime::WallTimer call_timer;
   runtime::WallTimer update_timer;
 
@@ -181,6 +182,7 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
 
 SessionReport Session::apply_extended(graph::Graph g_new,
                                       graph::VertexId n_old) {
+  throw_if_failed();
   const runtime::WallTimer call_timer;
   runtime::WallTimer update_timer;
 
@@ -218,6 +220,7 @@ SessionReport Session::apply_extended(graph::Graph g_new,
 }
 
 SessionReport Session::repartition() {
+  throw_if_failed();
   const runtime::WallTimer call_timer;
   SessionReport report;
   run_backend(report, std::move(partitioning_), graph_.num_vertices());
@@ -230,7 +233,12 @@ SessionReport Session::repartition() {
 
 graph::PartitionMetrics Session::metrics() const { return state_.snapshot(); }
 
+void Session::throw_if_failed() const {
+  if (transport_failure_) std::rethrow_exception(transport_failure_);
+}
+
 void Session::adopt_rebalance(const graph::Partitioning& rebalanced) {
+  throw_if_failed();
   if (rebalanced.num_parts != partitioning_.num_parts) {
     throw DeltaError("adopt_rebalance: rebalanced partitioning has " +
                      std::to_string(rebalanced.num_parts) +
@@ -331,6 +339,15 @@ void Session::run_backend(SessionReport& report, graph::Partitioning old,
     }
     check_backend_invariants(result.state_maintained, n_old);
   } catch (...) {
+    // A wire failure means peer ranks may be gone for good — latch it so
+    // every further mutating call rethrows instead of hanging on a dead
+    // group (transport_failed()).  Other exceptions stay one-shot.
+    try {
+      throw;
+    } catch (const TransportError&) {
+      transport_failure_ = std::current_exception();
+    } catch (...) {
+    }
     // Keep the graph/partitioning/state invariant intact for the caller:
     // restore the pre-backend assignment from the rollback snapshot, run
     // step 1 on it, and rebuild the state from scratch — the error path

@@ -33,6 +33,7 @@
 /// boundary-local pipeline" in docs/ARCHITECTURE.md).
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <string_view>
 
@@ -164,6 +165,15 @@ class Session {
     return state_;
   }
 
+  /// True once a backend run died on the SPMD wire (pigp::TransportError):
+  /// peer ranks may be gone, so the distributed group cannot be assumed
+  /// functional and every further mutating call rethrows the original
+  /// error.  The session's own graph/partitioning/state stay consistent
+  /// (the failed run was rolled back) — read accessors keep working.
+  [[nodiscard]] bool transport_failed() const noexcept {
+    return transport_failure_ != nullptr;
+  }
+
   /// Adopt the result of an out-of-session rebalance computed on a
   /// snapshot of this session's current graph: every vertex below
   /// \p rebalanced.num_vertices() whose assignment differs is moved (O(Δ)
@@ -207,6 +217,8 @@ class Session {
   /// graph total, boundary buckets consistent with the assignment.
   void check_backend_invariants(bool state_maintained,
                                 graph::VertexId n_old) const;
+  /// Rethrow the sticky wire failure, if any (top of every mutating call).
+  void throw_if_failed() const;
 
   ResolvedConfig resolved_;
   std::unique_ptr<Backend> backend_;
@@ -225,6 +237,9 @@ class Session {
   /// See "Workspace & steady-state memory discipline" in ARCHITECTURE.md.
   core::Workspace workspace_;
   SessionCounters counters_;
+  /// Set when a backend run threw pigp::TransportError; see
+  /// transport_failed().
+  std::exception_ptr transport_failure_;
   int pending_updates_ = 0;
   /// Vertices added + removed since the last repartition (vertex_count
   /// batch policy).

@@ -261,9 +261,8 @@ void BoundaryLayering::bind(const graph::Graph& g,
   }
 }
 
-void BoundaryLayering::reseed(const graph::PartitionState& state,
-                              int num_threads,
-                              const std::vector<graph::PartId>* owned_parts) {
+void BoundaryLayering::begin_stage(
+    const std::vector<graph::PartId>* owned_parts) {
   PIGP_CHECK(label_.size() ==
                  static_cast<std::size_t>(g_->num_vertices()),
              "BoundaryLayering reused after take_result()");
@@ -288,6 +287,12 @@ void BoundaryLayering::reseed(const graph::PartitionState& state,
       seeded_[static_cast<std::size_t>(q)] = q;
     }
   }
+}
+
+void BoundaryLayering::reseed(const graph::PartitionState& state,
+                              int num_threads,
+                              const std::vector<graph::PartId>* owned_parts) {
+  begin_stage(owned_parts);
 
   const bool parallel = num_threads > 1 && seeded_.size() > 1;
   scratch_.resize(static_cast<std::size_t>(
@@ -313,6 +318,42 @@ void BoundaryLayering::reseed(const graph::PartitionState& state,
                         eps_.row(qi).data());
         PIGP_ASSERT(boundary);  // the index only holds boundary vertices
         (void)boundary;
+      }
+      frontier_[qi] = seeds;
+    }
+  }
+}
+
+void BoundaryLayering::reseed_from_buckets(
+    const std::vector<std::vector<graph::VertexId>>& buckets,
+    const std::vector<graph::PartId>& owned_parts, int num_threads) {
+  PIGP_CHECK(buckets.size() == owned_parts.size(),
+             "one boundary bucket per owned partition");
+  begin_stage(&owned_parts);
+
+  const bool parallel = num_threads > 1 && seeded_.size() > 1;
+  scratch_.resize(static_cast<std::size_t>(
+      std::max(1, parallel ? num_threads : 1)));
+#pragma omp parallel num_threads(num_threads) if (parallel)
+  {
+    const auto tid = static_cast<std::size_t>(scratch_slot(parallel));
+    LayerScratch& scratch = scratch_[tid];
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t k = 0; k < seeded_.size(); ++k) {
+      const graph::PartId q = seeded_[k];
+      const auto qi = static_cast<std::size_t>(q);
+      scratch.tally.assign(static_cast<std::size_t>(p_->num_parts), 0.0);
+      scratch.next = buckets[k];
+      std::sort(scratch.next.begin(), scratch.next.end());
+      auto& seeds = labeled_[qi];
+      seeds.clear();
+      for (const graph::VertexId v : scratch.next) {
+        // Unlike the PartitionState index, caller buckets may overstate
+        // the boundary; skip anything that turns out interior.
+        if (seed_vertex(*g_, *p_, q, v, scratch.tally, label_, layer_,
+                        eps_.row(qi).data())) {
+          seeds.push_back(v);
+        }
       }
       frontier_[qi] = seeds;
     }

@@ -136,6 +136,18 @@ class BoundaryLayering {
   void reseed(const graph::PartitionState& state, int num_threads = 1,
               const std::vector<graph::PartId>* owned_parts = nullptr);
 
+  /// Same stage reset + seeding, but from caller-maintained boundary
+  /// buckets instead of a PartitionState: buckets[k] holds candidate
+  /// layer-0 vertices of partition owned_parts[k] (any order; they are
+  /// sorted here).  Non-boundary candidates are skipped, so a slightly
+  /// stale bucket degrades to extra work, not a wrong seeding.  Used by
+  /// the sharded SPMD worker (core/spmd_worker), which tracks boundaries
+  /// itself — seeded with exact buckets this is bit-identical to reseed()
+  /// over a consistent PartitionState.
+  void reseed_from_buckets(
+      const std::vector<std::vector<graph::VertexId>>& buckets,
+      const std::vector<graph::PartId>& owned_parts, int num_threads = 1);
+
   /// Grow every non-exhausted seeded partition by up to \p levels more BFS
   /// levels (\p levels < 0: to exhaustion).  Parallel across partitions.
   void grow(int levels, int num_threads = 1);
@@ -169,6 +181,10 @@ class BoundaryLayering {
   [[nodiscard]] LayeringResult take_result();
 
  private:
+  /// Undo the previous stage (O(labeled)) and install the new seeded set —
+  /// the shared front half of both reseed flavors.
+  void begin_stage(const std::vector<graph::PartId>* owned_parts);
+
   const graph::Graph* g_ = nullptr;
   const graph::Partitioning* p_ = nullptr;
   bool dirty_ = false;

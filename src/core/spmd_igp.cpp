@@ -14,8 +14,7 @@ namespace {
 
 using graph::PartId;
 using graph::VertexId;
-using runtime::Packet;
-using runtime::RankContext;
+using net::Packet;
 
 /// Rank that owns partition q.
 int owner_of(PartId q, int num_ranks) {
@@ -27,13 +26,13 @@ int owner_of(PartId q, int num_ranks) {
 /// points.  \p rank_ws holds one persistent Workspace per rank (resumable
 /// layering + gather/pack staging); \p refine_ws is the caller's workspace
 /// for the refinement pass (null = call-local buffers).
-IgpResult run_spmd_engine(runtime::Machine& machine, const graph::Graph& g_new,
+IgpResult run_spmd_engine(SpmdExecutor& executor, const graph::Graph& g_new,
                           graph::Partitioning& shared,
                           const IgpOptions& options,
                           graph::PartitionState& state,
                           std::vector<Workspace>& rank_ws,
                           Workspace* refine_ws) {
-  rank_ws.resize(static_cast<std::size_t>(machine.num_ranks()));
+  rank_ws.resize(static_cast<std::size_t>(executor.num_ranks()));
   const auto parts = static_cast<std::size_t>(shared.num_parts);
   const std::vector<double> targets =
       graph::balance_targets(g_new.total_vertex_weight(), shared.num_parts);
@@ -41,7 +40,7 @@ IgpResult run_spmd_engine(runtime::Machine& machine, const graph::Graph& g_new,
   IgpResult result;
 
   // ---------------------------------------------------- balance stages
-  machine.run([&](RankContext& ctx) {
+  executor.run([&](net::Transport& ctx) {
     // Rank-local ownership and resumable layering.  The per-vertex arrays
     // live in this rank's persistent Workspace: bind() refreshes the
     // graph/partitioning pointers and only pays a full reset after an
@@ -235,7 +234,7 @@ IgpResult run_spmd_engine(runtime::Machine& machine, const graph::Graph& g_new,
 
 }  // namespace
 
-IgpResult spmd_repartition(runtime::Machine& machine,
+IgpResult spmd_repartition(SpmdExecutor& executor,
                            const graph::Graph& g_new,
                            const graph::Partitioning& old_partitioning,
                            VertexId n_old, const IgpOptions& options,
@@ -245,7 +244,7 @@ IgpResult spmd_repartition(runtime::Machine& machine,
     Workspace ws;
     graph::Partitioning working = old_partitioning;
     IgpResult result = spmd_repartition_in_place(
-        machine, g_new, working, n_old, options, *state, ws, rank_ws);
+        executor, g_new, working, n_old, options, *state, ws, rank_ws);
     result.partitioning = std::move(working);
     return result;
   }
@@ -258,13 +257,23 @@ IgpResult spmd_repartition(runtime::Machine& machine,
       extend_assignment(g_new, old_partitioning, n_old, assign_options);
   graph::PartitionState local_state;
   local_state.rebuild(g_new, working);
-  IgpResult result = run_spmd_engine(machine, g_new, working, options,
+  IgpResult result = run_spmd_engine(executor, g_new, working, options,
                                      local_state, rank_ws, nullptr);
   result.partitioning = std::move(working);
   return result;
 }
 
-IgpResult spmd_repartition_in_place(runtime::Machine& machine,
+IgpResult spmd_repartition(runtime::Machine& machine,
+                           const graph::Graph& g_new,
+                           const graph::Partitioning& old_partitioning,
+                           VertexId n_old, const IgpOptions& options,
+                           graph::PartitionState* state) {
+  MachineExecutor executor(machine);
+  return spmd_repartition(executor, g_new, old_partitioning, n_old, options,
+                          state);
+}
+
+IgpResult spmd_repartition_in_place(SpmdExecutor& executor,
                                     const graph::Graph& g_new,
                                     graph::Partitioning& partitioning,
                                     VertexId n_old, const IgpOptions& options,
@@ -277,8 +286,20 @@ IgpResult spmd_repartition_in_place(runtime::Machine& machine,
   assign_options.num_threads = 1;
   extend_assignment_state(g_new, partitioning, n_old, state, ws,
                           assign_options);
-  return run_spmd_engine(machine, g_new, partitioning, options, state,
+  return run_spmd_engine(executor, g_new, partitioning, options, state,
                          rank_ws, &ws);
+}
+
+IgpResult spmd_repartition_in_place(runtime::Machine& machine,
+                                    const graph::Graph& g_new,
+                                    graph::Partitioning& partitioning,
+                                    VertexId n_old, const IgpOptions& options,
+                                    graph::PartitionState& state,
+                                    Workspace& ws,
+                                    std::vector<Workspace>& rank_ws) {
+  MachineExecutor executor(machine);
+  return spmd_repartition_in_place(executor, g_new, partitioning, n_old,
+                                   options, state, ws, rank_ws);
 }
 
 }  // namespace pigp::core

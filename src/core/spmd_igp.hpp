@@ -5,29 +5,97 @@
 ///
 /// The paper ran on a 32-node CM-5 where each node owned a partition,
 /// layered it locally, and cooperated on the LP solve.  This driver
-/// reproduces that structure on the thread-backed message-passing Machine:
-/// every rank owns a block of partitions, layers them independently, the
-/// ε matrix is allgathered, rank 0 solves the (tiny) LP and broadcasts the
-/// movement matrix, and each rank applies the transfers out of its owned
-/// partitions.  Results are bit-identical to the shared-memory driver —
-/// test_spmd_igp asserts it — so the communication structure is exercised
-/// without changing semantics.
+/// reproduces that structure against the pluggable net::Transport
+/// interface: every rank owns a block of partitions, layers them
+/// independently, the ε matrix is allgathered, rank 0 solves the (tiny) LP
+/// and broadcasts the movement matrix, and each rank applies the transfers
+/// out of its owned partitions.  Results are bit-identical to the
+/// shared-memory driver — test_spmd_igp asserts it — so the communication
+/// structure is exercised without changing semantics.
+///
+/// An SpmdExecutor decides what carries the messages: MachineExecutor runs
+/// the ranks as threads over the runtime::Machine mailboxes (the original
+/// and fastest shape), TcpLoopbackExecutor runs them as threads speaking
+/// real TCP over loopback sockets (the full wire path — framing, filters,
+/// timeouts — without managing processes).  The fully distributed
+/// one-process-per-rank shape lives in core/spmd_worker.hpp, which shards
+/// the graph instead of replicating it.
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/igp.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "runtime/net/tcp_transport.hpp"
+#include "runtime/net/transport.hpp"
 #include "runtime/spmd.hpp"
 
 namespace pigp::core {
 
 struct Workspace;
 
-/// Run the full IGP/IGPR pipeline on \p machine.  The graph is replicated
-/// (the CM-5 implementation also kept the small meshes resident per node);
-/// partition ownership is round-robin: rank r owns partitions q with
-/// q % num_ranks == r.
+/// How the SPMD ranks run and talk: an executor owns the rank threads and
+/// hands each one a net::Transport.  The engine is written against this
+/// seam only, so swapping mailboxes for sockets changes no engine code.
+class SpmdExecutor {
+ public:
+  virtual ~SpmdExecutor() = default;
+  [[nodiscard]] virtual int num_ranks() const noexcept = 0;
+  /// Execute \p body once per rank; returns when all ranks finish.  A
+  /// rank's exception aborts the group and is rethrown (first by arrival).
+  virtual void run(const std::function<void(net::Transport&)>& body) = 0;
+};
+
+/// Ranks as threads over the runtime::Machine mailboxes — the bit-parity
+/// oracle and the default backend shape.
+class MachineExecutor final : public SpmdExecutor {
+ public:
+  explicit MachineExecutor(int num_ranks)
+      : owned_(std::make_unique<runtime::Machine>(num_ranks)),
+        machine_(owned_.get()) {}
+  /// Borrow an existing machine (the Machine& compatibility entry points).
+  explicit MachineExecutor(runtime::Machine& machine) : machine_(&machine) {}
+
+  [[nodiscard]] int num_ranks() const noexcept override {
+    return machine_->num_ranks();
+  }
+  void run(const std::function<void(net::Transport&)>& body) override {
+    machine_->run([&body](runtime::RankContext& ctx) {
+      net::InProcessTransport transport(ctx);
+      body(transport);
+    });
+  }
+
+ private:
+  std::unique_ptr<runtime::Machine> owned_;
+  runtime::Machine* machine_;
+};
+
+/// Ranks as threads speaking real TCP over loopback sockets — the whole
+/// wire path (framing, filter chain, socket timeouts) under one process.
+class TcpLoopbackExecutor final : public SpmdExecutor {
+ public:
+  explicit TcpLoopbackExecutor(int num_ranks, net::TcpOptions options = {})
+      : num_ranks_(num_ranks), options_(std::move(options)) {}
+
+  [[nodiscard]] int num_ranks() const noexcept override {
+    return num_ranks_;
+  }
+  void run(const std::function<void(net::Transport&)>& body) override {
+    net::run_tcp_loopback(num_ranks_, options_, body);
+  }
+
+ private:
+  int num_ranks_;
+  net::TcpOptions options_;
+};
+
+/// Run the full IGP/IGPR pipeline on \p executor's ranks.  The graph is
+/// replicated (the CM-5 implementation also kept the small meshes resident
+/// per node); partition ownership is round-robin: rank r owns partitions q
+/// with q % num_ranks == r.
 ///
 /// Boundary-local like the flat driver: each rank seeds its owned
 /// partitions' layering from the shared PartitionState's boundary index
@@ -41,6 +109,13 @@ struct Workspace;
 /// the caller and left describing the result; null = seeded internally
 /// with one O(V+E) rescan.
 [[nodiscard]] IgpResult spmd_repartition(
+    SpmdExecutor& executor, const graph::Graph& g_new,
+    const graph::Partitioning& old_partitioning, graph::VertexId n_old,
+    const IgpOptions& options = {}, graph::PartitionState* state = nullptr);
+
+/// Compatibility: run on a caller-owned Machine (wrapped in a
+/// MachineExecutor).
+[[nodiscard]] IgpResult spmd_repartition(
     runtime::Machine& machine, const graph::Graph& g_new,
     const graph::Partitioning& old_partitioning, graph::VertexId n_old,
     const IgpOptions& options = {}, graph::PartitionState* state = nullptr);
@@ -49,11 +124,18 @@ struct Workspace;
 /// IncrementalPartitioner::repartition_in_place: the pipeline runs in
 /// place on \p partitioning / \p state with the session's \p ws for the
 /// assignment step and one persistent Workspace per rank (\p rank_ws,
-/// resized to the machine's rank count) for the per-rank resumable
+/// resized to the executor's rank count) for the per-rank resumable
 /// layering and the gather/pack staging buffers — so a steady-state SPMD
 /// repartition reuses all per-vertex storage instead of reallocating it
 /// every call.  Decisions stay bit-identical to the flat driver.
 /// result.partitioning is left empty — the answer IS \p partitioning.
+[[nodiscard]] IgpResult spmd_repartition_in_place(
+    SpmdExecutor& executor, const graph::Graph& g_new,
+    graph::Partitioning& partitioning, graph::VertexId n_old,
+    const IgpOptions& options, graph::PartitionState& state, Workspace& ws,
+    std::vector<Workspace>& rank_ws);
+
+/// Compatibility: the in-place hot path on a caller-owned Machine.
 [[nodiscard]] IgpResult spmd_repartition_in_place(
     runtime::Machine& machine, const graph::Graph& g_new,
     graph::Partitioning& partitioning, graph::VertexId n_old,

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file error.hpp
+/// The transport layer's error type.
+///
+/// Everything that can go wrong between two ranks — truncated or malformed
+/// wire payloads, connect/retry budgets exhausted, send/recv timeouts, a
+/// peer closing its end mid-protocol — surfaces as one typed exception so
+/// callers can dispatch on "the wire failed" without parsing messages.
+/// TransportError derives from pigp::CheckError (like the whole API error
+/// taxonomy, see api/errors.hpp) so pre-existing catch sites keep working;
+/// api/errors.hpp re-exports it as pigp::TransportError.
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace pigp::net {
+
+/// A wire-protocol or socket failure: malformed/truncated payload bytes,
+/// connect retry budget exhausted, send/recv timeout, or peer shutdown.
+class TransportError : public CheckError {
+ public:
+  explicit TransportError(const std::string& what)
+      : CheckError("transport: " + what) {}
+};
+
+}  // namespace pigp::net

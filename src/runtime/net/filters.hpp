@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file filters.hpp
+/// Composable message filters between the SPMD driver and the wire.
+///
+/// A Filter transforms a packet's byte image on its way onto the wire
+/// (encode) and restores it exactly on the way off (decode); a chain of
+/// filters composes left-to-right on encode and right-to-left on decode.
+/// The frame header records the ids of the filters that were applied, so
+/// the receiving end decodes with exactly the sender's chain — the two
+/// processes only have to agree that the filters *exist* (the static
+/// registry below), not on a configured chain.
+///
+/// Contract: decode(encode(bytes)) == bytes for every byte vector.  The
+/// filters are pure and stateless, so a chain can be shared by every
+/// connection of a transport.  Malformed input to decode() throws
+/// net::TransportError (a corrupted frame must not crash the worker).
+///
+/// Built-in filters:
+///   * DeltaVarintFilter ("delta", id 1): walks the tagged packet stream
+///     and rewrites every integer vector (element size 4 or 8) as
+///     zigzag-varint-coded consecutive deltas.  Vertex-id vectors in this
+///     codebase are sorted or clustered (boundary seeds, selections,
+///     per-partition eps rows), so deltas are small and a multi-byte
+///     element usually shrinks to one byte.  The transform is bijective on
+///     arbitrary bit patterns (wrapping arithmetic), so it is safe even on
+///     vectors that are not sorted — they just may not shrink.
+///   * ZlibFilter ("zlib", id 2): DEFLATE over the whole byte image.
+///     Registered only when the library was built with zlib available
+///     (PIGP_HAVE_ZLIB); parse_filter_chain throws TransportError when a
+///     spec names it on a build without zlib.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/net/error.hpp"
+
+namespace pigp::net {
+
+/// One byte-stream transform; see the file comment for the contract.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  /// Stable wire id recorded in the frame header (1..255; 0 is reserved).
+  [[nodiscard]] virtual std::uint8_t id() const noexcept = 0;
+  /// Name used in filter-chain specs ("delta", "zlib").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::vector<std::uint8_t> encode(
+      std::vector<std::uint8_t> bytes) const = 0;
+  [[nodiscard]] virtual std::vector<std::uint8_t> decode(
+      std::vector<std::uint8_t> bytes) const = 0;
+};
+
+/// Filters applied in order on encode, reversed on decode.
+using FilterChain = std::vector<std::shared_ptr<const Filter>>;
+
+/// Look up a built-in filter by wire id; null when unknown (the receiver
+/// of a frame naming an unknown id must fail, not guess).
+[[nodiscard]] const Filter* find_filter(std::uint8_t id);
+
+/// Look up a built-in filter by spec name; null when unknown.
+[[nodiscard]] const Filter* find_filter(std::string_view name);
+
+/// Parse a comma-separated chain spec ("", "delta", "delta,zlib").
+/// Throws TransportError on an unknown name (including "zlib" on a build
+/// without zlib).
+[[nodiscard]] FilterChain parse_filter_chain(std::string_view spec);
+
+/// Apply every filter of \p chain in order.
+[[nodiscard]] std::vector<std::uint8_t> encode_through(
+    const FilterChain& chain, std::vector<std::uint8_t> bytes);
+
+/// Invert the chain recorded in a frame header: \p ids in application
+/// order, decoded in reverse.  Throws TransportError on unknown ids.
+[[nodiscard]] std::vector<std::uint8_t> decode_through(
+    const std::vector<std::uint8_t>& ids, std::vector<std::uint8_t> bytes);
+
+/// True when this build carries the zlib filter.
+[[nodiscard]] bool zlib_filter_available() noexcept;
+
+}  // namespace pigp::net

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file transport.hpp
+/// The pluggable SPMD transport interface.
+///
+/// Transport is the seam between the SPMD engine (core/spmd_igp,
+/// core/spmd_worker) and whatever moves packets between ranks.  The engine
+/// is written against this interface only; the two implementations are
+///
+///   * InProcessTransport (below): wraps one rank's RankContext of the
+///     thread-backed runtime::Machine.  This is the bit-parity oracle —
+///     its collectives delegate to the Machine's shared-memory versions,
+///     so reduction order and packet delivery order are exactly the
+///     pre-transport behavior.
+///   * TcpTransport (tcp_transport.hpp): length-prefixed frames over
+///     localhost/LAN sockets, one process per rank.
+///
+/// The base class provides the collectives as default implementations over
+/// point-to-point send/recv, with rank 0 as the hub.  The reduction is
+/// applied in rank order (acc = slot[0], then op(acc, slot[r]) for
+/// r = 1..n-1), matching runtime::Machine exactly so non-associative
+/// floating-point ops give bit-identical results on every transport.
+
+#include <functional>
+#include <vector>
+
+#include "runtime/net/packet.hpp"
+#include "runtime/spmd.hpp"
+
+namespace pigp::net {
+
+/// Abstract rank-to-rank message channel plus collectives; see file
+/// comment.  Implementations must deliver packets FIFO per (sender,
+/// receiver) pair.  All errors surface as TransportError.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int rank() const noexcept = 0;
+  [[nodiscard]] virtual int num_ranks() const noexcept = 0;
+
+  /// Point-to-point send (non-blocking; the packet is queued or written
+  /// out).  Sending to self is allowed and delivered via recv(rank()).
+  virtual void send(int to, Packet packet) = 0;
+
+  /// Blocking receive of the next packet from \p from (FIFO per sender).
+  [[nodiscard]] virtual Packet recv(int from) = 0;
+
+  /// Collective barrier; all ranks must call it.
+  virtual void barrier();
+
+  /// Collective: combine one double per rank with \p op in rank order
+  /// (deterministic for non-associative ops, matching runtime::Machine).
+  [[nodiscard]] virtual double allreduce(
+      double value, const std::function<double(double, double)>& op);
+
+  /// Collective: every rank receives the per-rank packets in rank order.
+  [[nodiscard]] virtual std::vector<Packet> allgather(Packet packet);
+
+  /// Collective: \p root's packet is delivered to all ranks (including
+  /// back to the root).
+  [[nodiscard]] virtual Packet broadcast(int root, Packet packet);
+};
+
+/// Transport over one rank of the thread-backed runtime::Machine.  The
+/// RankContext must outlive this wrapper (it lives on the Machine::run
+/// stack, so an InProcessTransport is created inside the SPMD body).
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(runtime::RankContext& ctx) : ctx_(ctx) {}
+
+  [[nodiscard]] int rank() const noexcept override { return ctx_.rank(); }
+  [[nodiscard]] int num_ranks() const noexcept override {
+    return ctx_.num_ranks();
+  }
+
+  void send(int to, Packet packet) override {
+    ctx_.send(to, std::move(packet));
+  }
+  [[nodiscard]] Packet recv(int from) override { return ctx_.recv(from); }
+
+  // Collectives delegate to the Machine's shared-memory implementations —
+  // this is what makes InProcessTransport the bit-parity oracle rather
+  // than merely an equivalent one.
+  void barrier() override { ctx_.barrier(); }
+  [[nodiscard]] double allreduce(
+      double value,
+      const std::function<double(double, double)>& op) override {
+    return ctx_.allreduce(value, op);
+  }
+  [[nodiscard]] std::vector<Packet> allgather(Packet packet) override {
+    return ctx_.allgather(std::move(packet));
+  }
+  [[nodiscard]] Packet broadcast(int root, Packet packet) override {
+    return ctx_.broadcast(root, std::move(packet));
+  }
+
+ private:
+  runtime::RankContext& ctx_;
+};
+
+}  // namespace pigp::net

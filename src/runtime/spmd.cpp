@@ -1,10 +1,19 @@
 #include "runtime/spmd.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <exception>
 #include <thread>
 
 namespace pigp::runtime {
+namespace {
+
+/// Internal unwind signal: a peer died and the machine aborted the run.
+/// Thrown out of recv/barrier to unwind a blocked rank's stack; the run()
+/// thread wrapper swallows it (the *peer's* exception is the real error).
+struct MachineAborted {};
+
+}  // namespace
 
 // ---------------------------------------------------------------- Machine
 
@@ -25,21 +34,75 @@ void Machine::run(const std::function<void(RankContext&)>& body) {
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_ranks_));
+  std::vector<int> arrival(static_cast<std::size_t>(num_ranks_), -1);
+  std::atomic<int> arrival_counter{0};
 
   for (int r = 0; r < num_ranks_; ++r) {
-    threads.emplace_back([this, r, &body, &errors]() {
-      RankContext ctx(this, r, num_ranks_);
-      try {
-        body(ctx);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-      }
-    });
+    threads.emplace_back(
+        [this, r, &body, &errors, &arrival, &arrival_counter]() {
+          RankContext ctx(this, r, num_ranks_);
+          try {
+            body(ctx);
+          } catch (const MachineAborted&) {
+            // Unwound by a peer's failure; not an error of this rank.
+          } catch (...) {
+            arrival[static_cast<std::size_t>(r)] =
+                arrival_counter.fetch_add(1);
+            errors[static_cast<std::size_t>(r)] = std::current_exception();
+            abort_all();
+          }
+        });
   }
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  if (aborted_.load(std::memory_order_acquire)) {
+    reset_after_abort();
+    // Rethrow the FIRST failure by arrival time: later errors are usually
+    // secondary (a peer observing the abort), not the root cause.
+    int first = -1;
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (!errors[static_cast<std::size_t>(r)]) continue;
+      if (first < 0 || arrival[static_cast<std::size_t>(r)] <
+                           arrival[static_cast<std::size_t>(first)]) {
+        first = r;
+      }
+    }
+    if (first >= 0) {
+      std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
+    }
   }
+}
+
+void Machine::abort_all() {
+  aborted_.store(true, std::memory_order_release);
+  for (const auto& box : mailboxes_) {
+    // Take the lock so a peer between its predicate check and its wait
+    // cannot miss the notification.
+    std::lock_guard lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void Machine::reset_after_abort() {
+  // Only aborted runs leave residue: queued packets from dead senders, a
+  // half-filled barrier count, stale collective slots.  Clean runs leave
+  // the machine empty by construction, and resetting unconditionally
+  // would be wasted work between back-to-back runs.
+  for (const auto& box : mailboxes_) {
+    std::lock_guard lock(box->mutex);
+    for (auto& queue : box->queues) queue.clear();
+  }
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_arrived_ = 0;
+  }
+  for (double& slot : reduce_slots_) slot = 0.0;
+  for (Packet& slot : gather_slots_) slot = Packet{};
+  aborted_.store(false, std::memory_order_release);
 }
 
 void Machine::send(int from, int to, Packet packet) {
@@ -57,7 +120,10 @@ Packet Machine::recv(int self, int from) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock lock(box.mutex);
   auto& queue = box.queues[static_cast<std::size_t>(from)];
-  box.cv.wait(lock, [&queue]() { return !queue.empty(); });
+  box.cv.wait(lock, [this, &queue]() {
+    return !queue.empty() || aborted_.load(std::memory_order_acquire);
+  });
+  if (queue.empty()) throw MachineAborted{};
   Packet packet = std::move(queue.front());
   queue.pop_front();
   return packet;
@@ -65,6 +131,7 @@ Packet Machine::recv(int self, int from) {
 
 void Machine::barrier_wait() {
   std::unique_lock lock(barrier_mutex_);
+  if (aborted_.load(std::memory_order_acquire)) throw MachineAborted{};
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
     barrier_arrived_ = 0;
@@ -72,8 +139,10 @@ void Machine::barrier_wait() {
     barrier_cv_.notify_all();
   } else {
     barrier_cv_.wait(lock, [this, generation]() {
-      return barrier_generation_ != generation;
+      return barrier_generation_ != generation ||
+             aborted_.load(std::memory_order_acquire);
     });
+    if (barrier_generation_ == generation) throw MachineAborted{};
   }
 }
 

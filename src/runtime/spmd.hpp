@@ -11,71 +11,25 @@
 /// written against this interface, so the communication structure of the
 /// parallel algorithm is exercised even though no real network exists.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "runtime/net/packet.hpp"
 #include "support/check.hpp"
 
 namespace pigp::runtime {
 
-/// Wire format: untyped byte packets plus pack/unpack helpers for trivially
-/// copyable values and vectors of them.
-class Packet {
- public:
-  Packet() = default;
-
-  template <typename T>
-  void pack(const T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
-    data_.insert(data_.end(), bytes, bytes + sizeof(T));
-  }
-
-  template <typename T>
-  void pack_vector(const std::vector<T>& values) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    pack(static_cast<std::uint64_t>(values.size()));
-    if (values.empty()) return;  // data() may be null for empty vectors
-    const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
-    data_.insert(data_.end(), bytes, bytes + sizeof(T) * values.size());
-  }
-
-  template <typename T>
-  [[nodiscard]] T unpack() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    PIGP_CHECK(cursor_ + sizeof(T) <= data_.size(), "packet underrun");
-    T value;
-    std::memcpy(&value, data_.data() + cursor_, sizeof(T));
-    cursor_ += sizeof(T);
-    return value;
-  }
-
-  template <typename T>
-  [[nodiscard]] std::vector<T> unpack_vector() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto count = static_cast<std::size_t>(unpack<std::uint64_t>());
-    PIGP_CHECK(cursor_ + sizeof(T) * count <= data_.size(), "packet underrun");
-    std::vector<T> values(count);
-    if (count == 0) return values;  // data() may be null for empty vectors
-    std::memcpy(values.data(), data_.data() + cursor_, sizeof(T) * count);
-    cursor_ += sizeof(T) * count;
-    return values;
-  }
-
-  [[nodiscard]] std::size_t size_bytes() const noexcept {
-    return data_.size();
-  }
-
- private:
-  std::vector<std::uint8_t> data_;
-  std::size_t cursor_ = 0;
-};
+/// The SPMD wire format now lives in runtime/net/packet.hpp as a tagged,
+/// bounds-checked stream (net::Packet); the thread-backed machine and the
+/// socket transports move the same type, which is what lets a filter chain
+/// and a TCP wire slide under an unchanged SPMD engine.
+using Packet = net::Packet;
 
 class Machine;
 
@@ -123,9 +77,12 @@ class Machine {
 
   [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
 
-  /// Execute \p body on every rank; returns when all ranks finish.  The
-  /// first exception thrown by any rank is rethrown (remaining ranks are
-  /// still joined, so deadlock-free bodies are required).
+  /// Execute \p body on every rank; returns when all ranks finish.  If a
+  /// rank throws, the machine aborts the run: peers blocked in recv or in
+  /// a collective are released (they unwind internally, not by a
+  /// user-visible exception), every rank is joined, the machine's
+  /// mailboxes and barrier are reset, and the first exception *by arrival
+  /// time* is rethrown.  The machine remains usable for further runs.
   void run(const std::function<void(RankContext&)>& body);
 
  private:
@@ -141,9 +98,15 @@ class Machine {
   void send(int from, int to, Packet packet);
   Packet recv(int self, int from);
   void barrier_wait();
+  void abort_all();
+  void reset_after_abort();
 
   int num_ranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Set when a rank dies mid-run; wakes every blocked peer so run() can
+  // join instead of deadlocking on a half-completed collective.
+  std::atomic<bool> aborted_{false};
 
   // Central barrier (sense-reversing).
   std::mutex barrier_mutex_;

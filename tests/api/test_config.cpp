@@ -154,6 +154,29 @@ TEST(SessionConfigResolve, RejectsEachInvalidFieldNamingIt) {
   bad = valid_config();
   bad.async_queue_capacity = 0;
   expect_rejection(bad, "async_queue_capacity");
+
+  bad = valid_config();
+  bad.spmd_transport = "carrier-pigeon";
+  expect_rejection(bad, "spmd_transport");
+
+  bad = valid_config();
+  bad.spmd_wire_filters = "nonsense";
+  expect_rejection(bad, "spmd_wire_filters");
+
+  bad = valid_config();
+  bad.spmd_timeout_ms = 0;
+  expect_rejection(bad, "spmd_timeout_ms");
+}
+
+TEST(SessionConfigResolve, KeepsTheTransportFields) {
+  SessionConfig config = valid_config();
+  config.spmd_transport = "tcp";
+  config.spmd_wire_filters = "delta";
+  config.spmd_timeout_ms = 5000;
+  const ResolvedConfig resolved = config.resolve();
+  EXPECT_EQ(resolved.session.spmd_transport, "tcp");
+  EXPECT_EQ(resolved.session.spmd_wire_filters, "delta");
+  EXPECT_EQ(resolved.session.spmd_timeout_ms, 5000);
 }
 
 TEST(SessionConfigResolve, KeepsTheAsyncQueueCapacity) {

@@ -131,6 +131,63 @@ TEST(Spmd, ExceptionInOneRankPropagates) {
                std::runtime_error);
 }
 
+// Regression: a rank dying mid-collective used to leave its peers parked
+// forever in barrier/allgather/recv; the abort protocol must wake them,
+// swallow their abort unwinds, and rethrow the real exception.
+TEST(Spmd, ThrowingRankReleasesPeersBlockedInBarrier) {
+  Machine machine(4);
+  EXPECT_THROW(machine.run([](RankContext& ctx) {
+    if (ctx.rank() == 3) throw std::runtime_error("rank 3 died");
+    ctx.barrier();  // would deadlock without abort propagation
+  }),
+               std::runtime_error);
+}
+
+TEST(Spmd, ThrowingRankReleasesPeersBlockedInAllgather) {
+  Machine machine(4);
+  EXPECT_THROW(machine.run([](RankContext& ctx) {
+    if (ctx.rank() == 2) throw std::runtime_error("rank 2 died");
+    Packet p;
+    p.pack(ctx.rank());
+    for (;;) (void)ctx.allgather(Packet(p));
+  }),
+               std::runtime_error);
+}
+
+TEST(Spmd, ThrowingRankReleasesPeersBlockedInRecv) {
+  Machine machine(3);
+  EXPECT_THROW(machine.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) throw std::runtime_error("rank 0 died");
+    (void)ctx.recv(0);  // rank 0 never sends
+  }),
+               std::runtime_error);
+}
+
+TEST(Spmd, MachineReusableAfterAbort) {
+  Machine machine(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(machine.run([](RankContext& ctx) {
+      if (ctx.rank() == 1) throw std::runtime_error("boom");
+      ctx.barrier();
+    }),
+                 std::runtime_error);
+    // The abort reset must leave no stale queue entries, barrier counts,
+    // or reduce slots behind.
+    machine.run([](RankContext& ctx) {
+      const double s =
+          ctx.allreduce(1.0, [](double a, double b) { return a + b; });
+      EXPECT_DOUBLE_EQ(s, 4.0);
+      Packet p;
+      p.pack(ctx.rank());
+      auto all = ctx.allgather(std::move(p));
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].unpack<int>(), r);
+      }
+    });
+  }
+}
+
 TEST(Spmd, ReusableAcrossRuns) {
   Machine machine(4);
   for (int round = 0; round < 3; ++round) {
