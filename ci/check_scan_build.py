@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Gate the Clang static analyzer (scan-build / analyze-build) on a
+committed baseline.
+
+analyze-build writes one plist per diagnosed translation unit into the
+results directory.  This script collects every diagnostic as
+(checker, src-rooted path, description), compares against the baseline
+file, and fails on anything new — so the analyzer job is a ratchet: the
+baseline can only shrink.  Baseline entries are matched without line
+numbers (unrelated edits move lines); an unmatched baseline entry is a
+warning prompting cleanup.
+
+Baseline format, one finding per line:
+
+    <checker-id> <path-suffix>  # justification (required)
+
+Usage: check_scan_build.py <results-dir> <baseline-file>
+Exit codes: 0 clean, 1 new findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import os
+import plistlib
+import sys
+
+
+def src_rooted(path):
+    """Normalize an absolute analyzer path to a repo-relative suffix."""
+    path = path.replace("\\", "/")
+    for anchor in ("/src/", "/tests/", "/bench/", "/examples/"):
+        idx = path.rfind(anchor)
+        if idx >= 0:
+            return path[idx + 1 :]
+    return os.path.basename(path)
+
+
+def collect_findings(results_dir):
+    findings = []
+    for root, _dirs, names in os.walk(results_dir):
+        for name in sorted(names):
+            if not name.endswith(".plist"):
+                continue
+            with open(os.path.join(root, name), "rb") as fh:
+                try:
+                    data = plistlib.load(fh)
+                except Exception as exc:
+                    print(f"check_scan_build: unreadable plist {name}: {exc}",
+                          file=sys.stderr)
+                    return None
+            files = data.get("files", [])
+            for diag in data.get("diagnostics", []):
+                file_index = diag.get("location", {}).get("file", 0)
+                path = files[file_index] if file_index < len(files) else "?"
+                findings.append(
+                    (
+                        diag.get("check_name")
+                        or diag.get("type", "unknown-checker"),
+                        src_rooted(path),
+                        diag.get("location", {}).get("line", 0),
+                        diag.get("description", ""),
+                    )
+                )
+    return findings
+
+
+def load_baseline(path):
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if "#" not in stripped:
+                raise SystemExit(
+                    f"{path}:{lineno}: baseline entry without a "
+                    "justification comment ('# why')"
+                )
+            entry = stripped.split("#", 1)[0].split()
+            if len(entry) != 2:
+                raise SystemExit(
+                    f"{path}:{lineno}: expected '<checker-id> <path-suffix> "
+                    f"# why', got: {stripped}"
+                )
+            entries.append((entry[0], entry[1].replace("\\", "/"), lineno))
+    return entries
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results_dir, baseline_path = argv
+    if not os.path.isdir(results_dir):
+        # analyze-build only creates the directory when it has something to
+        # report with some output modes; no directory means a clean run.
+        print("check_scan_build: no results directory — analyzer clean")
+        return 0
+
+    findings = collect_findings(results_dir)
+    if findings is None:
+        return 2
+    baseline = load_baseline(baseline_path)
+
+    used = set()
+    new = []
+    for checker, path, line, description in findings:
+        match = next(
+            (
+                b
+                for b in baseline
+                if b[0] == checker and path.endswith(b[1])
+            ),
+            None,
+        )
+        if match:
+            used.add(match)
+        else:
+            new.append((checker, path, line, description))
+
+    for b in baseline:
+        if b not in used:
+            print(
+                f"warning: baseline entry '{b[0]} {b[1]}' (line {b[2]}) no "
+                "longer matches anything — retire it?",
+                file=sys.stderr,
+            )
+
+    if new:
+        for checker, path, line, description in new:
+            print(f"{path}:{line}: [{checker}] {description}")
+        print(
+            f"check_scan_build: {len(new)} new analyzer finding(s). Fix "
+            "them or add a justified entry to ci/scan_baseline.txt.",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check_scan_build: clean "
+        f"({len(findings)} finding(s), all baselined)"
+        if findings
+        else "check_scan_build: clean (0 findings)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

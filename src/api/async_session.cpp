@@ -106,13 +106,12 @@ void AsyncSession::flush() {
 }
 
 void AsyncSession::close() {
-  std::lock_guard lock(close_mutex_);
-  if (closed_) return;
-  closed_ = true;
-  ingest_queue_.close();
-  if (ingest_done_.valid()) ingest_done_.get();
-  if (repartition_done_.valid()) repartition_done_.get();
-  pool_.reset();
+  std::call_once(close_once_, [this] {
+    ingest_queue_.close();
+    if (ingest_done_.valid()) ingest_done_.get();
+    if (repartition_done_.valid()) repartition_done_.get();
+    pool_.reset();
+  });
 }
 
 AsyncStats AsyncSession::stats() const {
@@ -335,12 +334,12 @@ void AsyncSession::repartition_loop() {
 // ------------------------------------------------------------------ errors
 
 void AsyncSession::record_error(std::exception_ptr error) {
-  std::lock_guard lock(error_mutex_);
+  sync::MutexLock lock(error_mutex_);
   if (!first_error_) first_error_ = std::move(error);
 }
 
 std::exception_ptr AsyncSession::first_error() const {
-  std::lock_guard lock(error_mutex_);
+  sync::MutexLock lock(error_mutex_);
   return first_error_;
 }
 

@@ -58,7 +58,7 @@
 #include <exception>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag/call_once only; locks live in runtime/sync.hpp
 #include <optional>
 
 #include "api/config.hpp"
@@ -70,6 +70,7 @@
 #include "graph/partition.hpp"
 #include "graph/partition_state.hpp"
 #include "runtime/delta_queue.hpp"
+#include "runtime/sync.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pigp {
@@ -220,8 +221,8 @@ class AsyncSession {
   bool job_in_flight_ = false;
   Job spare_job_;  ///< recycled snapshot buffers
 
-  mutable std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  mutable sync::Mutex error_mutex_;
+  std::exception_ptr first_error_ PIGP_GUARDED_BY(error_mutex_);
 
   std::atomic<std::int64_t> deltas_submitted_{0};
   std::atomic<std::int64_t> deltas_absorbed_{0};
@@ -232,8 +233,11 @@ class AsyncSession {
   std::atomic<std::int64_t> commits_discarded_{0};
   std::atomic<std::int64_t> rebalance_failures_{0};
 
-  std::mutex close_mutex_;
-  bool closed_ = false;
+  /// Joining must not happen under a capability (the project linter's
+  /// blocking-under-lock rule); call_once still blocks concurrent closers
+  /// until the winning close() finishes, which is the semantics close()
+  /// documents.
+  std::once_flag close_once_;
   /// Pool declared last so members outlive the threads if close() was
   /// never reached; close() joins through these futures.
   std::future<void> ingest_done_;

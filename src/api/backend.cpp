@@ -232,17 +232,17 @@ void BackendRegistry::add(std::string name, BackendFactory factory) {
   if (factory == nullptr) {
     throw ConfigError("backend factory must not be null");
   }
-  const std::scoped_lock lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   factories_[std::move(name)] = std::move(factory);
 }
 
 bool BackendRegistry::contains(std::string_view name) const {
-  const std::scoped_lock lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   return factories_.find(name) != factories_.end();
 }
 
 std::vector<std::string> BackendRegistry::names() const {
-  const std::scoped_lock lock(mutex_);
+  const sync::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);
@@ -253,7 +253,7 @@ std::unique_ptr<Backend> BackendRegistry::create(
     std::string_view name, const ResolvedConfig& config) const {
   BackendFactory factory;
   {
-    const std::scoped_lock lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     const auto it = factories_.find(name);
     if (it != factories_.end()) factory = it->second;
   }

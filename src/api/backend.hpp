@@ -15,7 +15,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +24,7 @@
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "graph/partition_state.hpp"
+#include "runtime/sync.hpp"
 
 namespace pigp {
 
@@ -103,22 +103,28 @@ class BackendRegistry {
   static BackendRegistry& global();
 
   /// Register (or replace) a factory under \p name.
-  void add(std::string name, BackendFactory factory);
+  void add(std::string name, BackendFactory factory)
+      PIGP_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const
+      PIGP_EXCLUDES(mutex_);
 
   /// Registered names in sorted order.
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const
+      PIGP_EXCLUDES(mutex_);
 
   /// Instantiate the backend registered under \p name.  Throws
   /// pigp::UnknownBackendError carrying the known names when \p name is
-  /// unknown.
+  /// unknown.  The factory itself runs outside the lock, so a factory may
+  /// re-enter the registry.
   [[nodiscard]] std::unique_ptr<Backend> create(
-      std::string_view name, const ResolvedConfig& config) const;
+      std::string_view name, const ResolvedConfig& config) const
+      PIGP_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, BackendFactory, std::less<>> factories_;
+  mutable sync::Mutex mutex_;
+  std::map<std::string, BackendFactory, std::less<>> factories_
+      PIGP_GUARDED_BY(mutex_);
 };
 
 /// Partition \p g from scratch with \p config.session.scratch_method

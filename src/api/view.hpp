@@ -46,11 +46,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "graph/partition.hpp"
 #include "graph/partition_state.hpp"
+#include "runtime/sync.hpp"
 #include "support/check.hpp"
 
 namespace pigp {
@@ -78,6 +78,7 @@ class PartitionView {
   }
 
   /// Wait-free point lookup: a bounds check and an array load.
+  // pigp:steady-state
   [[nodiscard]] graph::PartId part_of(graph::VertexId v) const {
     PIGP_CHECK(v >= 0 && static_cast<std::size_t>(v) < part_.size(),
                "PartitionView::part_of: vertex out of range");
@@ -120,7 +121,7 @@ class ViewChannel {
   void publish(std::shared_ptr<const PartitionView> view) {
     const std::uint64_t epoch = view->epoch();
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       view_ = std::move(view);
     }
     epoch_.store(epoch, std::memory_order_release);
@@ -129,21 +130,23 @@ class ViewChannel {
   /// Latest published snapshot (never null once the owning session has
   /// published its initial epoch).  Safe from any thread; the lock covers
   /// one shared_ptr copy.
+  // pigp:steady-state
   [[nodiscard]] std::shared_ptr<const PartitionView> acquire() const {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return view_;
   }
 
   /// Epoch of the latest published snapshot — one relaxed atomic load,
   /// lock-free, for cheap change polling.  May briefly lag acquire()
   /// during a publish; it never runs ahead of it.
+  // pigp:steady-state
   [[nodiscard]] std::uint64_t epoch() const noexcept {
     return epoch_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const PartitionView> view_;
+  mutable sync::Mutex mutex_;
+  std::shared_ptr<const PartitionView> view_ PIGP_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> epoch_{0};
 };
 

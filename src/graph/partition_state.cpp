@@ -71,6 +71,7 @@ void PartitionState::rebuild(const Graph& g, const Partitioning& p) {
   }
 }
 
+// pigp:steady-state
 void PartitionState::move_vertex(const Graph& g, Partitioning& p, VertexId v,
                                  PartId to) {
   const PartId from = p.part[static_cast<std::size_t>(v)];
@@ -292,6 +293,7 @@ PartitionMetrics PartitionState::snapshot() const {
   return m;
 }
 
+// pigp:steady-state
 PartitionSummary PartitionState::summary() const {
   PIGP_CHECK(num_parts_ >= 1, "summary of an empty PartitionState");
   PartitionSummary s;

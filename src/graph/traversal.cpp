@@ -66,6 +66,17 @@ NearestSourceResult nearest_source_labels(
   }
 
   std::vector<VertexId> next;
+  // Lock-free claim array — the only concurrency in this function, so it
+  // is documented rather than capability-annotated (runtime/sync.hpp has
+  // no vocabulary for phase-based ownership):
+  //   * within pass 1, threads race only on claimed[v]; the relaxed CAS
+  //     just elects one winner per vertex, and the winner publishes v
+  //     through its thread-private `local` list, not through shared state;
+  //   * result.distance/.label are read-only in pass 1 and written in
+  //     pass 2 only for vertices of `next` (disjoint per iteration);
+  //   * the happens-before edge between the passes — and between levels —
+  //     is the implicit barrier at the end of each omp parallel region,
+  //     which is why relaxed ordering on the CAS suffices.
   std::vector<std::atomic<std::uint8_t>> claimed(static_cast<std::size_t>(n));
   std::int32_t level = 0;
   const bool parallel = num_threads > 1 && n > 2048;

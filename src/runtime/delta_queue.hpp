@@ -12,19 +12,21 @@
 /// popping until the queue is empty and only then see "closed".
 ///
 /// Mutex + two condition variables; every operation is safe from any
-/// number of producer and consumer threads.  This is deliberately not a
-/// lock-free queue: items are whole GraphDeltas (microseconds of work
-/// each), so queue synchronization is noise — the lock-free structure in
-/// this subsystem is the read side (api/view.hpp), where per-lookup cost
-/// actually matters.
+/// number of producer and consumer threads, and the lock discipline is
+/// compile-checked: every shared field is PIGP_GUARDED_BY(mutex_) and the
+/// dequeue helper is PIGP_REQUIRES(mutex_), so Clang proves no access
+/// escapes the lock.  This is deliberately not a lock-free queue: items
+/// are whole GraphDeltas (microseconds of work each), so queue
+/// synchronization is noise — the lock-free structure in this subsystem is
+/// the read side (api/view.hpp), where per-lookup cost actually matters.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "runtime/sync.hpp"
 
 namespace pigp::runtime {
 
@@ -42,13 +44,13 @@ class BoundedQueue {
   /// Block until there is room (backpressure), then enqueue.  Returns
   /// false — without enqueuing — when the queue is (or becomes) closed.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
-    lock.unlock();
+    {
+      sync::MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -57,7 +59,7 @@ class BoundedQueue {
   /// (\p item is left untouched so the caller can retry or drop it).
   bool try_push(T& item) {
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > high_watermark_) high_watermark_ = items_.size();
@@ -70,32 +72,55 @@ class BoundedQueue {
   /// only when the queue is closed AND drained — items enqueued before
   /// close() are always delivered.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    return pop_locked(lock);
+    std::optional<T> item;
+    {
+      sync::MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
+      item = pop_locked();
+      if (!item) return std::nullopt;  // closed and drained
+    }
+    not_full_.notify_one();
+    return item;
   }
 
   /// pop() with a deadline: additionally returns nullopt when \p timeout
   /// elapses with the queue still empty (and not closed).  Lets a consumer
   /// multiplex this queue with another completion channel.
   std::optional<T> pop_for(std::chrono::microseconds timeout) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return closed_ || !items_.empty(); });
-    return pop_locked(lock);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> item;
+    {
+      sync::MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) {
+        if (not_empty_.wait_until(mutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      item = pop_locked();
+      if (!item) return std::nullopt;  // timeout, or closed and drained
+    }
+    not_full_.notify_one();
+    return item;
   }
 
   /// Dequeue only if an item is available right now.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
-    return pop_locked(lock);
+    std::optional<T> item;
+    {
+      sync::MutexLock lock(mutex_);
+      item = pop_locked();
+      if (!item) return std::nullopt;
+    }
+    not_full_.notify_one();
+    return item;
   }
 
   /// Refuse all future pushes and wake every waiter.  Consumers drain the
   /// remaining items, then see nullopt.  Idempotent.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -103,12 +128,12 @@ class BoundedQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -116,27 +141,28 @@ class BoundedQueue {
 
   /// Largest size ever reached — how close the stream came to blocking.
   [[nodiscard]] std::size_t high_watermark() const {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return high_watermark_;
   }
 
  private:
-  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+  /// Dequeue the head if there is one.  Callers notify not_full_ after
+  /// releasing the lock (never while holding it — the woken producer would
+  /// just collide with the still-held mutex).
+  std::optional<T> pop_locked() PIGP_REQUIRES(mutex_) {
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
     return item;
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::size_t high_watermark_ = 0;
-  bool closed_ = false;
+  mutable sync::Mutex mutex_;
+  sync::CondVar not_full_;
+  sync::CondVar not_empty_;
+  std::deque<T> items_ PIGP_GUARDED_BY(mutex_);
+  std::size_t high_watermark_ PIGP_GUARDED_BY(mutex_) = 0;
+  bool closed_ PIGP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pigp::runtime

@@ -11,10 +11,11 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
+#include <system_error>
 #include <thread>
+
+#include "runtime/sync.hpp"
 
 namespace pigp::net {
 namespace {
@@ -26,7 +27,10 @@ constexpr std::uint8_t kFrameVersion = 1;
 constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 40;
 
 [[noreturn]] void throw_errno(const std::string& what, int err) {
-  throw TransportError(what + ": " + std::strerror(err));
+  // generic_category().message instead of strerror: rank threads can fail
+  // concurrently, and strerror's shared buffer is not thread-safe
+  // (clang-tidy concurrency-mt-unsafe).
+  throw TransportError(what + ": " + std::generic_category().message(err));
 }
 
 void set_socket_timeouts(int fd, const TcpOptions& options) {
@@ -58,8 +62,11 @@ sockaddr_in resolve(const TcpEndpoint& endpoint) {
   const int rc = ::getaddrinfo(endpoint.host.c_str(), nullptr, &hints,
                                &result);
   if (rc != 0 || result == nullptr) {
-    throw TransportError("cannot resolve host \"" + endpoint.host +
-                         "\": " + ::gai_strerror(rc));
+    // glibc's gai_strerror returns pointers into a static table of
+    // constant strings, which is MT-safe in practice; POSIX does not
+    // guarantee it, hence the suppression.
+    throw TransportError("cannot resolve host \"" + endpoint.host + "\": " +
+                         ::gai_strerror(rc));  // NOLINT(concurrency-mt-unsafe)
   }
   addr.sin_addr =
       reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
@@ -389,7 +396,7 @@ class LocalBarrier {
   explicit LocalBarrier(int n) : n_(n) {}
 
   void wait() {
-    std::unique_lock lock(mutex_);
+    sync::MutexLock lock(mutex_);
     if (aborted_) {
       throw TransportError("peer rank failed during a collective");
     }
@@ -400,9 +407,7 @@ class LocalBarrier {
       cv_.notify_all();
       return;
     }
-    cv_.wait(lock, [this, generation]() {
-      return generation_ != generation || aborted_;
-    });
+    while (generation_ == generation && !aborted_) cv_.wait(mutex_);
     if (generation_ == generation && aborted_) {
       throw TransportError("peer rank failed during a collective");
     }
@@ -410,19 +415,19 @@ class LocalBarrier {
 
   void abort() {
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       aborted_ = true;
     }
     cv_.notify_all();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  sync::Mutex mutex_;
+  sync::CondVar cv_;
   int n_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
-  bool aborted_ = false;
+  int arrived_ PIGP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ PIGP_GUARDED_BY(mutex_) = 0;
+  bool aborted_ PIGP_GUARDED_BY(mutex_) = false;
 };
 
 /// Decorator for the loopback executor: every collective additionally

@@ -78,11 +78,11 @@ void Machine::abort_all() {
   for (const auto& box : mailboxes_) {
     // Take the lock so a peer between its predicate check and its wait
     // cannot miss the notification.
-    std::lock_guard lock(box->mutex);
+    sync::MutexLock lock(box->mutex);
     box->cv.notify_all();
   }
   {
-    std::lock_guard lock(barrier_mutex_);
+    sync::MutexLock lock(barrier_mutex_);
     barrier_cv_.notify_all();
   }
 }
@@ -93,11 +93,11 @@ void Machine::reset_after_abort() {
   // the machine empty by construction, and resetting unconditionally
   // would be wasted work between back-to-back runs.
   for (const auto& box : mailboxes_) {
-    std::lock_guard lock(box->mutex);
+    sync::MutexLock lock(box->mutex);
     for (auto& queue : box->queues) queue.clear();
   }
   {
-    std::lock_guard lock(barrier_mutex_);
+    sync::MutexLock lock(barrier_mutex_);
     barrier_arrived_ = 0;
   }
   for (double& slot : reduce_slots_) slot = 0.0;
@@ -109,7 +109,7 @@ void Machine::send(int from, int to, Packet packet) {
   PIGP_CHECK(to >= 0 && to < num_ranks_, "destination rank out of range");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
   {
-    std::lock_guard lock(box.mutex);
+    sync::MutexLock lock(box.mutex);
     box.queues[static_cast<std::size_t>(from)].push_back(std::move(packet));
   }
   box.cv.notify_all();
@@ -118,11 +118,11 @@ void Machine::send(int from, int to, Packet packet) {
 Packet Machine::recv(int self, int from) {
   PIGP_CHECK(from >= 0 && from < num_ranks_, "source rank out of range");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
-  std::unique_lock lock(box.mutex);
+  sync::MutexLock lock(box.mutex);
   auto& queue = box.queues[static_cast<std::size_t>(from)];
-  box.cv.wait(lock, [this, &queue]() {
-    return !queue.empty() || aborted_.load(std::memory_order_acquire);
-  });
+  while (queue.empty() && !aborted_.load(std::memory_order_acquire)) {
+    box.cv.wait(box.mutex);
+  }
   if (queue.empty()) throw MachineAborted{};
   Packet packet = std::move(queue.front());
   queue.pop_front();
@@ -130,7 +130,7 @@ Packet Machine::recv(int self, int from) {
 }
 
 void Machine::barrier_wait() {
-  std::unique_lock lock(barrier_mutex_);
+  sync::MutexLock lock(barrier_mutex_);
   if (aborted_.load(std::memory_order_acquire)) throw MachineAborted{};
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
@@ -138,10 +138,10 @@ void Machine::barrier_wait() {
     ++barrier_generation_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [this, generation]() {
-      return barrier_generation_ != generation ||
-             aborted_.load(std::memory_order_acquire);
-    });
+    while (barrier_generation_ == generation &&
+           !aborted_.load(std::memory_order_acquire)) {
+      barrier_cv_.wait(barrier_mutex_);
+    }
     if (barrier_generation_ == generation) throw MachineAborted{};
   }
 }

@@ -12,15 +12,14 @@
 /// parallel algorithm is exercised even though no real network exists.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "runtime/net/packet.hpp"
+#include "runtime/sync.hpp"
 #include "support/check.hpp"
 
 namespace pigp::runtime {
@@ -89,10 +88,10 @@ class Machine {
   friend class RankContext;
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
+    sync::Mutex mutex;
+    sync::CondVar cv;
     // queues[sender] is the FIFO of packets from that sender.
-    std::vector<std::deque<Packet>> queues;
+    std::vector<std::deque<Packet>> queues PIGP_GUARDED_BY(mutex);
   };
 
   void send(int from, int to, Packet packet);
@@ -109,12 +108,16 @@ class Machine {
   std::atomic<bool> aborted_{false};
 
   // Central barrier (sense-reversing).
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_arrived_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  sync::Mutex barrier_mutex_;
+  sync::CondVar barrier_cv_;
+  int barrier_arrived_ PIGP_GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_generation_ PIGP_GUARDED_BY(barrier_mutex_) = 0;
 
-  // Scratch for collectives; guarded by the barrier protocol.
+  // Scratch for collectives.  Deliberately NOT guarded by a mutex: rank r
+  // writes only slot r strictly before a barrier and every rank reads
+  // strictly after it, so the barrier protocol itself is the
+  // happens-before edge (the annotations cannot express phase-based
+  // ownership; TSan still checks it dynamically).
   std::vector<double> reduce_slots_;
   std::vector<Packet> gather_slots_;
 };

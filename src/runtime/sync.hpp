@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file sync.hpp
+/// Annotated synchronization primitives — the only place in the library
+/// allowed to name std::mutex / std::condition_variable.
+///
+/// Every lock in the runtime is a pigp::sync::Mutex and every wait is a
+/// pigp::sync::CondVar so that Clang's thread-safety analysis
+/// (-Wthread-safety, a compile-time capability system in the Abseil
+/// GUARDED_BY tradition) can prove the lock discipline instead of TSan
+/// having to catch violations dynamically:
+///
+///   * a field annotated PIGP_GUARDED_BY(m) cannot be touched unless m is
+///     held on every path to the access;
+///   * a helper annotated PIGP_REQUIRES(m) cannot be called without m;
+///   * MutexLock is a scoped capability, so forgetting to unlock — or
+///     unlocking twice — is a compile error, not a deadlock in production.
+///
+/// Under GCC/MSVC all annotations expand to nothing and the wrappers are
+/// zero-cost inline forwards to the std primitives, so non-Clang builds
+/// are bit-identical to the pre-annotation code.  The clang CI jobs build
+/// with -Wthread-safety -Werror; the project linter (ci/lint_invariants.py)
+/// rejects raw std::mutex/std::condition_variable anywhere else in src/,
+/// so new concurrent code cannot opt out by accident.
+///
+/// House rules the annotations cannot express (and the linter enforces):
+/// no std::atomic<std::shared_ptr> (libstdc++ synchronizes it through a
+/// spin-lock bit TSan cannot see through — use a mutex-guarded handoff as
+/// api/view.hpp does), and no blocking queue/transport call while holding
+/// a capability.
+///
+/// Analysis caveat baked into the API: Clang checks lambda bodies as
+/// separate unannotated functions, so a wait *predicate* lambda touching
+/// guarded state would warn.  CondVar therefore exposes plain wait /
+/// wait_until and callers write the predicate loop explicitly in the
+/// annotated function:
+///
+///   sync::MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);   // ready_ is GUARDED_BY(mutex_)
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Thread-safety attributes are a Clang extension; other compilers see
+// no-ops.  (The SWIG guard mirrors Abseil: wrapper generators choke on
+// attributes.)
+#if defined(__clang__) && !defined(SWIG)
+#define PIGP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PIGP_THREAD_ANNOTATION_(x)
+#endif
+
+/// A type whose instances are capabilities ("mutex" names the kind in
+/// diagnostics).
+#define PIGP_CAPABILITY(x) PIGP_THREAD_ANNOTATION_(capability(x))
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define PIGP_SCOPED_CAPABILITY PIGP_THREAD_ANNOTATION_(scoped_lockable)
+/// Field access requires the given capability to be held.
+#define PIGP_GUARDED_BY(x) PIGP_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee access requires the given capability to be held.
+#define PIGP_PT_GUARDED_BY(x) PIGP_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Callers must hold the listed capabilities (the "_locked helper"
+/// contract).
+#define PIGP_REQUIRES(...) \
+  PIGP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define PIGP_REQUIRES_SHARED(...) \
+  PIGP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/// The function acquires the listed capabilities (held on return).
+#define PIGP_ACQUIRE(...) \
+  PIGP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// The function releases the listed capabilities.
+#define PIGP_RELEASE(...) \
+  PIGP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// The function acquires the capability iff it returns the given value.
+#define PIGP_TRY_ACQUIRE(...) \
+  PIGP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Callers must NOT hold the listed capabilities (deadlock prevention for
+/// functions that take them internally).
+#define PIGP_EXCLUDES(...) PIGP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// The function returns a reference to the given capability.
+#define PIGP_RETURN_CAPABILITY(x) PIGP_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch — document why next to every use.
+#define PIGP_NO_THREAD_SAFETY_ANALYSIS \
+  PIGP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace pigp::sync {
+
+/// Annotated std::mutex.  Prefer MutexLock over manual lock()/unlock().
+class PIGP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PIGP_ACQUIRE() { m_.lock(); }
+  void unlock() PIGP_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() PIGP_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// Scoped capability: acquires the mutex for exactly the enclosing scope.
+class PIGP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) PIGP_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() PIGP_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Annotated condition variable.  wait() requires (and documents) the
+/// mutex it atomically releases; there are no predicate overloads — write
+/// the loop in the annotated caller (see the file comment).
+///
+/// Implementation note: std::condition_variable::wait needs a
+/// std::unique_lock, so wait() adopts the already-held native mutex and
+/// releases the adoption again on every exit path — native performance, no
+/// condition_variable_any indirection.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release \p m, sleep, reacquire.  Spurious wakeups happen;
+  /// callers loop on their predicate.
+  void wait(Mutex& m) PIGP_REQUIRES(m) {
+    std::unique_lock<std::mutex> adopted(m.m_, std::adopt_lock);
+    const Reattach reattach{adopted};
+    cv_.wait(adopted);
+  }
+
+  /// wait() with a deadline; returns cv_status::timeout once \p deadline
+  /// has passed (the mutex is reacquired either way).
+  std::cv_status wait_until(Mutex& m,
+                            std::chrono::steady_clock::time_point deadline)
+      PIGP_REQUIRES(m) {
+    std::unique_lock<std::mutex> adopted(m.m_, std::adopt_lock);
+    const Reattach reattach{adopted};
+    return cv_.wait_until(adopted, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  /// Hands ownership of the adopted native mutex back before the
+  /// unique_lock dies, on normal return and on unwind alike — the caller's
+  /// MutexLock remains the one true owner.
+  struct Reattach {
+    std::unique_lock<std::mutex>& lock;
+    ~Reattach() { lock.release(); }
+  };
+
+  std::condition_variable cv_;
+};
+
+}  // namespace pigp::sync

@@ -9,13 +9,13 @@
 /// per-task work is large and structured (per-partition layering, rank
 /// bodies).
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/sync.hpp"
 
 namespace pigp::runtime {
 
@@ -45,7 +45,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -59,10 +59,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  sync::Mutex mutex_;
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ PIGP_GUARDED_BY(mutex_);
+  bool stopping_ PIGP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pigp::runtime

@@ -1,0 +1,26 @@
+// Negative-compile seed for the thread-safety harness: writing a
+// PIGP_GUARDED_BY field without holding its mutex.  tests/static registers
+// this translation unit with WILL_FAIL under
+// `clang -fsyntax-only -Wthread-safety -Werror`; if it ever starts
+// compiling, the annotation gate has rotted.
+#include "runtime/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // Touches value_ with mutex_ not held: -Wthread-safety must reject this.
+  void increment() { ++value_; }
+
+ private:
+  pigp::sync::Mutex mutex_;
+  int value_ PIGP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return 0;
+}

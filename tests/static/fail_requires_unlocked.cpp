@@ -1,0 +1,26 @@
+// Negative-compile seed for the thread-safety harness: calling a
+// PIGP_REQUIRES helper without holding the required mutex.  Registered with
+// WILL_FAIL under `clang -fsyntax-only -Wthread-safety -Werror`.
+#include "runtime/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // Calls the _locked helper with mutex_ not held: must be rejected.
+  void unsafe_increment() { increment_locked(); }
+
+ private:
+  void increment_locked() PIGP_REQUIRES(mutex_) { ++value_; }
+
+  pigp::sync::Mutex mutex_;
+  int value_ PIGP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.unsafe_increment();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Linter seed: std::atomic<std::shared_ptr> — the documented ViewChannel
+// hazard (libstdc++ backs it with a spin-lock bit TSan cannot see
+// through).  Driven via `ci/lint_invariants.py --must-find
+// atomic-shared-ptr`.
+#include <atomic>
+#include <memory>
+
+namespace seed {
+
+std::atomic<std::shared_ptr<int>> cell;
+
+}  // namespace seed

@@ -1,0 +1,19 @@
+// Linter seed: a blocking BoundedQueue call made while holding a
+// sync::MutexLock.  Driven via `ci/lint_invariants.py --must-find
+// blocking-under-lock`.
+#include "runtime/delta_queue.hpp"
+#include "runtime/sync.hpp"
+
+namespace seed {
+
+struct Relay {
+  pigp::sync::Mutex mutex_;
+  pigp::runtime::BoundedQueue<int> queue_{8};
+
+  void bad() {
+    pigp::sync::MutexLock lock(mutex_);
+    queue_.push(1);  // blocks while a capability is held
+  }
+};
+
+}  // namespace seed

@@ -1,0 +1,13 @@
+// Linter seed: raw std::mutex / std::lock_guard outside runtime/sync.hpp.
+// tests/static runs `ci/lint_invariants.py --must-find raw-sync` on this
+// file; the same file also drives the suppression-path test (see
+// suppress_raw_sync.txt).
+#include <mutex>
+
+namespace seed {
+
+std::mutex raw_mutex;
+
+inline void touch() { const std::lock_guard<std::mutex> lock(raw_mutex); }
+
+}  // namespace seed

@@ -1,0 +1,11 @@
+// Linter seed: an explicit allocation inside a function carrying the
+// `// pigp:steady-state` contract comment.  Driven via
+// `ci/lint_invariants.py --must-find steady-state-alloc`.
+#include <memory>
+
+namespace seed {
+
+// pigp:steady-state
+inline std::unique_ptr<int> make_box() { return std::make_unique<int>(42); }
+
+}  // namespace seed

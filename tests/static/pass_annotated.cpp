@@ -1,0 +1,48 @@
+// Positive control for the thread-safety harness: idiomatic use of the
+// annotated primitives — MutexLock scopes, a REQUIRES helper called under
+// the lock, and an explicit CondVar predicate loop (the house style; see
+// runtime/sync.hpp for why predicate lambdas are banned).  Must compile
+// cleanly under `clang -fsyntax-only -Wthread-safety -Werror`; if this
+// fails, the negative seeds above prove nothing.
+#include "runtime/sync.hpp"
+
+namespace {
+
+class Slot {
+ public:
+  void put(int value) {
+    {
+      pigp::sync::MutexLock lock(mutex_);
+      store_locked(value);
+    }
+    filled_.notify_one();  // notify outside the critical section
+  }
+
+  int take() {
+    pigp::sync::MutexLock lock(mutex_);
+    while (!full_) {
+      filled_.wait(mutex_);
+    }
+    full_ = false;
+    return value_;
+  }
+
+ private:
+  void store_locked(int value) PIGP_REQUIRES(mutex_) {
+    value_ = value;
+    full_ = true;
+  }
+
+  pigp::sync::Mutex mutex_;
+  pigp::sync::CondVar filled_;
+  int value_ PIGP_GUARDED_BY(mutex_) = 0;
+  bool full_ PIGP_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Slot slot;
+  slot.put(7);
+  return slot.take() == 7 ? 0 : 1;
+}
