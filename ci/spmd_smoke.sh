@@ -2,10 +2,23 @@
 # Two-process localhost SPMD smoke: one pigp_spmd_worker OS process per
 # rank over real TCP sockets must (a) balance, (b) produce a partition
 # byte-identical to the in-process run of the same protocol, and (c) hold
-# only a strict fraction of the graph's adjacency per rank.
+# only a strict fraction of the graph's adjacency per rank.  A final
+# kill-a-worker scenario asserts the failure domain: when a peer rank dies,
+# the surviving rank must exit promptly with a typed transport error — it
+# must never hang.
+#
+# The whole script re-executes itself under an overall `timeout` guard so a
+# regression that *does* hang fails CI with a timeout instead of stalling
+# the job, and an EXIT trap kills any background worker still running.
 #
 # Usage: spmd_smoke.sh [path/to/pigp_spmd_worker]
 set -euo pipefail
+
+OVERALL_TIMEOUT_S=300
+if [[ -z "${SPMD_SMOKE_GUARDED:-}" ]] && command -v timeout >/dev/null; then
+  exec env SPMD_SMOKE_GUARDED=1 timeout --kill-after=10 \
+    "$OVERALL_TIMEOUT_S" "$0" "$@"
+fi
 
 BIN=${1:-build/examples/pigp_spmd_worker}
 PARTS=8
@@ -13,7 +26,16 @@ N=4000
 SEED=9
 
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+cleanup() {
+  # Kill any worker still running (e.g. a peer orphaned by a failure in
+  # the foreground rank) before removing the scratch directory.
+  local pids
+  pids=$(jobs -p)
+  [[ -n "$pids" ]] && kill $pids 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
 
 "$BIN" generate "$tmp/g.metis" "$N" "$SEED"
 
@@ -49,3 +71,38 @@ for log in "$tmp/rank0.log" "$tmp/rank1.log"; do
   ' "$log"
 done
 echo "OK: per-rank shards are strict fractions of the graph"
+
+# ---- kill-a-worker: the surviving rank must fail promptly and typed ----
+#
+# Fresh ports (the previous listeners may linger in TIME_WAIT).  Rank 1 is
+# started and then killed outright; rank 0 — the survivor — must give up
+# within its connect budget with a transport error on stderr, not hang in
+# the mesh handshake.  The mesh is connect-to-lower/accept-from-higher, so
+# the dead rank 1 leaves rank 0 waiting in accept; a regression that loses
+# the accept timeout would hang here (and trip the overall guard).
+k0=$((p0 + 2))
+k1=$((p0 + 3))
+kill_endpoints="127.0.0.1:${k0},127.0.0.1:${k1}"
+
+"$BIN" worker "$tmp/g.metis" 1 "$PARTS" "$kill_endpoints" \
+  > "$tmp/kill_rank1.log" 2>&1 &
+victim_pid=$!
+sleep 0.2          # let it bind and enter its connect-retry loop
+kill -9 "$victim_pid" 2>/dev/null
+wait "$victim_pid" 2>/dev/null || true
+
+survivor_rc=0
+"$BIN" worker "$tmp/g.metis" 0 "$PARTS" "$kill_endpoints" \
+  --timeout-ms=2000 --connect-timeout-ms=2000 \
+  > "$tmp/kill_rank0.log" 2>&1 || survivor_rc=$?
+
+cat "$tmp/kill_rank0.log"
+if [[ "$survivor_rc" -eq 0 ]]; then
+  echo "FAIL: surviving rank exited 0 after its peer was killed"
+  exit 1
+fi
+if ! grep -q "pigp_spmd_worker: transport: " "$tmp/kill_rank0.log"; then
+  echo "FAIL: surviving rank did not surface a typed transport error"
+  exit 1
+fi
+echo "OK: killed worker surfaced a prompt typed error on the survivor"

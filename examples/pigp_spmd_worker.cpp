@@ -15,6 +15,8 @@
 //       Options: --filters=delta[,zlib]  wire filter chain
 //                --skew=K                initial key-range imbalance (def 1)
 //                --timeout-ms=T          send/recv timeout (default 30000)
+//                --connect-timeout-ms=T  mesh-establishment budget
+//                                        (default 10000)
 //                --out=PATH              partition output (rank 0)
 //
 //   pigp_spmd_worker inprocess <graph.metis> <ranks> <parts> [options]
@@ -81,6 +83,7 @@ struct Flags {
   std::string out;
   double skew = 1.0;
   int timeout_ms = 30000;
+  int connect_timeout_ms = 10000;
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -96,6 +99,8 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.skew = std::stod(value("--skew="));
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       flags.timeout_ms = std::stoi(value("--timeout-ms="));
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      flags.connect_timeout_ms = std::stoi(value("--connect-timeout-ms="));
     } else if (arg.rfind("--out=", 0) == 0) {
       flags.out = value("--out=");
     } else {
@@ -163,6 +168,7 @@ int run_worker(int argc, char** argv) {
   tcp.filters = flags.filters;
   tcp.send_timeout_ms = flags.timeout_ms;
   tcp.recv_timeout_ms = flags.timeout_ms;
+  tcp.connect_timeout_ms = flags.connect_timeout_ms;
   net::TcpTransport transport(rank, endpoints, tcp);
 
   runtime::WallTimer timer;
@@ -267,7 +273,7 @@ int main(int argc, char** argv) {
               << "  pigp_spmd_worker generate <out.metis> [n] [seed]\n"
               << "  pigp_spmd_worker worker <graph.metis> <rank> <parts> "
                  "<host:port,...> [--filters=F] [--skew=K] "
-                 "[--timeout-ms=T] [--out=PATH]\n"
+                 "[--timeout-ms=T] [--connect-timeout-ms=T] [--out=PATH]\n"
               << "  pigp_spmd_worker inprocess <graph.metis> <ranks> "
                  "<parts> [--skew=K] [--out=PATH]\n"
               << "  pigp_spmd_worker            (loopback demo)\n";

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "api/backend.hpp"
@@ -27,6 +28,18 @@ std::size_t validated_queue_capacity(const SessionConfig& config) {
       config.resolve().session.async_queue_capacity);
 }
 
+/// Human-readable what() of a stored exception, for the health ledger.
+std::string describe(const std::exception_ptr& error) {
+  if (error == nullptr) return {};
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 AsyncSession::AsyncSession(const SessionConfig& config, graph::Graph g,
@@ -37,6 +50,10 @@ AsyncSession::AsyncSession(const SessionConfig& config, graph::Graph g,
       commit_queue_(1) {
   const ResolvedConfig resolved = config.resolve();
   rear_backend_ = BackendRegistry::global().create(config.backend, resolved);
+  if (config.failure_policy == FailurePolicy::degrade) {
+    fallback_backend_ = BackendRegistry::global().create(
+        config.fallback_backend, resolved);
+  }
   front_.emplace(defused(config), std::move(g), std::move(p));
   start();
 }
@@ -48,6 +65,10 @@ AsyncSession::AsyncSession(const SessionConfig& config, graph::Graph g)
       commit_queue_(1) {
   const ResolvedConfig resolved = config.resolve();
   rear_backend_ = BackendRegistry::global().create(config.backend, resolved);
+  if (config.failure_policy == FailurePolicy::degrade) {
+    fallback_backend_ = BackendRegistry::global().create(
+        config.fallback_backend, resolved);
+  }
   front_.emplace(defused(config), std::move(g));
   start();
 }
@@ -128,8 +149,29 @@ AsyncStats AsyncSession::stats() const {
       commits_discarded_.load(std::memory_order_relaxed);
   out.rebalance_failures =
       rebalance_failures_.load(std::memory_order_relaxed);
+  out.rebalance_fallbacks =
+      rebalance_fallbacks_.load(std::memory_order_relaxed);
   out.queue_high_watermark = ingest_queue_.high_watermark();
   return out;
+}
+
+AsyncHealth AsyncSession::health() const {
+  AsyncHealth out;
+  out.fallbacks_committed =
+      rebalance_fallbacks_.load(std::memory_order_relaxed);
+  out.rebalance_failures =
+      rebalance_failures_.load(std::memory_order_relaxed);
+  const sync::MutexLock lock(error_mutex_);
+  out.consecutive_failures = consecutive_failures_;
+  out.last_error = last_error_;
+  out.degraded = degraded_;
+  out.error_latched = first_error_ != nullptr;
+  return out;
+}
+
+void AsyncSession::clear_error() {
+  const sync::MutexLock lock(error_mutex_);
+  first_error_ = nullptr;
 }
 
 // ----------------------------------------------------------- ingest thread
@@ -265,11 +307,14 @@ void AsyncSession::dispatch_job() {
 void AsyncSession::handle_commit(Commit commit) {
   job_in_flight_ = false;
   if (!commit.success) {
-    // Backend failure: the live session was never touched (the snapshot
-    // absorbed the damage).  Surface the error, restore the pending
-    // counters, and do NOT retry immediately — a broken backend would
-    // spin; the next absorbed delta re-evaluates the policy.
+    // Tick lost: the primary failed and there was no fallback (or it
+    // failed too).  The live session was never touched (the snapshot
+    // absorbed the damage).  Latch the error, note it in the ledger,
+    // restore the pending counters, and do NOT retry immediately — a
+    // broken backend would spin; the next absorbed delta re-evaluates the
+    // policy.
     rebalance_failures_.fetch_add(1, std::memory_order_relaxed);
+    note_tick_failure(commit.error);
     record_error(commit.error);
     pending_updates_ += commit.job.pending_updates;
     pending_vertex_changes_ += commit.job.pending_vertex_changes;
@@ -287,6 +332,14 @@ void AsyncSession::handle_commit(Commit commit) {
     // placement until the next round.
     front_->adopt_rebalance(commit.job.partitioning);
     rebalances_committed_.fetch_add(1, std::memory_order_relaxed);
+    if (commit.used_fallback) {
+      // Degraded tick: published, readers got a fresh epoch, but the
+      // primary did fail — the ledger records it without latching.
+      rebalance_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      note_tick_degraded(commit.error);
+    } else {
+      note_tick_success();
+    }
     publish_view();
   }
   const bool failed = !commit.success;
@@ -298,13 +351,24 @@ void AsyncSession::handle_commit(Commit commit) {
 
 void AsyncSession::repartition_loop() {
   std::uint64_t seen_remap_tag = 0;
+  const bool degrade = fallback_backend_ != nullptr;
   while (std::optional<Job> job = job_queue_.pop()) {
     Commit commit;
     if (job->remap_tag != seen_remap_tag) {
       // A removal delta compacted the id space since the last snapshot we
       // processed: the pooled layering/epoch buffers address stale ids.
       rear_ws_.invalidate_vertex_ids();
+      fallback_ws_.invalidate_vertex_ids();
       seen_remap_tag = job->remap_tag;
+    }
+    // Entry-assignment snapshot for the fallback restore: a primary that
+    // dies mid-run leaves the job's partitioning/state half-mutated.
+    // Pooled, so at steady state this is one memcpy per tick — and only
+    // under FailurePolicy::degrade.
+    const graph::PartId entry_parts = job->partitioning.num_parts;
+    if (degrade) {
+      fallback_rollback_.assign(job->partitioning.part.begin(),
+                                job->partitioning.part.end());
     }
     try {
       // Pure rebalance tick: the snapshot is fully placed (the ingest
@@ -323,6 +387,32 @@ void AsyncSession::repartition_loop() {
     } catch (...) {
       commit.success = false;
       commit.error = std::current_exception();
+      if (degrade) {
+        try {
+          // Graceful degradation: restore the tick's entry assignment,
+          // rebuild the snapshot state over it (the error path is the one
+          // place that rescan is acceptable), and re-run locally so
+          // readers still get a fresh epoch.  The commit keeps the
+          // primary's error for the ledger.
+          job->partitioning.num_parts = entry_parts;
+          job->partitioning.part.assign(fallback_rollback_.begin(),
+                                        fallback_rollback_.end());
+          job->state.rebuild(job->graph, job->partitioning);
+          BackendResult fb = fallback_backend_->repartition(
+              job->graph, job->partitioning, job->graph.num_vertices(),
+              job->state, fallback_ws_);
+          if (!fb.state_maintained) {
+            job->partitioning = std::move(fb.partitioning);
+          }
+          commit.success = true;
+          commit.used_fallback = true;
+        } catch (...) {
+          // Even the local fallback failed — the tick is lost; report the
+          // primary's error (the root cause) and let fail-fast handling
+          // latch it.
+          commit.success = false;
+        }
+      }
     }
     commit.job = std::move(*job);
     // false only when the ingest thread already shut the mailbox; the
@@ -347,6 +437,30 @@ void AsyncSession::rethrow_if_error() const {
   if (std::exception_ptr error = first_error()) {
     std::rethrow_exception(error);
   }
+}
+
+void AsyncSession::note_tick_success() {
+  const sync::MutexLock lock(error_mutex_);
+  consecutive_failures_ = 0;
+  degraded_ = false;
+}
+
+void AsyncSession::note_tick_degraded(const std::exception_ptr& error) {
+  // describe() before taking the lock: rethrowing under a capability
+  // would be blocking-adjacent work the lock does not need.
+  std::string what = describe(error);
+  const sync::MutexLock lock(error_mutex_);
+  ++consecutive_failures_;
+  degraded_ = true;
+  last_error_ = std::move(what);
+}
+
+void AsyncSession::note_tick_failure(const std::exception_ptr& error) {
+  std::string what = describe(error);
+  const sync::MutexLock lock(error_mutex_);
+  ++consecutive_failures_;
+  degraded_ = false;
+  last_error_ = std::move(what);
 }
 
 }  // namespace pigp

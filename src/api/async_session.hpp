@@ -48,10 +48,25 @@
 /// waits for the in-flight rebalance, and joins both threads without
 /// forcing a final rebalance.
 ///
-/// Errors: an invalid delta is rejected by the ingest session before any
-/// mutation, skipped, and the first such error is rethrown from the next
-/// submit()/flush(); backend failures leave the live session untouched
-/// (the failed snapshot is simply dropped) and are likewise recorded.
+/// Errors & failure policy: an invalid delta is rejected by the ingest
+/// session before any mutation, skipped, and the first such error is
+/// rethrown from the next submit()/flush().  Backend failures leave the
+/// live session untouched — the failed snapshot absorbed the damage — and
+/// what happens next is config.failure_policy's call:
+///
+///   * fail_fast (default): the error is latched sticky and the next
+///     submit()/flush() rethrows it.  clear_error() is the explicit way
+///     back once the operator trusts the transport again.
+///   * degrade: the repartition thread restores the snapshot's entry state
+///     and re-runs the tick on the local config.fallback_backend, so
+///     readers keep receiving fresh rebalanced epochs while the remote
+///     group is down.  The failure is recorded in the health() ledger
+///     (consecutive failures, fallback count, last error) instead of
+///     latched; only a tick that fails *even on the fallback* latches.
+///
+/// Retry happens below this layer: the "spmd" backend itself re-attempts
+/// retryable transport errors under SessionConfig.rebalance_retry_*, so a
+/// tick that reaches the failure policy has already spent its budget.
 
 #include <atomic>
 #include <cstdint>
@@ -60,6 +75,8 @@
 #include <memory>
 #include <mutex>  // std::once_flag/call_once only; locks live in runtime/sync.hpp
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "api/config.hpp"
 #include "api/session.hpp"
@@ -87,8 +104,36 @@ struct AsyncStats {
   /// between snapshot and commit.
   std::int64_t commits_discarded = 0;
   std::int64_t rebalance_failures = 0;  ///< backend threw on a snapshot
+  /// Committed rebalances that went through the degrade fallback backend
+  /// (a subset of rebalances_committed).
+  std::int64_t rebalance_fallbacks = 0;
   /// Fullest the ingest queue ever got (capacity hit => producers blocked).
   std::size_t queue_high_watermark = 0;
+};
+
+/// Failure-domain ledger of one AsyncSession, readable from any thread
+/// (see AsyncSession::health).  The started == committed + discarded +
+/// failures identity over AsyncStats still holds under faults; this adds
+/// the recovery-side view of the same events.
+struct AsyncHealth {
+  /// Primary-backend failures since the last primary-backend success.
+  /// A fallback commit does not reset it — the primary is still failing —
+  /// so a monitor can alert on "degraded for N consecutive ticks".
+  std::int64_t consecutive_failures = 0;
+  /// Ticks published via config.fallback_backend (== stats().rebalance_fallbacks).
+  std::int64_t fallbacks_committed = 0;
+  /// Ticks lost entirely: no fallback configured, or it failed too
+  /// (== stats().rebalance_failures).
+  std::int64_t rebalance_failures = 0;
+  /// what() of the most recent rebalance failure; empty = none yet.
+  /// Not cleared by later successes — it answers "what was the last
+  /// thing that went wrong", not "is something wrong now".
+  std::string last_error;
+  /// True while the most recently completed tick needed the fallback.
+  bool degraded = false;
+  /// True when an error is latched sticky (submit()/flush() will rethrow;
+  /// clear_error() recovers).
+  bool error_latched = false;
 };
 
 /// Concurrent ingest/serve wrapper around a synchronous Session.
@@ -154,6 +199,18 @@ class AsyncSession {
 
   [[nodiscard]] AsyncStats stats() const;
 
+  /// The failure-domain ledger: consecutive primary failures, fallback
+  /// commits, the last error text, and whether an error is latched.
+  [[nodiscard]] AsyncHealth health() const PIGP_EXCLUDES(error_mutex_);
+
+  /// Explicit recovery from a latched error: drop it so submit()/flush()
+  /// work again.  The live session and the published view are always
+  /// consistent (failed ticks never touch them), but the *caller* asserts
+  /// the cause — dead peers, a rejected delta stream — has been dealt
+  /// with.  Ledger counters are not reset (they are history, not state).
+  /// A no-op when nothing is latched.
+  void clear_error() PIGP_EXCLUDES(error_mutex_);
+
  private:
   /// One queue entry: a delta to absorb, or a flush barrier ticket.
   struct IngestItem {
@@ -181,7 +238,12 @@ class AsyncSession {
   struct Commit {
     Job job;
     bool success = false;
-    std::exception_ptr error;  ///< set when !success
+    /// The primary backend's failure — set whenever the primary threw,
+    /// including when the degrade fallback then succeeded (success true,
+    /// used_fallback true): the ledger wants the cause either way.
+    std::exception_ptr error;
+    /// True when `job` carries the fallback backend's result.
+    bool used_fallback = false;
   };
 
   void start();
@@ -193,9 +255,17 @@ class AsyncSession {
   [[nodiscard]] bool rebalance_due() const;
   void dispatch_job();
   void handle_commit(Commit commit);
-  void record_error(std::exception_ptr error);
-  [[nodiscard]] std::exception_ptr first_error() const;
+  void record_error(std::exception_ptr error) PIGP_EXCLUDES(error_mutex_);
+  [[nodiscard]] std::exception_ptr first_error() const
+      PIGP_EXCLUDES(error_mutex_);
   void rethrow_if_error() const;
+  /// Ledger writers (ingest thread, from handle_commit): a completed tick
+  /// succeeded on the primary / published via the fallback / was lost.
+  void note_tick_success() PIGP_EXCLUDES(error_mutex_);
+  void note_tick_degraded(const std::exception_ptr& error)
+      PIGP_EXCLUDES(error_mutex_);
+  void note_tick_failure(const std::exception_ptr& error)
+      PIGP_EXCLUDES(error_mutex_);
 
   SessionConfig config_;
   /// The live single-threaded core, confined to the ingest thread after
@@ -206,6 +276,13 @@ class AsyncSession {
   /// (never shared with front_'s).
   std::unique_ptr<Backend> rear_backend_;
   core::Workspace rear_ws_;
+  /// FailurePolicy::degrade only: the local backend re-running a failed
+  /// tick, with its own pooled workspace and the entry-assignment snapshot
+  /// the restore needs (the primary may die mid-run).  All three are
+  /// repartition-thread-only after construction.
+  std::unique_ptr<Backend> fallback_backend_;
+  core::Workspace fallback_ws_;
+  std::vector<graph::PartId> fallback_rollback_;
 
   ViewChannel channel_;
   std::uint64_t next_epoch_ = 0;
@@ -223,6 +300,11 @@ class AsyncSession {
 
   mutable sync::Mutex error_mutex_;
   std::exception_ptr first_error_ PIGP_GUARDED_BY(error_mutex_);
+  // Health-ledger fields (written by the ingest thread via note_tick_*,
+  // read by health() from any thread).
+  std::int64_t consecutive_failures_ PIGP_GUARDED_BY(error_mutex_) = 0;
+  std::string last_error_ PIGP_GUARDED_BY(error_mutex_);
+  bool degraded_ PIGP_GUARDED_BY(error_mutex_) = false;
 
   std::atomic<std::int64_t> deltas_submitted_{0};
   std::atomic<std::int64_t> deltas_absorbed_{0};
@@ -232,6 +314,7 @@ class AsyncSession {
   std::atomic<std::int64_t> rebalances_committed_{0};
   std::atomic<std::int64_t> commits_discarded_{0};
   std::atomic<std::int64_t> rebalance_failures_{0};
+  std::atomic<std::int64_t> rebalance_fallbacks_{0};
 
   /// Joining must not happen under a capability (the project linter's
   /// blocking-under-lock rule); call_once still blocks concurrent closers

@@ -1,15 +1,20 @@
 #include "api/backend.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "api/errors.hpp"
+#include "core/assign.hpp"
 #include "core/multilevel.hpp"
 #include "core/spmd_igp.hpp"
 #include "core/workspace.hpp"
 #include "graph/partition.hpp"
+#include "runtime/net/fault_transport.hpp"
 #include "runtime/spmd.hpp"
 #include "runtime/timer.hpp"
 #include "spectral/kernighan_lin.hpp"
@@ -92,9 +97,25 @@ class MultilevelBackend final : public Backend {
 /// picks the carrier: "in_process" is the Machine-mailbox oracle, "tcp"
 /// runs the same ranks over real loopback sockets with the configured
 /// filter chain and timeouts — decisions are bit-identical either way.
+///
+/// This is the one backend that talks to a network, so it also owns the
+/// failure-domain machinery: config.spmd_fault_spec wraps every rank's
+/// transport in a chaos injector, and a *retryable* TransportError (see
+/// net::FaultClass) is retried up to rebalance_retry_limit times with
+/// exponential backoff under rebalance_retry_deadline_ms.  Each retry
+/// first restores the tick's entry snapshot — partitioning back to the
+/// pre-tick assignment, the same step-1 extension a fresh call computes,
+/// a state rebuild, and full-reset rank workspaces — so a retried tick is
+/// bit-identical to a fault-free one.  Fatal errors and exhausted budgets
+/// propagate to the caller (the Session latches them, sticky).
 class SpmdBackend final : public Backend {
  public:
-  explicit SpmdBackend(const ResolvedConfig& config) : options_(config.igp) {
+  explicit SpmdBackend(const ResolvedConfig& config)
+      : options_(config.igp),
+        assign_(config.assign),
+        retry_limit_(config.session.rebalance_retry_limit),
+        retry_backoff_ms_(config.session.rebalance_retry_backoff_ms),
+        retry_deadline_ms_(config.session.rebalance_retry_deadline_ms) {
     if (config.session.spmd_transport == "tcp") {
       net::TcpOptions tcp;
       tcp.send_timeout_ms = config.session.spmd_timeout_ms;
@@ -106,6 +127,12 @@ class SpmdBackend final : public Backend {
       executor_ =
           std::make_unique<core::MachineExecutor>(config.session.spmd_ranks);
     }
+    const std::shared_ptr<net::FaultScript> script =
+        net::parse_fault_script(config.session.spmd_fault_spec);
+    if (script != nullptr) {
+      chaos_ = std::make_unique<core::FaultInjectingExecutor>(*executor_,
+                                                              script);
+    }
   }
 
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -116,11 +143,20 @@ class SpmdBackend final : public Backend {
       const graph::Graph& g_new, const graph::Partitioning& old_partitioning,
       graph::VertexId n_old) override {
     const runtime::WallTimer timer;
-    BackendResult out = from_igp_result(
-        core::spmd_repartition(*executor_, g_new, old_partitioning, n_old,
-                               options_));
-    out.timings.total = timer.seconds();
-    return out;
+    RetryBudget budget = make_budget();
+    for (;;) {
+      try {
+        // This overload mutates no caller state (the engine copies the old
+        // partitioning and seeds its own state), so retry is a plain
+        // re-invocation.
+        BackendResult out = from_igp_result(core::spmd_repartition(
+            executor(), g_new, old_partitioning, n_old, options_));
+        out.timings.total = timer.seconds();
+        return out;
+      } catch (const net::TransportError& e) {
+        if (!backoff_or_give_up(e, budget)) throw;
+      }
+    }
   }
 
   [[nodiscard]] BackendResult repartition(
@@ -134,24 +170,104 @@ class SpmdBackend final : public Backend {
       for (core::Workspace& rank : rank_ws_) rank.invalidate_vertex_ids();
       seen_remap_generation_ = ws.remap_generation;
     }
-    BackendResult out = from_igp_result(
-        core::spmd_repartition_in_place(*executor_, g_new, partitioning,
-                                        n_old, options_, state, ws,
-                                        rank_ws_));
-    out.timings.total = timer.seconds();
-    out.state_maintained = true;
-    return out;
+    RetryBudget budget = make_budget();
+    // Entry snapshot: a failed attempt leaves partitioning/state mid-run,
+    // so each retry rebuilds the exact entry conditions from this copy.
+    // Only taken when retry is enabled — the pooled buffer reuses its
+    // capacity, so the steady-state cost is one O(n_old) memcpy per tick.
+    const bool may_retry = retry_limit_ > 0;
+    const graph::PartId entry_parts = partitioning.num_parts;
+    if (may_retry) {
+      rollback_part_.assign(partitioning.part.begin(),
+                            partitioning.part.end());
+    }
+    graph::VertexId n = n_old;
+    for (;;) {
+      try {
+        BackendResult out = from_igp_result(core::spmd_repartition_in_place(
+            executor(), g_new, partitioning, n, options_, state, ws,
+            rank_ws_));
+        out.timings.total = timer.seconds();
+        out.state_maintained = true;
+        return out;
+      } catch (const net::TransportError& e) {
+        // Aborted rank threads leave the persistent per-rank layerings
+        // mid-stage; full-reset them whether or not we retry.
+        for (core::Workspace& rank : rank_ws_) rank.invalidate_vertex_ids();
+        if (!may_retry || !backoff_or_give_up(e, budget)) throw;
+        // Restore the entry snapshot: the pre-tick assignment over
+        // [0, n_old), extended by the same step-1 placement a fresh call
+        // computes (extend_assignment ≡ extend_assignment_state, pinned
+        // by tests/core/test_assign.cpp), then a state rebuild.  The
+        // retried engine run therefore starts from bit-identical input;
+        // passing n = |V| just makes its own step 1 a no-op.
+        graph::Partitioning entry;
+        entry.num_parts = entry_parts;
+        entry.part.assign(rollback_part_.begin(), rollback_part_.end());
+        partitioning =
+            core::extend_assignment(g_new, entry, n_old, assign_);
+        state.rebuild(g_new, partitioning);
+        n = g_new.num_vertices();
+      }
+    }
   }
 
   void trim_memory() override {
     for (core::Workspace& rank : rank_ws_) rank.release_memory();
+    rollback_part_.clear();
+    rollback_part_.shrink_to_fit();
   }
 
  private:
+  struct RetryBudget {
+    int attempts_left = 0;
+    int backoff_ms = 0;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  [[nodiscard]] RetryBudget make_budget() const {
+    RetryBudget budget;
+    budget.attempts_left = retry_limit_;
+    budget.backoff_ms = retry_backoff_ms_;
+    budget.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(retry_deadline_ms_);
+    return budget;
+  }
+
+  /// True = sleep the (deadline-clamped, doubling) backoff and retry;
+  /// false = the error is fatal or the budget is spent, let it surface.
+  [[nodiscard]] static bool backoff_or_give_up(const net::TransportError& e,
+                                               RetryBudget& budget) {
+    if (!e.retryable() || budget.attempts_left <= 0) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= budget.deadline) return false;
+    --budget.attempts_left;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            budget.deadline - now);
+    std::this_thread::sleep_for(
+        std::min(std::chrono::milliseconds(budget.backoff_ms), remaining));
+    budget.backoff_ms = std::min(budget.backoff_ms * 2, 60'000);
+    return true;
+  }
+
+  [[nodiscard]] core::SpmdExecutor& executor() noexcept {
+    return chaos_ != nullptr ? static_cast<core::SpmdExecutor&>(*chaos_)
+                             : *executor_;
+  }
+
   core::IgpOptions options_;
+  core::AssignOptions assign_;
+  int retry_limit_;
+  int retry_backoff_ms_;
+  int retry_deadline_ms_;
   std::unique_ptr<core::SpmdExecutor> executor_;
+  /// Present only when config.spmd_fault_spec is set; decorates executor_.
+  std::unique_ptr<core::FaultInjectingExecutor> chaos_;
   /// Persistent per-rank workspaces (resumable layering + pack buffers).
   std::vector<core::Workspace> rank_ws_;
+  /// Pooled pre-tick assignment snapshot for the retry restore path.
+  std::vector<graph::PartId> rollback_part_;
   std::uint64_t seen_remap_generation_ = 0;
 };
 

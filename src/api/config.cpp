@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "api/errors.hpp"
+#include "runtime/net/fault_transport.hpp"
 #include "runtime/net/filters.hpp"
 
 namespace pigp {
@@ -51,7 +52,7 @@ static_assert(has_exactly_n_fields<core::IgpOptions, 4>,
               "IgpOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<core::MultilevelOptions, 3>,
               "MultilevelOptions changed — update SessionConfig::resolve()");
-static_assert(has_exactly_n_fields<SessionConfig, 21>,
+static_assert(has_exactly_n_fields<SessionConfig, 27>,
               "SessionConfig changed — update SessionConfig::resolve()");
 
 }  // namespace
@@ -104,6 +105,36 @@ ResolvedConfig SessionConfig::resolve() const {
   config_check(spmd_timeout_ms >= 1,
                "SessionConfig.spmd_timeout_ms must be >= 1 (got " +
                    std::to_string(spmd_timeout_ms) + ")");
+  try {
+    const std::shared_ptr<net::FaultScript> script =
+        net::parse_fault_script(spmd_fault_spec);
+    // A dropped packet only becomes a *typed* failure when recv is
+    // bounded; on Machine mailboxes the starved peer would block forever.
+    config_check(script == nullptr ||
+                     !script->has_kind(net::FaultKind::drop) ||
+                     spmd_transport == "tcp",
+                 "SessionConfig.spmd_fault_spec: drop rules need "
+                 "spmd_transport == \"tcp\" (in_process recv has no "
+                 "timeout, so a dropped packet would hang the peer)");
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw ConfigError("SessionConfig.spmd_fault_spec is invalid: " +
+                      std::string(e.what()));
+  }
+  config_check(rebalance_retry_limit >= 0,
+               "SessionConfig.rebalance_retry_limit must be >= 0 (got " +
+                   std::to_string(rebalance_retry_limit) + ")");
+  config_check(
+      rebalance_retry_backoff_ms >= 1,
+      "SessionConfig.rebalance_retry_backoff_ms must be >= 1 (got " +
+          std::to_string(rebalance_retry_backoff_ms) + ")");
+  config_check(
+      rebalance_retry_deadline_ms >= 1,
+      "SessionConfig.rebalance_retry_deadline_ms must be >= 1 (got " +
+          std::to_string(rebalance_retry_deadline_ms) + ")");
+  config_check(!fallback_backend.empty(),
+               "SessionConfig.fallback_backend must not be empty");
   config_check(scratch_method == "rsb" || scratch_method == "rgb" ||
                    scratch_method == "rsb+kl",
                "SessionConfig.scratch_method must be one of rsb, rgb, rsb+kl "

@@ -31,6 +31,18 @@ enum class BatchPolicy {
                   ///< batch_vertex_limit
 };
 
+/// What AsyncSession does when a rebalance tick fails even after the
+/// retry budget (see rebalance_retry_*) is spent.
+enum class FailurePolicy {
+  /// Latch the error: the failed tick is counted, the error is sticky,
+  /// and the next submit()/flush() rethrows it (clear_error() recovers).
+  fail_fast,
+  /// Re-run the failed tick's snapshot on the local fallback_backend so
+  /// readers keep receiving fresh epochs; the failure is recorded in the
+  /// health ledger instead of latched.
+  degrade,
+};
+
 struct ResolvedConfig;
 
 /// Everything a Session needs, stated once.  Call resolve() to validate and
@@ -77,6 +89,36 @@ struct SessionConfig {
   /// Socket send/recv timeout for the tcp transport, milliseconds (>= 1).
   /// A rank stuck longer than this surfaces a pigp::TransportError.
   int spmd_timeout_ms = 30000;
+  /// Scripted chaos for the spmd backend (tests / fault drills): a
+  /// net::parse_fault_script spec, e.g. "rank1:send@3:corrupt" or
+  /// "rank0:any@12:kill".  Every rank's transport is wrapped in a
+  /// net::FaultInjectingTransport sharing one script, so faults fire
+  /// deterministically and one-shot faults are absorbed by the retry
+  /// path.  Empty = no injection (no wrapper, zero overhead).  drop
+  /// rules require spmd_transport == "tcp": only a transport with
+  /// bounded recv turns a swallowed packet into a typed timeout.
+  std::string spmd_fault_spec;
+
+  // --- failure recovery (spmd backend retry + AsyncSession policy) ---
+  /// How many times one rebalance tick is re-attempted after a
+  /// *retryable* TransportError (see net::FaultClass); fatal errors
+  /// never retry.  0 disables retry.  Applies to the "spmd" backend,
+  /// which rolls the partitioning/state back to the tick's entry
+  /// snapshot before each attempt, so a retried tick is bit-identical
+  /// to a fault-free one.
+  int rebalance_retry_limit = 2;
+  /// Backoff before the first retry, milliseconds (>= 1); doubles per
+  /// attempt and is clamped to the time left under the deadline.
+  int rebalance_retry_backoff_ms = 50;
+  /// Wall-clock budget across all attempts of one tick, milliseconds
+  /// (>= 1).  When it runs out, the last error surfaces even if the
+  /// retry limit was not reached.
+  int rebalance_retry_deadline_ms = 10000;
+  /// AsyncSession's policy when a tick still fails after retry.
+  FailurePolicy failure_policy = FailurePolicy::fail_fast;
+  /// Local backend re-running a failed tick under FailurePolicy::degrade
+  /// (registry key; validated at AsyncSession construction).
+  std::string fallback_backend = "igpr";
 
   // --- scratch backend / initial partitioning ---
   /// "rsb" (recursive spectral bisection), "rgb" (BFS bisection), or

@@ -24,9 +24,16 @@
 ///                            AsyncSession).
 ///   * TransportError       — the SPMD wire failed (peer closed, socket
 ///                            timeout, malformed frame).  Defined in
-///                            runtime/net/error.hpp, re-exported here; a
-///                            Session whose backend threw one is sticky-
-///                            failed and rethrows it on further use.
+///                            runtime/net/error.hpp, re-exported here.
+///                            Carries a retryable-vs-fatal FaultClass: the
+///                            "spmd" backend retries retryable ones under
+///                            SessionConfig.rebalance_retry_*; one that
+///                            still escapes leaves the Session sticky-
+///                            failed (transport_failed()) until
+///                            clear_error().  AsyncSession additionally
+///                            consults SessionConfig.failure_policy —
+///                            degrade reroutes the tick to a local
+///                            fallback backend instead of latching.
 ///
 /// Deeper layers (graph::apply_delta, the LP core) still throw CheckError
 /// directly for malformed inputs; the taxonomy covers the API surface where
@@ -43,7 +50,9 @@ namespace pigp {
 
 /// Re-export: the SPMD wire failure (see runtime/net/error.hpp).  Not part
 /// of the Error branch — it originates below the API layer — but catchable
-/// as pigp::CheckError like everything else.
+/// as pigp::CheckError like everything else.  FaultClass rides along for
+/// callers implementing their own retry policy.
+using net::FaultClass;
 using net::TransportError;
 
 /// Base of the typed error taxonomy.  Derives from CheckError so existing

@@ -339,9 +339,12 @@ void Session::run_backend(SessionReport& report, graph::Partitioning old,
     }
     check_backend_invariants(result.state_maintained, n_old);
   } catch (...) {
-    // A wire failure means peer ranks may be gone for good — latch it so
-    // every further mutating call rethrows instead of hanging on a dead
-    // group (transport_failed()).  Other exceptions stay one-shot.
+    // A wire failure that reaches this frame already spent the SPMD
+    // backend's retry budget (or was fatal-classified) — peer ranks may be
+    // gone for good, so latch it and make every further mutating call
+    // rethrow instead of hanging on a dead group (transport_failed();
+    // clear_error() is the explicit way back).  Other exceptions stay
+    // one-shot.
     try {
       throw;
     } catch (const TransportError&) {

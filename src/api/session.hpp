@@ -174,6 +174,15 @@ class Session {
     return transport_failure_ != nullptr;
   }
 
+  /// Explicit recovery from transport_failed(): drop the latched error so
+  /// mutating calls work again.  Safe because the failed run was rolled
+  /// back — graph/partitioning/state are consistent — but the *caller*
+  /// asserts the transport is worth trusting again (peers restarted,
+  /// network healed); the session cannot know that.  The next repartition
+  /// builds fresh connections, so nothing else needs resetting.  A no-op
+  /// when no error is latched.
+  void clear_error() noexcept { transport_failure_ = nullptr; }
+
   /// Adopt the result of an out-of-session rebalance computed on a
   /// snapshot of this session's current graph: every vertex below
   /// \p rebalanced.num_vertices() whose assignment differs is moved (O(Δ)

@@ -28,6 +28,7 @@
 #include "core/igp.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "runtime/net/fault_transport.hpp"
 #include "runtime/net/tcp_transport.hpp"
 #include "runtime/net/transport.hpp"
 #include "runtime/spmd.hpp"
@@ -90,6 +91,34 @@ class TcpLoopbackExecutor final : public SpmdExecutor {
  private:
   int num_ranks_;
   net::TcpOptions options_;
+};
+
+/// Decorator: wraps every rank's transport of an inner executor in a
+/// net::FaultInjectingTransport, all sharing one FaultScript (see
+/// runtime/net/fault_transport.hpp).  The script's fire budget persists
+/// across run() calls while the wrappers — and their per-attempt operation
+/// counters — are fresh per call, so a one-shot scripted fault poisons
+/// exactly one attempt and the retry that follows runs clean.  The inner
+/// executor must outlive this decorator.
+class FaultInjectingExecutor final : public SpmdExecutor {
+ public:
+  FaultInjectingExecutor(SpmdExecutor& inner,
+                         std::shared_ptr<net::FaultScript> script)
+      : inner_(inner), script_(std::move(script)) {}
+
+  [[nodiscard]] int num_ranks() const noexcept override {
+    return inner_.num_ranks();
+  }
+  void run(const std::function<void(net::Transport&)>& body) override {
+    inner_.run([&body, this](net::Transport& transport) {
+      net::FaultInjectingTransport chaos(transport, script_);
+      body(chaos);
+    });
+  }
+
+ private:
+  SpmdExecutor& inner_;
+  std::shared_ptr<net::FaultScript> script_;
 };
 
 /// Run the full IGP/IGPR pipeline on \p executor's ranks.  The graph is

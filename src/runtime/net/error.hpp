@@ -17,12 +17,41 @@
 
 namespace pigp::net {
 
+/// How a TransportError should be treated by recovery machinery.
+///
+/// retryable faults are transient-by-nature: a timeout, a dropped or
+/// corrupted frame, a peer closing its end.  A fresh attempt over fresh
+/// connections may well succeed, so the SPMD backend's per-tick retry
+/// loop re-runs on them.  fatal faults are structural — rank out of
+/// range, operating on a closed transport, an incompatible frame version,
+/// a bad fault-spec or filter name — where retrying the identical call
+/// can only fail the identical way, so they bypass retry and surface
+/// immediately.
+enum class FaultClass {
+  retryable,
+  fatal,
+};
+
 /// A wire-protocol or socket failure: malformed/truncated payload bytes,
 /// connect retry budget exhausted, send/recv timeout, or peer shutdown.
+/// Carries a FaultClass; the single-argument form is retryable, which
+/// matches every pre-existing throw site (wire trouble is transient until
+/// proven structural).
 class TransportError : public CheckError {
  public:
-  explicit TransportError(const std::string& what)
-      : CheckError("transport: " + what) {}
+  explicit TransportError(const std::string& what,
+                          FaultClass fault_class = FaultClass::retryable)
+      : CheckError("transport: " + what), fault_class_(fault_class) {}
+
+  [[nodiscard]] FaultClass fault_class() const noexcept {
+    return fault_class_;
+  }
+  [[nodiscard]] bool retryable() const noexcept {
+    return fault_class_ == FaultClass::retryable;
+  }
+
+ private:
+  FaultClass fault_class_;
 };
 
 }  // namespace pigp::net

@@ -1,0 +1,332 @@
+#include "runtime/net/fault_transport.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "runtime/net/error.hpp"
+
+namespace pigp::net {
+namespace {
+
+constexpr std::uint64_t kMaxDelayMs = 1000;  // keeps chaos tests bounded
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw TransportError(
+      "bad fault spec \"" + std::string(spec) + "\": " + why,
+      FaultClass::fatal);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_point(std::string_view s, FaultPoint* out) {
+  static constexpr FaultPoint kPoints[] = {
+      FaultPoint::send,      FaultPoint::recv,      FaultPoint::barrier,
+      FaultPoint::allreduce, FaultPoint::allgather, FaultPoint::broadcast,
+      FaultPoint::any};
+  for (const FaultPoint p : kPoints) {
+    if (s == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_kind(std::string_view s, FaultKind* out) {
+  static constexpr FaultKind kKinds[] = {FaultKind::delay, FaultKind::drop,
+                                         FaultKind::corrupt,
+                                         FaultKind::disconnect,
+                                         FaultKind::kill};
+  for (const FaultKind k : kKinds) {
+    if (s == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One `rule` production; see the header grammar.
+FaultRule parse_rule(std::string_view spec, std::string_view entry) {
+  FaultRule rule;
+  std::string_view rest = entry;
+
+  if (rest.substr(0, 4) == "rank") {
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      bad_spec(spec, "expected ':' after rank in \"" + std::string(entry) +
+                         "\"");
+    }
+    std::uint64_t rank = 0;
+    if (!parse_u64(rest.substr(4, colon - 4), &rank) || rank > 1 << 20) {
+      bad_spec(spec, "bad rank in \"" + std::string(entry) + "\"");
+    }
+    rule.rank = static_cast<int>(rank);
+    rest.remove_prefix(colon + 1);
+  }
+
+  const std::size_t at = rest.find('@');
+  if (at == std::string_view::npos || !parse_point(rest.substr(0, at),
+                                                   &rule.point)) {
+    bad_spec(spec, "expected point@ordinal in \"" + std::string(entry) +
+                       "\"");
+  }
+  rest.remove_prefix(at + 1);
+
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos ||
+      !parse_u64(rest.substr(0, colon), &rule.at_op) || rule.at_op == 0) {
+    bad_spec(spec, "bad operation ordinal in \"" + std::string(entry) +
+                       "\" (must be >= 1)");
+  }
+  rest.remove_prefix(colon + 1);
+
+  // kind['=' param]['/' times]
+  const std::size_t slash = rest.find('/');
+  if (slash != std::string_view::npos) {
+    std::uint64_t times = 0;
+    if (!parse_u64(rest.substr(slash + 1), &times) || times > INT32_MAX) {
+      bad_spec(spec, "bad fire count in \"" + std::string(entry) + "\"");
+    }
+    rule.times = static_cast<int>(times);
+    rest = rest.substr(0, slash);
+  }
+  const std::size_t eq = rest.find('=');
+  bool has_param = false;
+  if (eq != std::string_view::npos) {
+    if (!parse_u64(rest.substr(eq + 1), &rule.param)) {
+      bad_spec(spec, "bad parameter in \"" + std::string(entry) + "\"");
+    }
+    has_param = true;
+    rest = rest.substr(0, eq);
+  }
+  if (!parse_kind(rest, &rule.kind)) {
+    bad_spec(spec, "unknown fault kind \"" + std::string(rest) +
+                       "\" (want delay|drop|corrupt|disconnect|kill)");
+  }
+
+  if (rule.kind == FaultKind::delay) {
+    if (!has_param || rule.param > kMaxDelayMs) {
+      bad_spec(spec, "delay needs =milliseconds in [0, " +
+                         std::to_string(kMaxDelayMs) + "] in \"" +
+                         std::string(entry) + "\"");
+    }
+  } else if (has_param) {
+    bad_spec(spec, "only delay takes a parameter in \"" +
+                       std::string(entry) + "\"");
+  }
+  if (rule.kind == FaultKind::drop && rule.point != FaultPoint::send) {
+    bad_spec(spec, "drop only applies to send in \"" + std::string(entry) +
+                       "\"");
+  }
+  if (rule.kind == FaultKind::corrupt && rule.point != FaultPoint::send &&
+      rule.point != FaultPoint::allgather &&
+      rule.point != FaultPoint::broadcast) {
+    bad_spec(spec, "corrupt needs a payload-carrying point "
+                   "(send|allgather|broadcast) in \"" +
+                       std::string(entry) + "\"");
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::delay: return "delay";
+    case FaultKind::drop: return "drop";
+    case FaultKind::corrupt: return "corrupt";
+    case FaultKind::disconnect: return "disconnect";
+    case FaultKind::kill: return "kill";
+  }
+  return "?";
+}
+
+std::string_view to_string(FaultPoint point) noexcept {
+  switch (point) {
+    case FaultPoint::send: return "send";
+    case FaultPoint::recv: return "recv";
+    case FaultPoint::barrier: return "barrier";
+    case FaultPoint::allreduce: return "allreduce";
+    case FaultPoint::allgather: return "allgather";
+    case FaultPoint::broadcast: return "broadcast";
+    case FaultPoint::any: return "any";
+  }
+  return "?";
+}
+
+FaultScript::FaultScript(std::vector<FaultRule> rules, std::uint64_t seed)
+    : rules_(std::move(rules)), seed_(seed), fired_(rules_.size(), 0) {}
+
+bool FaultScript::has_kind(FaultKind kind) const noexcept {
+  return std::any_of(rules_.begin(), rules_.end(),
+                     [kind](const FaultRule& r) { return r.kind == kind; });
+}
+
+bool FaultScript::claim(std::size_t rule_index, std::int64_t* fired_before) {
+  const sync::MutexLock lock(mutex_);
+  const FaultRule& rule = rules_[rule_index];
+  if (rule.times != 0 && fired_[rule_index] >= rule.times) return false;
+  if (fired_before != nullptr) *fired_before = fired_[rule_index];
+  ++fired_[rule_index];
+  return true;
+}
+
+std::int64_t FaultScript::fired(std::size_t rule_index) const {
+  const sync::MutexLock lock(mutex_);
+  return fired_[rule_index];
+}
+
+std::shared_ptr<FaultScript> parse_fault_script(std::string_view spec) {
+  std::vector<FaultRule> rules;
+  std::uint64_t seed = 0;
+  std::string_view rest = trim(spec);
+  if (rest.empty()) return nullptr;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view entry = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    if (entry.substr(0, 5) == "seed=") {
+      if (!parse_u64(entry.substr(5), &seed)) {
+        bad_spec(spec, "bad seed in \"" + std::string(entry) + "\"");
+      }
+      continue;
+    }
+    rules.push_back(parse_rule(spec, entry));
+  }
+  if (rules.empty()) bad_spec(spec, "no rules");
+  return std::make_shared<FaultScript>(std::move(rules), seed);
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    Transport& inner, std::shared_ptr<FaultScript> script)
+    : inner_(inner), script_(std::move(script)) {
+  if (script_ == nullptr) {
+    throw TransportError("fault transport needs a non-null script",
+                         FaultClass::fatal);
+  }
+}
+
+void FaultInjectingTransport::throw_killed() const {
+  throw TransportError(
+      "fault injection: rank " + std::to_string(inner_.rank()) +
+      " killed at operation " + std::to_string(killed_at_));
+}
+
+bool FaultInjectingTransport::apply(FaultPoint point, Packet* payload) {
+  const std::uint64_t n_point =
+      ++ops_[static_cast<std::size_t>(point)];
+  const std::uint64_t n_any =
+      ++ops_[static_cast<std::size_t>(FaultPoint::any)];
+  if (killed_) throw_killed();
+
+  bool dropped = false;
+  const std::vector<FaultRule>& rules = script_->rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& rule = rules[i];
+    if (rule.rank != -1 && rule.rank != inner_.rank()) continue;
+    const std::uint64_t ordinal =
+        rule.point == FaultPoint::any
+            ? n_any
+            : (rule.point == point ? n_point : 0);
+    if (ordinal != rule.at_op) continue;
+    std::int64_t fired_before = 0;
+    if (!script_->claim(i, &fired_before)) continue;
+
+    switch (rule.kind) {
+      case FaultKind::delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(rule.param, kMaxDelayMs)));
+        break;
+      case FaultKind::drop:
+        dropped = true;
+        break;
+      case FaultKind::corrupt:
+        // Flip one structural header byte — the wire tag or the element
+        // size — so the receiver's checked unpack is guaranteed to throw a
+        // typed error (data bytes could be flipped undetectably; chaos
+        // must never be able to smuggle in a silently-corrupt partition).
+        if (payload != nullptr && payload->size_bytes() >= 2) {
+          std::vector<std::uint8_t> bytes = payload->release_bytes();
+          const std::size_t index = static_cast<std::size_t>(
+              (script_->seed() + static_cast<std::uint64_t>(fired_before)) %
+              2);
+          bytes[index] ^= 0xFFU;
+          *payload = Packet::from_bytes(std::move(bytes));
+        }
+        break;
+      case FaultKind::disconnect:
+        throw TransportError(
+            "fault injection: rank " + std::to_string(inner_.rank()) +
+            " scripted disconnect at " + std::string(to_string(point)) +
+            " operation " + std::to_string(n_point));
+      case FaultKind::kill:
+        killed_ = true;
+        killed_at_ = n_any;
+        throw_killed();
+    }
+  }
+  return dropped;
+}
+
+void FaultInjectingTransport::send(int to, Packet packet) {
+  if (apply(FaultPoint::send, &packet)) return;  // scripted drop
+  inner_.send(to, std::move(packet));
+}
+
+Packet FaultInjectingTransport::recv(int from) {
+  (void)apply(FaultPoint::recv, nullptr);
+  return inner_.recv(from);
+}
+
+void FaultInjectingTransport::barrier() {
+  (void)apply(FaultPoint::barrier, nullptr);
+  inner_.barrier();
+}
+
+double FaultInjectingTransport::allreduce(
+    double value, const std::function<double(double, double)>& op) {
+  (void)apply(FaultPoint::allreduce, nullptr);
+  return inner_.allreduce(value, op);
+}
+
+std::vector<Packet> FaultInjectingTransport::allgather(Packet packet) {
+  (void)apply(FaultPoint::allgather, &packet);
+  return inner_.allgather(std::move(packet));
+}
+
+Packet FaultInjectingTransport::broadcast(int root, Packet packet) {
+  (void)apply(FaultPoint::broadcast, &packet);
+  return inner_.broadcast(root, std::move(packet));
+}
+
+}  // namespace pigp::net

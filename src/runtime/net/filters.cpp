@@ -234,11 +234,15 @@ FilterChain parse_filter_chain(std::string_view spec) {
     if (!name.empty()) {
       const Filter* filter = find_filter(name);
       if (filter == nullptr) {
+        // Configuration-time, not wire-time: retrying an unknown filter
+        // name cannot succeed.
         throw TransportError(
             "unknown wire filter \"" + std::string(name) +
-            "\" (known: delta" +
-            (zlib_filter_available() ? ", zlib)" : "; zlib unavailable in "
-                                                  "this build)"));
+                "\" (known: delta" +
+                (zlib_filter_available() ? ", zlib)"
+                                         : "; zlib unavailable in "
+                                           "this build)"),
+            FaultClass::fatal);
       }
       // Built-ins are static singletons; alias shared_ptr with no deleter.
       chain.push_back(std::shared_ptr<const Filter>(filter, [](auto*) {}));

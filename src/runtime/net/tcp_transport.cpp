@@ -146,7 +146,8 @@ TcpTransport::TcpTransport(int rank, std::vector<TcpEndpoint> endpoints,
       endpoints_(std::move(endpoints)),
       options_(std::move(options)) {
   if (rank_ < 0 || rank_ >= static_cast<int>(endpoints_.size())) {
-    throw TransportError("rank out of range of the endpoint list");
+    throw TransportError("rank out of range of the endpoint list",
+                         FaultClass::fatal);
   }
   chain_ = parse_filter_chain(options_.filters);
   for (const auto& filter : chain_) chain_ids_.push_back(filter->id());
@@ -168,7 +169,8 @@ TcpTransport::TcpTransport(int rank, std::vector<TcpEndpoint> endpoints,
       listen_fd_(listen_fd) {
   if (rank_ < 0 || rank_ >= static_cast<int>(endpoints_.size())) {
     close();
-    throw TransportError("rank out of range of the endpoint list");
+    throw TransportError("rank out of range of the endpoint list",
+                         FaultClass::fatal);
   }
   try {
     chain_ = parse_filter_chain(options_.filters);
@@ -222,7 +224,15 @@ void TcpTransport::establish_mesh() {
                         " exhausted its retry budget",
                     err);
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      // Clamp the sleep to the time left in the budget: an unclamped
+      // backoff (e.g. 500ms against a 10ms budget) would overshoot the
+      // deadline by a whole backoff step before the check above runs.
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now());
+      std::this_thread::sleep_for(
+          std::min(std::chrono::milliseconds(backoff_ms),
+                   std::max(remaining, std::chrono::milliseconds(0))));
       backoff_ms = std::min(backoff_ms * 2, 500);
     }
   }
@@ -259,16 +269,21 @@ void TcpTransport::establish_mesh() {
 }
 
 int TcpTransport::fd_for(int peer, const char* what) const {
+  // All three are caller bugs, not wire trouble: the identical call can
+  // only fail the identical way, so they classify fatal (no retry).
   if (peer < 0 || peer >= num_ranks()) {
-    throw TransportError(std::string(what) + ": rank out of range");
+    throw TransportError(std::string(what) + ": rank out of range",
+                         FaultClass::fatal);
   }
   if (closed_) {
-    throw TransportError(std::string(what) + " on a closed transport");
+    throw TransportError(std::string(what) + " on a closed transport",
+                         FaultClass::fatal);
   }
   const int fd = peer_fds_[static_cast<std::size_t>(peer)];
   if (fd < 0) {
     throw TransportError(std::string(what) + ": no connection to rank " +
-                         std::to_string(peer));
+                             std::to_string(peer),
+                         FaultClass::fatal);
   }
   return fd;
 }
@@ -303,7 +318,8 @@ Packet TcpTransport::recv(int from) {
     if (self_queue_.empty()) {
       throw TransportError(
           "recv from self with nothing queued (single-threaded transport "
-          "cannot block on itself)");
+          "cannot block on itself)",
+          FaultClass::fatal);
     }
     Packet packet = std::move(self_queue_.front());
     self_queue_.pop_front();
@@ -319,8 +335,11 @@ Packet TcpTransport::recv(int from) {
     throw TransportError("bad frame magic (stream out of sync?)");
   }
   if (fixed[4] != kFrameVersion) {
+    // A peer speaking another protocol version will still speak it on the
+    // next attempt — structural, not transient.
     throw TransportError("unsupported frame version " +
-                         std::to_string(static_cast<int>(fixed[4])));
+                             std::to_string(static_cast<int>(fixed[4])),
+                         FaultClass::fatal);
   }
   std::vector<std::uint8_t> filter_ids(fixed[5]);
   if (!filter_ids.empty()) {
@@ -355,7 +374,8 @@ void TcpTransport::close() noexcept {
 
 LocalTcpGroup make_local_tcp_group(int num_ranks) {
   if (num_ranks < 1) {
-    throw TransportError("a TCP group needs at least one rank");
+    throw TransportError("a TCP group needs at least one rank",
+                         FaultClass::fatal);
   }
   LocalTcpGroup group;
   group.endpoints.resize(static_cast<std::size_t>(num_ranks));

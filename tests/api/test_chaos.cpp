@@ -1,0 +1,223 @@
+// The chaos matrix: full SPMD repartitions driven through the public
+// Session API with scripted faults (SessionConfig.spmd_fault_spec) at every
+// protocol point the engine exercises — allgather, broadcast, barrier,
+// allreduce, and the combined `any` ordinal — over both transports.  The
+// contract under chaos has exactly two acceptable outcomes:
+//
+//   1. retry enabled: the per-tick retry absorbs the (one-shot) fault and
+//      the final partition is bit-identical to a fault-free run;
+//   2. retry disabled or budget-exceeded: a typed TransportError surfaces,
+//      the session latches sticky-failed with its own state rolled back,
+//      and clear_error() revives it — after which a repartition produces
+//      the fault-free partition again.
+//
+// Never a hang (every faulted run aborts its rank group promptly), never a
+// silently corrupt partition (scripted corruption flips structural header
+// bytes, which the checked unpack is guaranteed to reject).
+//
+// send/recv/allreduce-point faults are exercised at the transport layer in
+// tests/runtime/test_fault_transport.cpp: the in-process engine speaks
+// only allgather/broadcast/barrier (allreduce lives in the sharded
+// multi-process worker), so other rules never match through this API path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "api/errors.hpp"
+#include "api/session.hpp"
+#include "graph/delta.hpp"
+#include "mesh/paper_meshes.hpp"
+#include "spectral/partitioners.hpp"
+
+namespace pigp {
+namespace {
+
+using graph::Graph;
+using graph::GraphDelta;
+using graph::Partitioning;
+using graph::VertexAddition;
+
+constexpr int kParts = 4;
+constexpr int kRanks = 2;
+
+struct Fixture {
+  Fixture()
+      : seq(mesh::make_small_mesh_sequence(300, {}, 7)),
+        base(seq.graphs[0]),
+        initial(spectral::recursive_spectral_bisection(base, kParts)) {
+    // Skew the partition so every repartition has real balancing work —
+    // an already-balanced partition exits before any transport operation
+    // and no fault would ever fire.  Move half of part 3 into part 2.
+    graph::VertexId moved = 0;
+    const graph::VertexId quota = base.num_vertices() / (2 * kParts);
+    for (graph::VertexId v = 0;
+         v < base.num_vertices() && moved < quota; ++v) {
+      if (initial.part[v] == 3) {
+        initial.part[v] = 2;
+        ++moved;
+      }
+    }
+  }
+
+  [[nodiscard]] SessionConfig config(const std::string& transport,
+                                     const std::string& fault_spec,
+                                     int retry_limit) const {
+    SessionConfig c;
+    c.num_parts = kParts;
+    c.backend = "spmd";
+    c.spmd_ranks = kRanks;
+    c.spmd_transport = transport;
+    c.spmd_fault_spec = fault_spec;
+    c.spmd_timeout_ms = 5000;  // bounds any faulted TCP wait
+    c.rebalance_retry_limit = retry_limit;
+    c.rebalance_retry_backoff_ms = 1;
+    c.rebalance_retry_deadline_ms = 20000;
+    return c;
+  }
+
+  mesh::MeshSequence seq;
+  const Graph& base;
+  Partitioning initial;
+};
+
+/// The fault-free reference partition: one forced repartition.
+const Partitioning& reference(const Fixture& fx) {
+  static const Partitioning result = [&fx] {
+    Session session(fx.config("in_process", "", 0), fx.base, fx.initial);
+    (void)session.repartition();
+    return session.partitioning();
+  }();
+  return result;
+}
+
+struct ChaosCase {
+  const char* transport;
+  const char* filters;  // wire filter chain for tcp runs
+  const char* spec;
+};
+
+// Every protocol point of the SPMD engine, on both transports.  Rules are
+// one-shot (the default), so the retry path gets a clean second attempt.
+// broadcast corruption is scoped to rank 0 because the engine always
+// broadcasts from root 0 — a non-root's corrupted contribution is never
+// delivered.  Unscoped rules have a single shared fire budget: whichever
+// rank claims it first injects, and either way the group aborts typed.
+const ChaosCase kCases[] = {
+    {"in_process", "", "allgather@1:corrupt"},
+    {"in_process", "", "rank1:allgather@2:corrupt"},
+    {"in_process", "", "rank0:broadcast@1:corrupt"},
+    {"in_process", "", "barrier@1:disconnect"},
+    {"in_process", "", "rank1:broadcast@1:disconnect"},
+    {"in_process", "", "rank0:any@2:kill"},
+    {"in_process", "", "rank1:any@4:kill"},
+    {"tcp", "", "allgather@1:corrupt"},
+    {"tcp", "delta", "rank0:allgather@1:corrupt"},
+    {"tcp", "", "rank1:broadcast@1:disconnect"},
+    {"tcp", "", "rank1:any@3:kill"},
+};
+
+TEST(Chaos, RetryAbsorbsEveryInjectionPoint) {
+  const Fixture fx;
+  for (const ChaosCase& cc : kCases) {
+    SCOPED_TRACE(std::string(cc.transport) + " / " + cc.spec);
+    SessionConfig config = fx.config(cc.transport, cc.spec, 3);
+    config.spmd_wire_filters = cc.filters;
+    Session session(config, fx.base, fx.initial);
+    (void)session.repartition();  // fault fires, retry runs clean
+    EXPECT_FALSE(session.transport_failed());
+    EXPECT_EQ(session.partitioning().part, reference(fx).part)
+        << "retried partition must be bit-identical to a fault-free run";
+  }
+}
+
+TEST(Chaos, NoRetrySurfacesTypedErrorAndClearErrorRevives) {
+  const Fixture fx;
+  for (const ChaosCase& cc : kCases) {
+    SCOPED_TRACE(std::string(cc.transport) + " / " + cc.spec);
+    SessionConfig config = fx.config(cc.transport, cc.spec, 0);
+    config.spmd_wire_filters = cc.filters;
+    Session session(config, fx.base, fx.initial);
+
+    EXPECT_THROW((void)session.repartition(), TransportError);
+    EXPECT_TRUE(session.transport_failed());
+
+    // Sticky: mutations rethrow; reads stay usable; state rolled back.
+    GraphDelta delta;
+    VertexAddition add;
+    add.edges.emplace_back(0, 1.0);
+    add.edges.emplace_back(1, 1.0);
+    delta.added_vertices.push_back(add);
+    EXPECT_THROW((void)session.apply(delta), TransportError);
+    EXPECT_EQ(session.partitioning().part, fx.initial.part)
+        << "failed run must roll back to the entry partitioning";
+
+    // Explicit recovery: the one-shot budget was spent on the failed run,
+    // so the revived session repartitions clean — and lands on exactly
+    // the fault-free partition.
+    session.clear_error();
+    EXPECT_FALSE(session.transport_failed());
+    (void)session.repartition();
+    EXPECT_EQ(session.partitioning().part, reference(fx).part);
+  }
+}
+
+TEST(Chaos, BenignDelayIsTransparent) {
+  const Fixture fx;
+  Session session(fx.config("in_process", "any@3:delay=5", 0), fx.base,
+                  fx.initial);
+  (void)session.repartition();
+  EXPECT_FALSE(session.transport_failed());
+  EXPECT_EQ(session.partitioning().part, reference(fx).part);
+}
+
+TEST(Chaos, UnlimitedFaultExhaustsRetryBudgetTyped) {
+  // times=0 re-fires on every attempt: retries must give up (attempt
+  // budget) instead of looping, and the error must stay typed.
+  const Fixture fx;
+  Session session(
+      fx.config("in_process", "allgather@1:disconnect/0", 2), fx.base,
+      fx.initial);
+  EXPECT_THROW((void)session.repartition(), TransportError);
+  EXPECT_TRUE(session.transport_failed());
+  // clear_error() is not absolution for a still-broken transport: the
+  // next attempt fails again (typed), it does not hang or corrupt.
+  session.clear_error();
+  EXPECT_THROW((void)session.repartition(), TransportError);
+  EXPECT_EQ(session.partitioning().part, fx.initial.part);
+}
+
+TEST(Chaos, RetryDeadlineBoundsTotalWait) {
+  // A tiny deadline with a huge attempt budget must give up promptly —
+  // the deadline, not the attempt count, is the binding constraint.
+  const Fixture fx;
+  SessionConfig config =
+      fx.config("in_process", "allgather@1:disconnect/0", 1000000);
+  config.rebalance_retry_backoff_ms = 20;
+  config.rebalance_retry_deadline_ms = 100;
+  Session session(config, fx.base, fx.initial);
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)session.repartition(), TransportError);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30)
+      << "deadline must bound the retry loop";
+}
+
+TEST(Chaos, FaultSpecSpentAcrossSeparateRepartitions) {
+  // The fire budget lives in the backend's script, parsed once per
+  // session: a one-shot fault consumed by tick 1 (via retry) never
+  // re-fires on later ticks.
+  const Fixture fx;
+  Session session(fx.config("in_process", "barrier@1:disconnect", 3),
+                  fx.base, fx.initial);
+  (void)session.repartition();  // absorbs the fault
+  (void)session.repartition();  // clean
+  (void)session.repartition();  // clean
+  EXPECT_FALSE(session.transport_failed());
+  EXPECT_EQ(session.counters().repartitions, 3);
+}
+
+}  // namespace
+}  // namespace pigp

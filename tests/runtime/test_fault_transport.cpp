@@ -1,0 +1,313 @@
+// The chaos wrapper in isolation: script parsing (accepting the documented
+// grammar, rejecting everything else as a *fatal* TransportError), exact
+// per-point/per-rank/per-ordinal firing, the one-shot fire budget that
+// lives in the shared FaultScript (so a fault poisons one attempt and the
+// retry runs clean), kill stickiness within a transport instance, and the
+// guarantee that a scripted corruption is always *detected* — by the
+// receiver's checked unpack, or by a filter chain walking the bytes —
+// never silently decoded.
+
+#include "runtime/net/fault_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/net/error.hpp"
+#include "runtime/net/packet.hpp"
+#include "runtime/net/tcp_transport.hpp"
+#include "runtime/net/transport.hpp"
+
+namespace pigp::net {
+namespace {
+
+/// Expect the expression to throw a TransportError with the given class.
+template <typename Fn>
+void expect_transport_error(Fn&& fn, FaultClass expected_class) {
+  try {
+    fn();
+    FAIL() << "expected a TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.fault_class() == expected_class) << e.what();
+  }
+}
+
+/// Minimal single-rank loopback used to observe the wrapper's own behavior
+/// (what reached the inner transport, in what order) without sockets.
+class RecordingTransport final : public Transport {
+ public:
+  [[nodiscard]] int rank() const noexcept override { return 0; }
+  [[nodiscard]] int num_ranks() const noexcept override { return 2; }
+
+  void send(int to, Packet packet) override {
+    (void)to;
+    delivered.push_back(std::move(packet));
+  }
+  [[nodiscard]] Packet recv(int from) override {
+    (void)from;
+    if (delivered.empty()) throw TransportError("recording queue empty");
+    Packet p = std::move(delivered.front());
+    delivered.pop_front();
+    return p;
+  }
+  void barrier() override { ++barriers; }
+  [[nodiscard]] double allreduce(
+      double value,
+      const std::function<double(double, double)>& op) override {
+    (void)op;
+    return value;
+  }
+  [[nodiscard]] std::vector<Packet> allgather(Packet packet) override {
+    std::vector<Packet> out;
+    out.push_back(std::move(packet));
+    return out;
+  }
+  [[nodiscard]] Packet broadcast(int root, Packet packet) override {
+    (void)root;
+    return packet;
+  }
+
+  std::deque<Packet> delivered;
+  int barriers = 0;
+};
+
+Packet int_vector_packet() {
+  Packet p;
+  p.pack_vector(std::vector<int>{1, 2, 3});
+  return p;
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(FaultScriptParse, EmptySpecIsNull) {
+  EXPECT_EQ(parse_fault_script(""), nullptr);
+  EXPECT_EQ(parse_fault_script("   \t "), nullptr);
+}
+
+TEST(FaultScriptParse, FullGrammar) {
+  const auto script = parse_fault_script(
+      "seed=7; rank1:send@3:corrupt ;any@5:delay=20/2;recv@2:disconnect;"
+      "rank0:any@12:kill;send@1:drop/0");
+  ASSERT_NE(script, nullptr);
+  EXPECT_EQ(script->seed(), 7u);
+  ASSERT_EQ(script->rules().size(), 5u);
+
+  const FaultRule& corrupt = script->rules()[0];
+  EXPECT_EQ(corrupt.rank, 1);
+  EXPECT_EQ(corrupt.point, FaultPoint::send);
+  EXPECT_EQ(corrupt.at_op, 3u);
+  EXPECT_EQ(corrupt.kind, FaultKind::corrupt);
+  EXPECT_EQ(corrupt.times, 1);  // default: one-shot
+
+  const FaultRule& delay = script->rules()[1];
+  EXPECT_EQ(delay.rank, -1);  // default: every rank
+  EXPECT_EQ(delay.point, FaultPoint::any);
+  EXPECT_EQ(delay.kind, FaultKind::delay);
+  EXPECT_EQ(delay.param, 20u);
+  EXPECT_EQ(delay.times, 2);
+
+  EXPECT_EQ(script->rules()[2].kind, FaultKind::disconnect);
+  EXPECT_EQ(script->rules()[3].kind, FaultKind::kill);
+  EXPECT_EQ(script->rules()[4].times, 0);  // 0 = unlimited
+
+  EXPECT_TRUE(script->has_kind(FaultKind::drop));
+  EXPECT_TRUE(script->has_kind(FaultKind::delay));
+}
+
+TEST(FaultScriptParse, RejectsMalformedSpecsAsFatal) {
+  const char* bad[] = {
+      "bogus",                 // no point@ordinal
+      "send@0:kill",           // ordinal must be >= 1
+      "send@1:zap",            // unknown kind
+      "rankx:send@1:kill",     // bad rank
+      "rank1 send@1:kill",     // missing ':' after rank
+      "recv@1:drop",           // drop is send-only
+      "barrier@1:corrupt",     // corrupt needs a payload-carrying point
+      "recv@1:corrupt",        // recv has no outgoing payload either
+      "send@1:delay",          // delay needs a parameter
+      "send@1:delay=2000",     // over the 1000 ms cap
+      "send@1:kill=5",         // only delay takes a parameter
+      "send@1:corrupt/x",      // bad fire count
+      "seed=x;send@1:kill",    // bad seed
+      "seed=3",                // seed alone: no rules
+      ";",                     // empty entries only: no rules
+  };
+  for (const char* spec : bad) {
+    expect_transport_error([spec] { (void)parse_fault_script(spec); },
+                           FaultClass::fatal);
+  }
+}
+
+TEST(FaultTransport, NullScriptIsFatal) {
+  RecordingTransport inner;
+  expect_transport_error(
+      [&inner] { FaultInjectingTransport chaos(inner, nullptr); },
+      FaultClass::fatal);
+}
+
+// --------------------------------------------------------------- semantics
+
+TEST(FaultTransport, DelayIsBenignAndDropSwallowsExactlyOneSend) {
+  RecordingTransport inner;
+  FaultInjectingTransport chaos(
+      inner, parse_fault_script("send@1:delay=1;send@2:drop"));
+  chaos.send(1, int_vector_packet());  // delayed, delivered
+  chaos.send(1, int_vector_packet());  // dropped
+  chaos.send(1, int_vector_packet());  // delivered
+  EXPECT_EQ(inner.delivered.size(), 2u);
+}
+
+TEST(FaultTransport, OrdinalCountsPerPoint) {
+  RecordingTransport inner;
+  FaultInjectingTransport chaos(inner,
+                                parse_fault_script("recv@2:disconnect"));
+  chaos.send(1, int_vector_packet());
+  chaos.send(1, int_vector_packet());
+  (void)chaos.recv(1);  // recv #1: sends did not advance the recv ordinal
+  expect_transport_error([&chaos] { (void)chaos.recv(1); },
+                         FaultClass::retryable);
+  chaos.barrier();  // disconnect is transient: later ops still work
+  EXPECT_EQ(inner.barriers, 1);
+}
+
+TEST(FaultTransport, AnyMatchesCombinedOrdinal) {
+  RecordingTransport inner;
+  FaultInjectingTransport chaos(inner,
+                                parse_fault_script("any@3:disconnect"));
+  chaos.send(1, int_vector_packet());                    // any #1
+  chaos.barrier();                                       // any #2
+  expect_transport_error(
+      [&chaos] { (void)chaos.allreduce(1.0, [](double a, double b) {
+        return a + b;
+      }); },
+      FaultClass::retryable);  // any #3
+}
+
+TEST(FaultTransport, RankScopedRuleDoesNotFireOnOtherRanks) {
+  RecordingTransport inner;  // rank 0
+  FaultInjectingTransport chaos(inner,
+                                parse_fault_script("rank1:any@1:kill"));
+  chaos.send(1, int_vector_packet());
+  chaos.barrier();
+  EXPECT_EQ(inner.delivered.size(), 1u);
+  EXPECT_EQ(inner.barriers, 1);
+}
+
+TEST(FaultTransport, KillPoisonsEveryLaterOperation) {
+  RecordingTransport inner;
+  auto script = parse_fault_script("any@2:kill");
+  FaultInjectingTransport chaos(inner, script);
+  chaos.send(1, int_vector_packet());
+  expect_transport_error([&chaos] { chaos.barrier(); },
+                         FaultClass::retryable);
+  // Killed state is sticky for this instance, independent of the budget.
+  expect_transport_error([&chaos] { chaos.send(1, int_vector_packet()); },
+                         FaultClass::retryable);
+  expect_transport_error([&chaos] { (void)chaos.recv(1); },
+                         FaultClass::retryable);
+  EXPECT_EQ(inner.barriers, 0);
+  EXPECT_EQ(inner.delivered.size(), 1u);
+
+  // ... but a fresh wrapper over the same script runs clean: the one-shot
+  // budget was spent.  This is the retry-attempt lifecycle.
+  FaultInjectingTransport retry(inner, script);
+  retry.send(1, int_vector_packet());
+  retry.barrier();
+  EXPECT_EQ(inner.barriers, 1);
+}
+
+TEST(FaultTransport, FireBudgetIsSharedAcrossInstances) {
+  RecordingTransport inner;
+  auto script = parse_fault_script("send@1:disconnect/2");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FaultInjectingTransport chaos(inner, script);
+    expect_transport_error(
+        [&chaos] { chaos.send(1, int_vector_packet()); },
+        FaultClass::retryable);
+  }
+  EXPECT_EQ(script->fired(0), 2);
+  FaultInjectingTransport third(inner, script);
+  third.send(1, int_vector_packet());  // budget exhausted: clean
+  EXPECT_EQ(script->fired(0), 2);
+}
+
+TEST(FaultTransport, UnlimitedBudgetFiresEveryAttempt) {
+  RecordingTransport inner;
+  auto script = parse_fault_script("send@1:disconnect/0");
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    FaultInjectingTransport chaos(inner, script);
+    expect_transport_error(
+        [&chaos] { chaos.send(1, int_vector_packet()); },
+        FaultClass::retryable);
+  }
+  EXPECT_EQ(script->fired(0), 3);
+}
+
+TEST(FaultTransport, CorruptionIsAlwaysDetectedAtUnpack) {
+  // Both seed parities (flipping the tag byte vs the element-size byte)
+  // must produce a typed error from the checked unpack — never garbage.
+  for (const char* spec : {"seed=0;send@1:corrupt", "seed=1;send@1:corrupt"}) {
+    RecordingTransport inner;
+    FaultInjectingTransport chaos(inner, parse_fault_script(spec));
+    chaos.send(1, int_vector_packet());
+    ASSERT_EQ(inner.delivered.size(), 1u);
+    Packet received = inner.recv(0);
+    expect_transport_error(
+        [&received] { (void)received.unpack_vector<int>(); },
+        FaultClass::retryable);
+  }
+}
+
+// --------------------------------------------------------- real wire pairs
+
+TEST(FaultTransport, CorruptOverTcpWithFiltersSurfacesTyped) {
+  // A corrupted structural byte must surface as a typed TransportError
+  // even when a filter chain sits between the chaos wrapper and the wire:
+  // the delta filter walks the packet's tags, so it either rejects the
+  // corrupt frame itself or passes it through for the receiver's unpack
+  // to reject.  Never a hang, never silently-decoded garbage.
+  TcpOptions options;
+  options.recv_timeout_ms = 5000;
+  options.filters = "delta";
+  auto script = parse_fault_script("rank0:send@1:corrupt");
+  EXPECT_THROW(
+      run_tcp_loopback(2, options,
+                       [&script](Transport& t) {
+                         FaultInjectingTransport chaos(t, script);
+                         if (chaos.rank() == 0) {
+                           chaos.send(1, int_vector_packet());
+                           (void)chaos.recv(1);  // peer aborts: typed error
+                         } else {
+                           Packet p = chaos.recv(0);
+                           (void)p.unpack_vector<int>();
+                           chaos.send(0, int_vector_packet());
+                         }
+                       }),
+      TransportError);
+  EXPECT_EQ(script->fired(0), 1);
+}
+
+TEST(FaultTransport, DropOverTcpTimesOutPromptlyAndTyped) {
+  TcpOptions options;
+  options.recv_timeout_ms = 200;
+  auto script = parse_fault_script("rank0:send@1:drop");
+  EXPECT_THROW(
+      run_tcp_loopback(2, options,
+                       [&script](Transport& t) {
+                         FaultInjectingTransport chaos(t, script);
+                         if (chaos.rank() == 0) {
+                           chaos.send(1, int_vector_packet());  // swallowed
+                         } else {
+                           (void)chaos.recv(0);  // bounded: recv timeout
+                         }
+                       }),
+      TransportError);
+  EXPECT_EQ(script->fired(0), 1);
+}
+
+}  // namespace
+}  // namespace pigp::net
