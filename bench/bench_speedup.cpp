@@ -19,10 +19,12 @@
 // modern core, so Amdahl effects bite sooner); the shape to verify is that
 // parallel time is well below serial time and scales with workers.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <numeric>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -262,6 +264,210 @@ int main(int argc, char** argv) {
                            session.summary().imbalance});
   }
   stream_table.print(std::cout);
+
+  // ---------------------------------------------------------------------
+  // Structural-delta streaming: deltas that REMOVE as well as add (edge
+  // cuts, vertex retirements, new vertices anchored on live survivors).
+  // Three rows, same scripted churn:
+  //   rebuild          apply_delta's from-scratch path — every delta pays
+  //                    O(V+E) to rebuild the CSR and remap ids (the wall
+  //                    this PR removes; kept as the reference oracle);
+  //   mutable          the slotted graph's in-place mutators — every delta
+  //                    costs O(Δ·deg), independent of |V| and |E|;
+  //   session_deferred the full Session path under deferred compaction
+  //                    (stable ids, O(Δ) absorption) including the
+  //                    periodic rebalance ticks.
+  // structural_speedup = mutable/rebuild deltas/s is a same-machine ratio,
+  // so the CI gate tracks the representation win itself, not the runner.
+  const int struct_deltas = smoke ? 24 : 64;
+  std::cout << "\n=== Structural-delta streaming: " << struct_deltas
+            << " deltas (4 edge cuts + 2 vertex removals + 2 adds + 4 new"
+               " edges each) on the "
+            << big_n << "-vertex graph ===\n";
+  struct StructRow {
+    const char* key;
+    double seconds;
+    double deltas_per_second;
+  };
+  std::vector<StructRow> struct_rows;
+  // Per-delta churn counts, shared by all three rows.
+  constexpr int kCutEdges = 4;
+  constexpr int kRemovedVertices = 2;
+  constexpr int kAddedVertices = 2;
+  constexpr int kAddedEdges = 4;
+  const auto pick_alive = [](const std::vector<graph::VertexId>& alive,
+                             SplitMix64& rng) {
+    return alive[rng.next_below(alive.size())];
+  };
+  {  // rebuild row: the historical full-rebuild path, including the O(V)
+     // id remap every consumer of old_to_new had to pay.
+    graph::Graph g = big;
+    std::vector<graph::VertexId> alive(
+        static_cast<std::size_t>(g.num_vertices()));
+    std::iota(alive.begin(), alive.end(), 0);
+    SplitMix64 rng(2030);
+    runtime::WallTimer timer;
+    for (int d = 0; d < struct_deltas; ++d) {
+      graph::GraphDelta delta;
+      for (int i = 0; i < kCutEdges; ++i) {
+        const graph::VertexId u = pick_alive(alive, rng);
+        const auto nbrs = g.neighbors(u);
+        if (nbrs.empty()) continue;
+        const graph::VertexId v = nbrs[rng.next_below(nbrs.size())];
+        const auto e = graph::canonical_edge(u, v);
+        if (std::find(delta.removed_edges.begin(), delta.removed_edges.end(),
+                      e) == delta.removed_edges.end()) {
+          delta.removed_edges.push_back(e);
+        }
+      }
+      for (int i = 0; i < kRemovedVertices; ++i) {
+        const std::size_t k = rng.next_below(alive.size());
+        delta.removed_vertices.push_back(alive[k]);
+        alive[k] = alive.back();
+        alive.pop_back();
+      }
+      for (int i = 0; i < kAddedVertices; ++i) {
+        graph::VertexAddition add;
+        const graph::VertexId a = pick_alive(alive, rng);
+        const graph::VertexId b = pick_alive(alive, rng);
+        add.edges.emplace_back(a, 1.0);
+        if (b != a) add.edges.emplace_back(b, 1.0);
+        delta.added_vertices.push_back(std::move(add));
+      }
+      for (int i = 0; i < kAddedEdges; ++i) {
+        const graph::VertexId u = pick_alive(alive, rng);
+        const graph::VertexId v = pick_alive(alive, rng);
+        if (u != v) delta.added_edges.emplace_back(u, v);
+      }
+      graph::DeltaResult r = graph::apply_delta(g, delta);
+      g = std::move(r.graph);
+      for (graph::VertexId& id : alive) {
+        id = r.old_to_new[static_cast<std::size_t>(id)];
+      }
+      alive.insert(alive.end(), r.new_vertex_ids.begin(),
+                   r.new_vertex_ids.end());
+    }
+    const double seconds = timer.seconds();
+    struct_rows.push_back({"rebuild", seconds, struct_deltas / seconds});
+  }
+  {  // mutable row: identical churn through the in-place mutators.
+    graph::Graph g = big;
+    std::vector<graph::VertexId> alive(
+        static_cast<std::size_t>(g.num_vertices()));
+    std::iota(alive.begin(), alive.end(), 0);
+    SplitMix64 rng(2030);
+    runtime::WallTimer timer;
+    for (int d = 0; d < struct_deltas; ++d) {
+      for (int i = 0; i < kCutEdges; ++i) {
+        const graph::VertexId u = pick_alive(alive, rng);
+        const auto nbrs = g.neighbors(u);
+        if (nbrs.empty()) continue;
+        const graph::VertexId v = nbrs[rng.next_below(nbrs.size())];
+        if (g.has_edge(u, v)) (void)g.remove_edge(u, v);
+      }
+      for (int i = 0; i < kRemovedVertices; ++i) {
+        const std::size_t k = rng.next_below(alive.size());
+        g.remove_vertex(alive[k]);
+        alive[k] = alive.back();
+        alive.pop_back();
+      }
+      for (int i = 0; i < kAddedVertices; ++i) {
+        const graph::VertexId id = g.add_vertex(1.0);
+        const graph::VertexId a = pick_alive(alive, rng);
+        const graph::VertexId b = pick_alive(alive, rng);
+        (void)g.insert_edge(id, a, 1.0);
+        if (b != a) (void)g.insert_edge(id, b, 1.0);
+        alive.push_back(id);
+      }
+      for (int i = 0; i < kAddedEdges; ++i) {
+        const graph::VertexId u = pick_alive(alive, rng);
+        const graph::VertexId v = pick_alive(alive, rng);
+        if (u != v) (void)g.insert_edge(u, v, 1.0);
+      }
+    }
+    const double seconds = timer.seconds();
+    struct_rows.push_back({"mutable", seconds, struct_deltas / seconds});
+    g.validate();  // the fast path must still be a well-formed graph
+  }
+  {  // session_deferred row: the full API path, rebalance ticks included.
+    SessionConfig config;
+    config.num_parts = bench::kPaperPartitions;
+    config.backend = "igpr";
+    config.num_threads = threads;
+    config.batch_policy = BatchPolicy::vertex_count;
+    config.batch_vertex_limit =
+        struct_deltas * (kRemovedVertices + kAddedVertices) / 4;
+    config.graph_compaction = GraphCompaction::deferred;
+    config.compaction_slack = 1.0;  // pure O(Δ): ids stay stable throughout
+    Session session(config, big, stream_initial);
+    std::vector<graph::VertexId> alive(
+        static_cast<std::size_t>(big.num_vertices()));
+    std::iota(alive.begin(), alive.end(), 0);
+    SplitMix64 rng(2030);
+    runtime::WallTimer timer;
+    for (int d = 0; d < struct_deltas; ++d) {
+      graph::GraphDelta delta;
+      const graph::Graph& g = session.graph();
+      for (int i = 0; i < kCutEdges; ++i) {
+        const graph::VertexId u = pick_alive(alive, rng);
+        const auto nbrs = g.neighbors(u);
+        if (nbrs.empty()) continue;
+        const graph::VertexId v = nbrs[rng.next_below(nbrs.size())];
+        const auto e = graph::canonical_edge(u, v);
+        if (std::find(delta.removed_edges.begin(), delta.removed_edges.end(),
+                      e) == delta.removed_edges.end()) {
+          delta.removed_edges.push_back(e);
+        }
+      }
+      for (int i = 0; i < kRemovedVertices; ++i) {
+        const std::size_t k = rng.next_below(alive.size());
+        delta.removed_vertices.push_back(alive[k]);
+        alive[k] = alive.back();
+        alive.pop_back();
+      }
+      for (int i = 0; i < kAddedVertices; ++i) {
+        graph::VertexAddition add;
+        const graph::VertexId a = pick_alive(alive, rng);
+        const graph::VertexId b = pick_alive(alive, rng);
+        add.edges.emplace_back(a, 1.0);
+        if (b != a) add.edges.emplace_back(b, 1.0);
+        delta.added_vertices.push_back(std::move(add));
+      }
+      for (int i = 0; i < kAddedEdges; ++i) {
+        const graph::VertexId u = pick_alive(alive, rng);
+        const graph::VertexId v = pick_alive(alive, rng);
+        if (u != v) delta.added_edges.emplace_back(u, v);
+      }
+      (void)session.apply(delta);
+      for (int i = kAddedVertices; i > 0; --i) {
+        alive.push_back(session.graph().num_vertices() - i);
+      }
+    }
+    if (session.pending_updates() > 0) (void)session.repartition();
+    const double seconds = timer.seconds();
+    struct_rows.push_back(
+        {"session_deferred", seconds, struct_deltas / seconds});
+  }
+  double structural_speedup = 0.0;
+  {
+    double rebuild_dps = 0.0;
+    double mutable_dps = 0.0;
+    TextTable struct_table({"path", "time (s)", "deltas/s", "vs rebuild"});
+    for (const StructRow& r : struct_rows) {
+      if (std::strcmp(r.key, "rebuild") == 0) rebuild_dps = r.deltas_per_second;
+      if (std::strcmp(r.key, "mutable") == 0) mutable_dps = r.deltas_per_second;
+    }
+    structural_speedup =
+        rebuild_dps > 0.0 ? mutable_dps / rebuild_dps : 0.0;
+    for (const StructRow& r : struct_rows) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1fx",
+                    rebuild_dps > 0.0 ? r.deltas_per_second / rebuild_dps
+                                      : 0.0);
+      struct_table.add_row(r.key, r.seconds, r.deltas_per_second, buf);
+    }
+    struct_table.print(std::cout);
+  }
 
   // ---------------------------------------------------------------------
   // Concurrent ingest/serve: the same vertex_count delta stream pushed
@@ -539,6 +745,25 @@ int main(int argc, char** argv) {
           << ", \"deltas_per_second\": " << r.deltas_per_second
           << ", \"final_imbalance\": " << r.final_imbalance << "}"
           << (i + 1 < stream_rows.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n"
+        << "    },\n"
+        << "    \"structural_streaming\": {\n"
+        << "      \"graph_vertices\": " << big_n << ",\n"
+        << "      \"num_parts\": " << bench::kPaperPartitions << ",\n"
+        << "      \"deltas\": " << struct_deltas << ",\n"
+        << "      \"cut_edges\": " << kCutEdges << ",\n"
+        << "      \"removed_vertices\": " << kRemovedVertices << ",\n"
+        << "      \"added_vertices\": " << kAddedVertices << ",\n"
+        << "      \"added_edges\": " << kAddedEdges << ",\n"
+        << "      \"structural_speedup\": " << structural_speedup << ",\n"
+        << "      \"rows\": [\n";
+    for (std::size_t i = 0; i < struct_rows.size(); ++i) {
+      const StructRow& r = struct_rows[i];
+      out << "        {\"path\": \"" << r.key << "\""
+          << ", \"seconds\": " << r.seconds
+          << ", \"deltas_per_second\": " << r.deltas_per_second << "}"
+          << (i + 1 < struct_rows.size() ? "," : "") << "\n";
     }
     out << "      ]\n"
         << "    },\n"

@@ -13,6 +13,15 @@ Tracked metrics:
       Absolute throughput per batch policy.  Runner-speed dependent, hence
       the generous tolerance band; recalibrate the baseline (commit a fresh
       smoke JSON) when the CI runner class changes.
+  * sections.structural_streaming.rows[*].deltas_per_second
+      Throughput of deltas that remove as well as add (edge cuts, vertex
+      retirements) per path: the apply_delta full-rebuild oracle, the
+      slotted graph's in-place mutators, and the deferred-compaction
+      Session.  Runner-speed dependent.
+  * sections.structural_streaming.structural_speedup
+      mutable deltas/s over rebuild deltas/s — a same-machine ratio of the
+      two representations, so it is largely runner-independent and tracks
+      the O(Δ)-vs-O(V+E) property itself.
   * sections.concurrent_streaming.deltas_per_second
       Sustained ingest throughput of the AsyncSession while reader threads
       hammer part_of on the published view.  Runner-speed dependent like
@@ -56,6 +65,15 @@ def tracked_metrics(doc):
         value = policy.get("deltas_per_second")
         if value is not None:
             yield (f"session_streaming/{name}/deltas_per_second", value)
+    structural = sections.get("structural_streaming", {})
+    for row in structural.get("rows", []):
+        name = row.get("path", "?")
+        value = row.get("deltas_per_second")
+        if value is not None:
+            yield (f"structural_streaming/{name}/deltas_per_second", value)
+    value = structural.get("structural_speedup")
+    if value is not None:
+        yield ("structural_streaming/structural_speedup", value)
     concurrent = sections.get("concurrent_streaming", {})
     value = concurrent.get("deltas_per_second")
     if value is not None:

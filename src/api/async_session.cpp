@@ -230,7 +230,6 @@ void AsyncSession::absorb(graph::GraphDelta delta) {
   pending_vertex_changes_ +=
       (after.vertices_added - before.vertices_added) +
       (after.vertices_removed - before.vertices_removed);
-  if (delta.has_removals()) ++remap_count_;
   publish_view();
   if (!job_in_flight_ && rebalance_due()) dispatch_job();
 }
@@ -293,7 +292,7 @@ void AsyncSession::dispatch_job() {
   job.graph = front_->graph();
   job.partitioning = front_->partitioning();
   job.state = front_->partition_state();
-  job.remap_tag = remap_count_;
+  job.remap_tag = front_->remap_epoch();
   job.pending_updates = pending_updates_;
   job.pending_vertex_changes = pending_vertex_changes_;
   pending_updates_ = 0;
@@ -318,10 +317,12 @@ void AsyncSession::handle_commit(Commit commit) {
     record_error(commit.error);
     pending_updates_ += commit.job.pending_updates;
     pending_vertex_changes_ += commit.job.pending_vertex_changes;
-  } else if (commit.job.remap_tag != remap_count_) {
-    // A removal delta compacted the id space after the snapshot was
-    // taken: the rebalanced assignment addresses dead ids.  Discard it
-    // and re-trigger on the current state.
+  } else if (commit.job.remap_tag != front_->remap_epoch()) {
+    // A compaction renumbered the id space after the snapshot was taken:
+    // the rebalanced assignment addresses stale ids.  Discard it and
+    // re-trigger on the current state.  (Under deferred compaction a
+    // removal delta no longer remaps ids, so snapshots survive removals
+    // until the slack threshold actually trips.)
     commits_discarded_.fetch_add(1, std::memory_order_relaxed);
     pending_updates_ += commit.job.pending_updates;
     pending_vertex_changes_ += commit.job.pending_vertex_changes;

@@ -37,9 +37,12 @@
 /// Staleness protocol: a rebalance computed on a snapshot is only adopted
 /// if the vertex id space did not change in between.  Append-only deltas
 /// never invalidate a snapshot (new vertices simply keep their step-1
-/// placement until the next rebalance); a delta with removals remaps ids,
-/// so a rebalance that raced with one is discarded (counted in
-/// AsyncStats::commits_discarded) and the pending work re-triggers.
+/// placement until the next rebalance); a graph *compaction* renumbers
+/// ids (bumping Session::remap_epoch()), so a rebalance that raced with
+/// one is discarded (counted in AsyncStats::commits_discarded) and the
+/// pending work re-triggers.  Under GraphCompaction::eager every removal
+/// delta compacts; under deferred, removal deltas below the slack
+/// threshold keep ids stable and their in-flight rebalances adoptable.
 ///
 /// flush() is the barrier: it returns once everything submitted before it
 /// is absorbed, any in-flight rebalance is committed, and — if deltas are
@@ -226,8 +229,8 @@ class AsyncSession {
     graph::Graph graph;
     graph::Partitioning partitioning;
     graph::PartitionState state;
-    /// remap_count_ at snapshot time; a mismatch at commit time means ids
-    /// were remapped and the result must be discarded.
+    /// Session::remap_epoch() at snapshot time; a mismatch at commit time
+    /// means a compaction renumbered ids and the result must be discarded.
     std::uint64_t remap_tag = 0;
     /// Pending-work counters folded into this snapshot (restored if the
     /// commit is discarded or fails).
@@ -292,7 +295,6 @@ class AsyncSession {
   runtime::BoundedQueue<Commit> commit_queue_;  ///< capacity 1
 
   // Ingest-thread-only bookkeeping.
-  std::uint64_t remap_count_ = 0;
   std::int64_t pending_updates_ = 0;
   std::int64_t pending_vertex_changes_ = 0;
   bool job_in_flight_ = false;

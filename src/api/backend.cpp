@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "api/errors.hpp"
-#include "core/assign.hpp"
 #include "core/multilevel.hpp"
 #include "core/spmd_igp.hpp"
 #include "core/workspace.hpp"
@@ -102,17 +101,19 @@ class MultilevelBackend final : public Backend {
 /// failure-domain machinery: config.spmd_fault_spec wraps every rank's
 /// transport in a chaos injector, and a *retryable* TransportError (see
 /// net::FaultClass) is retried up to rebalance_retry_limit times with
-/// exponential backoff under rebalance_retry_deadline_ms.  Each retry
-/// first restores the tick's entry snapshot — partitioning back to the
-/// pre-tick assignment, the same step-1 extension a fresh call computes,
-/// a state rebuild, and full-reset rank workspaces — so a retried tick is
+/// exponential backoff under rebalance_retry_deadline_ms.  The in-place
+/// tick runs inside its own PartitionState rollback window: each retry
+/// replays the journal back to the tick's entry mark (O(moves), not
+/// O(V+E)), restores the entry aggregates from an O(P) snapshot, and
+/// full-resets the rank workspaces — so a retried tick starts from input
 /// bit-identical to a fault-free one.  Fatal errors and exhausted budgets
-/// propagate to the caller (the Session latches them, sticky).
+/// propagate to the caller (the Session latches them, sticky) with the
+/// window closed but *not* undone — the Session's outer window performs
+/// the final rollback.
 class SpmdBackend final : public Backend {
  public:
   explicit SpmdBackend(const ResolvedConfig& config)
       : options_(config.igp),
-        assign_(config.assign),
         retry_limit_(config.session.rebalance_retry_limit),
         retry_backoff_ms_(config.session.rebalance_retry_backoff_ms),
         retry_deadline_ms_(config.session.rebalance_retry_deadline_ms) {
@@ -171,51 +172,48 @@ class SpmdBackend final : public Backend {
       seen_remap_generation_ = ws.remap_generation;
     }
     RetryBudget budget = make_budget();
-    // Entry snapshot: a failed attempt leaves partitioning/state mid-run,
-    // so each retry rebuilds the exact entry conditions from this copy.
-    // Only taken when retry is enabled — the pooled buffer reuses its
-    // capacity, so the steady-state cost is one O(n_old) memcpy per tick.
-    const bool may_retry = retry_limit_ > 0;
-    const graph::PartId entry_parts = partitioning.num_parts;
-    if (may_retry) {
-      rollback_part_.assign(partitioning.part.begin(),
-                            partitioning.part.end());
-    }
-    graph::VertexId n = n_old;
+    // Entry mark: a failed attempt leaves partitioning/state mid-run, so
+    // each retry replays the undo journal back to this mark and restores
+    // the O(P) aggregate snapshot — rebuilding the exact entry conditions
+    // in O(moves undone) instead of the historical O(V+E) assignment copy
+    // + state rebuild.  The window nests inside the Session's outer one.
+    const std::size_t mark = state.begin_rollback_mark();
+    state.save_aggregates_into(aggregates_rollback_);
     for (;;) {
       try {
         BackendResult out = from_igp_result(core::spmd_repartition_in_place(
-            executor(), g_new, partitioning, n, options_, state, ws,
+            executor(), g_new, partitioning, n_old, options_, state, ws,
             rank_ws_));
         out.timings.total = timer.seconds();
         out.state_maintained = true;
+        state.end_rollback_mark(mark);
         return out;
       } catch (const net::TransportError& e) {
         // Aborted rank threads leave the persistent per-rank layerings
         // mid-stage; full-reset them whether or not we retry.
         for (core::Workspace& rank : rank_ws_) rank.invalidate_vertex_ids();
-        if (!may_retry || !backoff_or_give_up(e, budget)) throw;
-        // Restore the entry snapshot: the pre-tick assignment over
-        // [0, n_old), extended by the same step-1 placement a fresh call
-        // computes (extend_assignment ≡ extend_assignment_state, pinned
-        // by tests/core/test_assign.cpp), then a state rebuild.  The
-        // retried engine run therefore starts from bit-identical input;
-        // passing n = |V| just makes its own step 1 a no-op.
-        graph::Partitioning entry;
-        entry.num_parts = entry_parts;
-        entry.part.assign(rollback_part_.begin(), rollback_part_.end());
-        partitioning =
-            core::extend_assignment(g_new, entry, n_old, assign_);
-        state.rebuild(g_new, partitioning);
-        n = g_new.num_vertices();
+        if (!backoff_or_give_up(e, budget)) {
+          // Give up: close our window without undoing — the Session's
+          // outer window owns the final rollback to the pre-tick state.
+          state.end_rollback_mark(mark);
+          throw;
+        }
+        // Undo to the entry mark: the pre-tick assignment over [0, n_old)
+        // returns exactly (the appended vertices end kUnassigned again —
+        // they were placed inside the window), and the aggregate snapshot
+        // erases float drift.  The retried engine run therefore starts
+        // from bit-identical input and performs its own step 1 afresh.
+        state.undo_to_mark(g_new, partitioning, mark);
+        state.restore_aggregates(aggregates_rollback_);
+        partitioning.part.resize(static_cast<std::size_t>(n_old));
       }
     }
   }
 
   void trim_memory() override {
     for (core::Workspace& rank : rank_ws_) rank.release_memory();
-    rollback_part_.clear();
-    rollback_part_.shrink_to_fit();
+    std::vector<double>().swap(aggregates_rollback_.weight);
+    std::vector<double>().swap(aggregates_rollback_.boundary_cost);
   }
 
  private:
@@ -257,7 +255,6 @@ class SpmdBackend final : public Backend {
   }
 
   core::IgpOptions options_;
-  core::AssignOptions assign_;
   int retry_limit_;
   int retry_backoff_ms_;
   int retry_deadline_ms_;
@@ -266,8 +263,9 @@ class SpmdBackend final : public Backend {
   std::unique_ptr<core::FaultInjectingExecutor> chaos_;
   /// Persistent per-rank workspaces (resumable layering + pack buffers).
   std::vector<core::Workspace> rank_ws_;
-  /// Pooled pre-tick assignment snapshot for the retry restore path.
-  std::vector<graph::PartId> rollback_part_;
+  /// Pooled pre-tick aggregate snapshot for the retry restore path (the
+  /// assignment itself rolls back through the undo journal).
+  graph::PartitionState::AggregateSnapshot aggregates_rollback_;
   std::uint64_t seen_remap_generation_ = 0;
 };
 

@@ -52,8 +52,14 @@ static_assert(has_exactly_n_fields<core::IgpOptions, 4>,
               "IgpOptions changed — update SessionConfig::resolve()");
 static_assert(has_exactly_n_fields<core::MultilevelOptions, 3>,
               "MultilevelOptions changed — update SessionConfig::resolve()");
-static_assert(has_exactly_n_fields<SessionConfig, 27>,
+static_assert(has_exactly_n_fields<SessionConfig, 29>,
               "SessionConfig changed — update SessionConfig::resolve()");
+
+/// Batch backends rebuild from the whole graph every tick, so they cannot
+/// run against a tombstoned (deferred-compaction) graph.
+bool supports_deferred_compaction(const std::string& backend) {
+  return backend != "multilevel" && backend != "scratch";
+}
 
 }  // namespace
 
@@ -146,6 +152,21 @@ ResolvedConfig SessionConfig::resolve() const {
   config_check(batch_vertex_limit >= 1,
                "SessionConfig.batch_vertex_limit must be >= 1 (got " +
                    std::to_string(batch_vertex_limit) + ")");
+  config_check(compaction_slack > 0.0 && compaction_slack <= 1.0,
+               "SessionConfig.compaction_slack must be in (0, 1] (got " +
+                   std::to_string(compaction_slack) + ")");
+  if (graph_compaction == GraphCompaction::deferred) {
+    config_check(supports_deferred_compaction(backend),
+                 "SessionConfig.graph_compaction = deferred requires an "
+                 "in-place backend (got backend \"" +
+                     backend + "\")");
+    config_check(failure_policy != FailurePolicy::degrade ||
+                     supports_deferred_compaction(fallback_backend),
+                 "SessionConfig.graph_compaction = deferred requires an "
+                 "in-place fallback_backend under FailurePolicy::degrade "
+                 "(got \"" +
+                     fallback_backend + "\")");
+  }
   config_check(async_queue_capacity >= 1,
                "SessionConfig.async_queue_capacity must be >= 1 (got " +
                    std::to_string(async_queue_capacity) + ")");

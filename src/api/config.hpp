@@ -43,6 +43,23 @@ enum class FailurePolicy {
   degrade,
 };
 
+/// When Session::apply reclaims the ids of removed vertices (the graph
+/// keeps removed ids as empty "dead" tombstones until a compaction
+/// renumbers the survivors).
+enum class GraphCompaction {
+  /// Compact at the end of every delta that removed something.  Vertex ids
+  /// after apply() are exactly the ids the historical rebuild path
+  /// produced — the drop-in-compatible default.
+  eager,
+  /// Defer compaction until dead ids or adjacency-slab slack exceed
+  /// compaction_slack (or Session::compact() is called).  Ids stay stable
+  /// across removal deltas and apply() cost drops to O(Δ) even for the
+  /// remap bookkeeping.  Requires an in-place backend ("igp", "igpr",
+  /// "spmd") — batch backends rebuild from the full graph each tick and
+  /// cannot see tombstones.
+  deferred,
+};
+
 struct ResolvedConfig;
 
 /// Everything a Session needs, stated once.  Call resolve() to validate and
@@ -133,6 +150,13 @@ struct SessionConfig {
   /// BatchPolicy::vertex_count trigger: repartition when the number of
   /// vertices added + removed since the last repartition reaches this.
   int batch_vertex_limit = 256;
+
+  // --- graph compaction (deltas with removals) ---
+  GraphCompaction graph_compaction = GraphCompaction::eager;
+  /// GraphCompaction::deferred trigger: compact when dead vertices exceed
+  /// this fraction of the id space, or unused adjacency slots exceed this
+  /// fraction of the adjacency slab.  In (0, 1].
+  double compaction_slack = 0.5;
 
   // --- async session (AsyncSession only; ignored by Session) ---
   /// Capacity of the bounded ingest queue: how many submitted deltas may

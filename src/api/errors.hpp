@@ -99,6 +99,10 @@ class UnknownBackendError : public Error {
 };
 
 /// A stream operation incompatible with the session's current graph.
+/// Session::apply validates the whole delta up front
+/// (graph::validate_delta), so an operation rejected with this — or with
+/// the CheckError the validator throws — left graph, partitioning and
+/// state untouched: the strong exception guarantee, not a torn apply.
 class DeltaError : public Error {
  public:
   explicit DeltaError(const std::string& what) : Error(what) {}

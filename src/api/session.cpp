@@ -22,7 +22,8 @@ Session::Session(SessionConfig config, graph::Graph g, graph::Partitioning p)
                       " parts but SessionConfig.num_parts is " +
                       std::to_string(resolved_.session.num_parts));
   }
-  state_.rebuild(graph_, partitioning_);  // validates, seeds the O(Δ) path
+  partitioning_.validate(graph_);  // every live vertex assigned, in range
+  state_.rebuild(graph_, partitioning_);  // seeds the O(Δ) path
 }
 
 Session::Session(SessionConfig config, graph::Graph g)
@@ -53,32 +54,23 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
                          graph_.num_vertices());
   }
 
-  // apply_delta validates the whole delta up front, so every reference
-  // below is known good and the state bookkeeping cannot half-apply.
-  graph::DeltaResult applied = graph::apply_delta(graph_, delta);
-  // Only removals remap ids; the append-only case reuses the current
-  // assignment verbatim (moved out after the accounting below, which still
-  // reads it).
-  graph::Partitioning carried;
-  if (delta.has_removals()) {
-    carried = graph::carry_partitioning(partitioning_, applied);
-  }
-  const graph::VertexId first_new = applied.first_new_vertex;
-  const graph::VertexId n_old = graph_.num_vertices();
-  const std::int64_t old_edges = graph_.num_edges();
+  // Validate the whole delta up front (same rules as apply_delta), so
+  // every mutation below is known good and cannot half-apply: a rejected
+  // delta leaves graph/partitioning/state untouched (strong guarantee).
+  graph::validate_delta(graph_, delta);
 
-  // O(Δ) aggregate + counter accounting against the old graph, before it
-  // is swapped out.  Retiring a removed vertex pulls its weight and its
-  // edges to still-present neighbors out of the state, so an edge between
-  // two removed vertices leaves exactly once; surviving explicit removals
-  // and added old-old edges follow.  Edges that touch *new* vertices enter
-  // the state when those vertices are placed (finish_update).
+  const std::int64_t old_edges = graph_.num_edges();
+  const auto added =
+      static_cast<graph::VertexId>(delta.added_vertices.size());
+
+  // Removed vertices: retire the assignment first (move_vertex pulls the
+  // weight and the edges to still-present neighbors out of the state, so
+  // an edge between two removed vertices leaves exactly once), then drop
+  // the vertex from the graph — it becomes a dead id until compaction.
   std::int64_t removed_edge_count = 0;
   std::int64_t removed_vertex_count = 0;
   for (const graph::VertexId v : delta.removed_vertices) {
-    if (partitioning_.part[static_cast<std::size_t>(v)] == graph::kUnassigned) {
-      continue;  // duplicate entry, already retired
-    }
+    if (!graph_.is_live(v)) continue;  // duplicate entry, already removed
     for (const graph::VertexId u : graph_.neighbors(v)) {
       if (partitioning_.part[static_cast<std::size_t>(u)] !=
           graph::kUnassigned) {
@@ -86,10 +78,13 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
       }
     }
     state_.move_vertex(graph_, partitioning_, v, graph::kUnassigned);
+    graph_.remove_vertex(v);
     ++removed_vertex_count;
   }
-  std::vector<std::pair<graph::VertexId, graph::VertexId>> removed_old_edges;
+  // Removed edges (deduplicated; entries whose endpoint left with a
+  // removed vertex are already gone).
   if (!delta.removed_edges.empty()) {
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> removed_old_edges;
     removed_old_edges.reserve(delta.removed_edges.size());
     for (const auto& [u, v] : delta.removed_edges) {
       removed_old_edges.push_back(graph::canonical_edge(u, v));
@@ -105,44 +100,37 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
               graph::kUnassigned) {
         continue;  // already gone with a removed endpoint
       }
-      state_.remove_edge(partitioning_, u, v, graph_.edge_weight(u, v));
+      const double w = graph_.remove_edge(u, v);
+      state_.remove_edge(partitioning_, u, v, w);
       ++removed_edge_count;
     }
   }
-  // Old-old edge additions: a structurally new edge updates the boundary
-  // index; a duplicate that merges into an existing edge (or a repeat of
-  // an edge this same delta already created) only adjusts weights.  An
-  // edge removed above and re-added here is a replace — apply_delta drops
-  // the old weight and keeps the new — so it counts as structural again.
-  // First-occurrence detection is a sort over the old-old entries
-  // (O(k log k)); the main loop keeps the delta's original order so the
-  // floating-point cost accumulation is order-stable.
-  std::vector<bool> first_occurrence(delta.added_edges.size(), false);
-  {
-    std::vector<std::pair<std::pair<graph::VertexId, graph::VertexId>,
-                          std::size_t>>
-        old_old;
-    for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
-      const auto [u, v] = delta.added_edges[i];
-      if (u >= n_old || v >= n_old) continue;
-      old_old.emplace_back(graph::canonical_edge(u, v), i);
-    }
-    std::sort(old_old.begin(), old_old.end());
-    for (std::size_t k = 0; k < old_old.size(); ++k) {
-      first_occurrence[old_old[k].second] =
-          k == 0 || old_old[k].first != old_old[k - 1].first;
+
+  // Added vertices: ids are appended to the current id space, so a
+  // delta-space id (n_old + index) IS the graph id — no translation.  The
+  // new vertices start unassigned; their edges become visible to the
+  // state when step 1 places them (finish_update / the backend).
+  for (const graph::VertexAddition& add : delta.added_vertices) {
+    const graph::VertexId self = graph_.add_vertex(add.weight);
+    partitioning_.part.push_back(graph::kUnassigned);
+    for (const auto& [endpoint, weight] : add.edges) {
+      graph_.insert_edge(self, endpoint, weight);
     }
   }
+  state_.grow_vertices(graph_.num_vertices());
+
+  // Added edges, in delta order (float cost accumulation stays
+  // order-stable): the graph's own merge result decides structural-new
+  // (boundary index counts it) vs duplicate (weights only).  An edge
+  // removed above and re-added here was physically removed, so it counts
+  // as structural again — the historical replace semantics.  Edges
+  // touching a still-unassigned new vertex no-op through the state and
+  // enter at placement time.
   for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
     const auto [u, v] = delta.added_edges[i];
-    if (u >= n_old || v >= n_old) continue;  // enters at placement time
     const double w =
         delta.added_edge_weights.empty() ? 1.0 : delta.added_edge_weights[i];
-    const auto canon = graph::canonical_edge(u, v);
-    const bool removed_this_delta = std::binary_search(
-        removed_old_edges.begin(), removed_old_edges.end(), canon);
-    const bool structural = first_occurrence[i] &&
-                            (removed_this_delta || !graph_.has_edge(u, v));
+    const bool structural = graph_.insert_edge(u, v, w);
     if (structural) {
       state_.add_edge(partitioning_, u, v, w);
     } else {
@@ -150,19 +138,8 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
     }
   }
 
-  if (!delta.has_removals()) carried = std::move(partitioning_);
-  graph_ = std::move(applied.graph);
-  if (delta.has_removals()) {
-    // Deletions compacted the id space; rewrite the boundary index (the
-    // retired vertices already left it above, so every entry survives)
-    // and flag every id-addressed workspace buffer as stale.
-    state_.remap_vertices(applied.old_to_new, graph_.num_vertices());
-    workspace_.invalidate_vertex_ids();
-  }
-
   counters_.deltas_applied += 1;
-  counters_.vertices_added +=
-      static_cast<std::int64_t>(delta.added_vertices.size());
+  counters_.vertices_added += static_cast<std::int64_t>(added);
   counters_.vertices_removed += removed_vertex_count;
   // Count what actually changed in the graph, not what the delta listed:
   // removals include the edges implicitly dropped with removed vertices,
@@ -171,13 +148,70 @@ SessionReport Session::apply(const graph::GraphDelta& delta) {
   counters_.edges_removed += removed_edge_count;
   counters_.edges_added +=
       graph_.num_edges() - (old_edges - removed_edge_count);
+
+  // Compaction policy.  Eager reclaims dead ids at the end of every delta
+  // that removed something — ids after apply() are exactly what the
+  // historical rebuild path produced.  Deferred waits until dead ids or
+  // adjacency slack exceed the configured fraction, keeping ids stable and
+  // the per-delta cost at O(Δ).
+  bool compacted = false;
+  if (resolved_.session.graph_compaction == GraphCompaction::eager) {
+    if (delta.has_removals()) {
+      compact_now();
+      compacted = true;
+    }
+  } else {
+    const double slack = resolved_.session.compaction_slack;
+    const auto n_ids = static_cast<double>(graph_.num_vertices());
+    const auto cap = static_cast<double>(graph_.adjacency_capacity());
+    if (static_cast<double>(graph_.num_dead_vertices()) > slack * n_ids ||
+        (cap > 0.0 &&
+         static_cast<double>(graph_.adjacency_slack()) > slack * cap)) {
+      compact_now();
+      compacted = true;
+    }
+  }
+  // The appended (still unassigned) vertices are the id-space tail either
+  // way; hand finish_update the assignment over everything before them.
+  const graph::VertexId effective_first_new = graph_.num_vertices() - added;
+  graph::Partitioning carried = std::move(partitioning_);
+  carried.part.resize(static_cast<std::size_t>(effective_first_new));
+
   counters_.update_seconds += update_timer.seconds();
   pending_updates_ += 1;
   pending_vertex_changes_ +=
-      static_cast<std::int64_t>(delta.added_vertices.size()) +
-      removed_vertex_count;
+      static_cast<std::int64_t>(added) + removed_vertex_count;
 
-  return finish_update(call_timer, std::move(carried), first_new);
+  SessionReport report =
+      finish_update(call_timer, std::move(carried), effective_first_new);
+  report.compacted = compacted;
+  return report;
+}
+
+const std::vector<graph::VertexId>& Session::compact() {
+  throw_if_failed();
+  compact_now();
+  return last_compaction_;
+}
+
+void Session::compact_now() {
+  const graph::VertexId n = graph_.num_vertices();
+  const graph::VertexId new_n = graph_.compact(last_compaction_);
+  // Forward rewrite is safe in place: the order-preserving mapping never
+  // moves an assignment to a higher id.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const graph::VertexId nv = last_compaction_[static_cast<std::size_t>(v)];
+    if (nv != graph::kInvalidVertex) {
+      partitioning_.part[static_cast<std::size_t>(nv)] =
+          partitioning_.part[static_cast<std::size_t>(v)];
+    }
+  }
+  partitioning_.part.resize(static_cast<std::size_t>(new_n));
+  // The retired ids already left the boundary index (they were moved to
+  // kUnassigned when removed), so every surviving entry remaps cleanly;
+  // id-addressed workspace buffers are now stale.
+  state_.remap_vertices(last_compaction_, new_n);
+  workspace_.invalidate_vertex_ids();
 }
 
 SessionReport Session::apply_extended(graph::Graph g_new,
@@ -194,6 +228,13 @@ SessionReport Session::apply_extended(graph::Graph g_new,
   if (g_new.num_vertices() < n_old) {
     throw DeltaError(
         "apply_extended: the new graph must extend the current graph");
+  }
+  if (graph_.num_dead_vertices() > 0) {
+    // An extension aligns ids positionally with the current graph; dead
+    // ids would silently shift that alignment.
+    throw DeltaError(
+        "apply_extended: the session graph has uncompacted removed "
+        "vertices — call compact() first");
   }
 
   const graph::VertexId added = g_new.num_vertices() - n_old;
@@ -259,6 +300,11 @@ void Session::adopt_rebalance(const graph::Partitioning& rebalanced) {
   for (graph::VertexId v = 0; v < covered; ++v) {
     const graph::PartId target =
         rebalanced.part[static_cast<std::size_t>(v)];
+    if (target == graph::kUnassigned &&
+        partitioning_.part[static_cast<std::size_t>(v)] ==
+            graph::kUnassigned) {
+      continue;  // dead id in a deferred-compaction snapshot: stays retired
+    }
     if (target < 0 || target >= partitioning_.num_parts) {
       throw DeltaError(
           "adopt_rebalance: assignment out of range for vertex " +
@@ -319,12 +365,13 @@ SessionReport Session::finish_update(const runtime::WallTimer& started,
 void Session::run_backend(SessionReport& report, graph::Partitioning old,
                           graph::VertexId n_old) {
   runtime::WallTimer timer;
-  // Rollback snapshot into the pooled workspace buffer: the backend works
-  // in place on partitioning_, so on exception the pre-backend assignment
-  // must come from somewhere.  This memcpy-speed copy is the one O(V)
-  // touch the session itself still pays per repartition.
-  workspace_.rollback_part.assign(old.part.begin(), old.part.end());
-  const graph::PartId rollback_parts = old.num_parts;
+  // O(Δ) rollback protection: open a PartitionState journal window (every
+  // assignment change the backend makes is recorded as an undoable move)
+  // and park an O(P) aggregate snapshot in the workspace to erase float
+  // drift after an undo.  This replaces the historical O(V) assignment
+  // memcpy — exception rollback now costs what the failed run moved.
+  const std::size_t mark = state_.begin_rollback_mark();
+  state_.save_aggregates_into(workspace_.rollback_aggregates);
   partitioning_ = std::move(old);
   BackendResult result;
   try {
@@ -338,6 +385,7 @@ void Session::run_backend(SessionReport& report, graph::Partitioning old,
       state_.transition(graph_, partitioning_, result.partitioning);
     }
     check_backend_invariants(result.state_maintained, n_old);
+    state_.end_rollback_mark(mark);
   } catch (...) {
     // A wire failure that reaches this frame already spent the SPMD
     // backend's retry budget (or was fatal-classified) — peer ranks may be
@@ -352,16 +400,18 @@ void Session::run_backend(SessionReport& report, graph::Partitioning old,
     } catch (...) {
     }
     // Keep the graph/partitioning/state invariant intact for the caller:
-    // restore the pre-backend assignment from the rollback snapshot, run
-    // step 1 on it, and rebuild the state from scratch — the error path
-    // is the one place that rescan is acceptable.
-    graph::Partitioning restored;
-    restored.num_parts = rollback_parts;
-    restored.part.assign(workspace_.rollback_part.begin(),
-                         workspace_.rollback_part.end());
-    partitioning_ = core::extend_assignment(graph_, restored, n_old,
-                                            resolved_.assign);
-    state_.rebuild(graph_, partitioning_);
+    // replay the journal backwards to the pre-backend assignment (the
+    // appended vertices end kUnassigned again — they were placed inside
+    // the window), erase float drift from the snapshot, and re-run step 1
+    // so the session stays fully queryable.
+    PIGP_CHECK(!state_.journal_rebased(),
+               "backend rebuilt the state mid-run; rollback impossible");
+    state_.undo_to_mark(graph_, partitioning_, mark);
+    state_.end_rollback_mark(mark);
+    state_.restore_aggregates(workspace_.rollback_aggregates);
+    partitioning_.part.resize(static_cast<std::size_t>(n_old));
+    core::extend_assignment_state(graph_, partitioning_, n_old, state_,
+                                  workspace_, resolved_.assign);
     throw;
   }
 

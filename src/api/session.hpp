@@ -36,6 +36,7 @@
 #include <exception>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "api/backend.hpp"
 #include "api/config.hpp"
@@ -75,6 +76,12 @@ struct SessionCounters {
 struct SessionReport {
   /// True when the backend ran (false when the batch policy deferred).
   bool repartitioned = false;
+  /// True when this call compacted the vertex-id space (dropped dead ids
+  /// and renumbered the survivors) — consult Session::last_compaction()
+  /// for the mapping.  Always true for a delta with removals under
+  /// GraphCompaction::eager; under deferred only when the slack threshold
+  /// tripped.
+  bool compacted = false;
   /// Updates absorbed but not yet rebalanced after this call.
   int pending_updates = 0;
   /// Wall time of this call (application + assignment + backend).
@@ -118,16 +125,49 @@ class Session {
   Session(Session&&) = delete;
   Session& operator=(Session&&) = delete;
 
-  /// Absorb one incremental modification (insertions and/or deletions).
-  /// Repartitions now or defers per config.batch_policy.
+  /// Absorb one incremental modification (insertions and/or deletions) in
+  /// O(Δ · deg): the slotted graph is mutated in place and the maintained
+  /// PartitionState absorbs every change — no rebuild, no copy of the old
+  /// graph.  The delta is validated up front (strong guarantee: a rejected
+  /// delta leaves the session untouched) against the same rules as
+  /// graph::validate_delta.  Removed vertices become dead ids; whether the
+  /// id space is compacted immediately or deferred is governed by
+  /// config.graph_compaction (see GraphCompaction).  Repartitions now or
+  /// defers per config.batch_policy.  Not thread-safe — external
+  /// synchronization (or AsyncSession) required for concurrent use.
   SessionReport apply(const graph::GraphDelta& delta);
 
   /// Absorb a pre-extended graph: \p g_new's first \p n_old vertices are
   /// the current graph's (n_old must equal graph().num_vertices()).
+  /// Requires a compacted id space (no dead vertices) — under deferred
+  /// compaction call compact() first; throws DeltaError otherwise.
   SessionReport apply_extended(graph::Graph g_new, graph::VertexId n_old);
 
   /// Run the backend now regardless of the batch policy.
   SessionReport repartition();
+
+  /// Compact the vertex-id space now, regardless of the configured
+  /// trigger: dead ids are dropped, the survivors are renumbered
+  /// order-preservingly, and the graph's adjacency storage becomes tight.
+  /// O(V + E).  Returns the old→new id mapping (removed ids map to
+  /// graph::kInvalidVertex), also available as last_compaction().  A no-op
+  /// renumbering (identity mapping) when nothing is dead.
+  const std::vector<graph::VertexId>& compact();
+
+  /// The old→new id mapping of the most recent compaction (empty if none
+  /// has happened yet).  Valid until the next compaction.
+  [[nodiscard]] const std::vector<graph::VertexId>& last_compaction()
+      const noexcept {
+    return last_compaction_;
+  }
+
+  /// Monotone counter bumped every time the vertex-id space is remapped
+  /// (a compaction).  Snapshot-based consumers (AsyncSession's background
+  /// rebalancer) compare epochs to detect that ids from an older snapshot
+  /// no longer align with the session's.
+  [[nodiscard]] std::uint64_t remap_epoch() const noexcept {
+    return workspace_.remap_generation;
+  }
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const graph::Partitioning& partitioning() const noexcept {
@@ -211,14 +251,19 @@ class Session {
                               graph::Partitioning old,
                               graph::VertexId n_old);
   /// Run the backend in place: \p old (covering [0, n_old)) becomes the
-  /// session partitioning, a rollback snapshot of it is parked in the
-  /// workspace, and the backend's in-place overload extends/rebalances it
-  /// against graph_/state_ without any O(V) allocation.  On backend
-  /// exceptions the pre-backend assignment is restored (plus step 1) and
-  /// the state rebuilt, so the graph/partitioning/state invariant holds
-  /// for the caller either way.
+  /// session partitioning and the backend's in-place overload extends/
+  /// rebalances it against graph_/state_ without any O(V) allocation.
+  /// Exception rollback is O(Δ): the whole run executes inside a
+  /// PartitionState rollback window (an undo journal of the moves) plus an
+  /// O(P) aggregate snapshot, so on backend exceptions the pre-backend
+  /// assignment is replayed back move-by-move, float drift is erased from
+  /// the snapshot, and step 1 re-places the appended vertices — the
+  /// graph/partitioning/state invariant holds for the caller either way.
   void run_backend(SessionReport& report, graph::Partitioning old,
                    graph::VertexId n_old);
+  /// Compact the graph and remap partitioning/state/workspace in lock-step
+  /// (the implementation behind compact() and the automatic triggers).
+  void compact_now();
   /// Post-backend sanity: a full Partitioning::validate in Debug and
   /// PIGP_VALIDATE builds (and always for backends without the in-place
   /// path); in Release an O(Δ + boundary + P) incremental invariant check
@@ -253,6 +298,9 @@ class Session {
   /// Vertices added + removed since the last repartition (vertex_count
   /// batch policy).
   std::int64_t pending_vertex_changes_ = 0;
+  /// Old→new id mapping of the most recent compaction (see
+  /// last_compaction()).
+  std::vector<graph::VertexId> last_compaction_;
 };
 
 }  // namespace pigp

@@ -56,6 +56,12 @@
 namespace pigp {
 
 /// Immutable snapshot of a partitioning at one published epoch.
+///
+/// Vertex ids are the graph's ids *as of this epoch*: a graph compaction
+/// (eager — after any removal delta — or a deferred-mode threshold trip)
+/// renumbers the survivors, so a reader correlating ids across epochs
+/// must re-resolve them after a remap.  AsyncSession discards rebalance
+/// commits that raced with a compaction for the same reason.
 class PartitionView {
  public:
   PartitionView(std::uint64_t epoch, const graph::Partitioning& partitioning,

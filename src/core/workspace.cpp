@@ -19,7 +19,8 @@ void Workspace::release_memory() {
   refine_candidates = pigp::DenseMatrix<std::vector<GainCandidate>>();
   std::vector<RefineThreadScratch>().swap(refine_scratch);
   decltype(refine_journal)().swap(refine_journal);
-  std::vector<graph::PartId>().swap(rollback_part);
+  std::vector<double>().swap(rollback_aggregates.weight);
+  std::vector<double>().swap(rollback_aggregates.boundary_cost);
   std::vector<std::int64_t>().swap(spmd_eps_rows);
   std::vector<std::int64_t>().swap(spmd_moves_flat);
 }

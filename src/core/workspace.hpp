@@ -39,6 +39,7 @@
 #include "core/transfer.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partition_state.hpp"
 #include "support/dense_matrix.hpp"
 
 namespace pigp::core {
@@ -127,10 +128,11 @@ struct Workspace {
   std::vector<std::pair<graph::VertexId, graph::PartId>> refine_journal;
 
   // --- session plumbing (api/session.cpp) ---
-  /// Pre-backend assignment snapshot for exception rollback — the one
-  /// deliberate O(V) copy left on the hot path (memcpy-speed, reused
-  /// capacity; see ARCHITECTURE.md for why rollback needs a second copy).
-  std::vector<graph::PartId> rollback_part;
+  /// Pre-backend aggregate snapshot (O(P)) paired with the PartitionState
+  /// undo journal for exception rollback: the journal replays the O(Δ)
+  /// inverse moves, this snapshot erases their floating-point drift.
+  /// Replaces the historical O(V) rollback_part assignment copy.
+  graph::PartitionState::AggregateSnapshot rollback_aggregates;
 
   // --- SPMD driver gather/pack staging (core/spmd_igp.cpp) ---
   std::vector<std::int64_t> spmd_eps_rows;    ///< owned eps rows, packed

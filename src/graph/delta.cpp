@@ -126,7 +126,65 @@ DeltaResult apply_append_only(const Graph& g, const GraphDelta& delta) {
 
 }  // namespace
 
+void validate_delta(const Graph& g, const GraphDelta& delta) {
+  const VertexId n_old = g.num_vertices();
+  std::vector<VertexId> removed = delta.removed_vertices;
+  for (const VertexId v : removed) {
+    PIGP_CHECK(v >= 0 && v < n_old, "removed vertex out of range");
+    PIGP_CHECK(g.is_live(v), "removed vertex is already dead");
+  }
+  std::sort(removed.begin(), removed.end());
+  const auto is_removed = [&removed](VertexId v) {
+    return std::binary_search(removed.begin(), removed.end(), v);
+  };
+  for (const auto& [u, v] : delta.removed_edges) {
+    PIGP_CHECK(u >= 0 && u < n_old && v >= 0 && v < n_old,
+               "removed edge endpoint out of range");
+    PIGP_CHECK(g.has_edge(u, v), "removed edge does not exist");
+  }
+  // An old-graph endpoint must survive the delta; a >= n_old endpoint names
+  // an added vertex.
+  const auto check_endpoint = [&](VertexId id) {
+    if (id < n_old) {
+      PIGP_CHECK(g.is_live(id), "edge references a dead vertex");
+      PIGP_CHECK(!is_removed(id), "edge references removed vertex");
+    }
+  };
+  for (std::size_t i = 0; i < delta.added_vertices.size(); ++i) {
+    const VertexAddition& add = delta.added_vertices[i];
+    PIGP_CHECK(add.weight >= 0.0, "vertex weight must be non-negative");
+    const VertexId self = n_old + static_cast<VertexId>(i);
+    for (const auto& [endpoint, weight] : add.edges) {
+      PIGP_CHECK(endpoint >= 0, "delta vertex id out of range");
+      PIGP_CHECK(endpoint < self + 1,
+                 "vertex addition references a later vertex");
+      PIGP_CHECK(endpoint != self, "self-loop in vertex addition");
+      PIGP_CHECK(weight >= 0.0, "edge weight must be non-negative");
+      check_endpoint(endpoint);
+    }
+  }
+  PIGP_CHECK(delta.added_edges.size() == delta.added_edge_weights.size() ||
+                 delta.added_edge_weights.empty(),
+             "added edge weights must be empty or parallel to added_edges");
+  const auto total_ids =
+      n_old + static_cast<VertexId>(delta.added_vertices.size());
+  for (std::size_t i = 0; i < delta.added_edges.size(); ++i) {
+    const auto [u, v] = delta.added_edges[i];
+    PIGP_CHECK(u >= 0 && u < total_ids && v >= 0 && v < total_ids,
+               "delta vertex id out of range");
+    PIGP_CHECK(u != v, "self-loops are not allowed");
+    const double w =
+        delta.added_edge_weights.empty() ? 1.0 : delta.added_edge_weights[i];
+    PIGP_CHECK(w >= 0.0, "edge weight must be non-negative");
+    check_endpoint(u);
+    check_endpoint(v);
+  }
+}
+
 DeltaResult apply_delta(const Graph& g, const GraphDelta& delta) {
+  PIGP_CHECK(g.num_dead_vertices() == 0,
+             "apply_delta requires a compacted graph (no dead vertices)");
+  validate_delta(g, delta);
   if (!delta.has_removals()) return apply_append_only(g, delta);
   const VertexId n_old = g.num_vertices();
 

@@ -57,14 +57,27 @@ struct DeltaResult {
   VertexId first_new_vertex = 0;
 };
 
-/// Apply \p delta to \p g.  Throws pigp::CheckError on references to deleted
-/// or out-of-range vertices.  Adding an edge that already exists merges the
-/// weights (sum), mirroring GraphBuilder semantics.
+/// Check \p delta against \p g without modifying anything; throws
+/// pigp::CheckError on the first violation.  O(Δ log Δ) — independent of
+/// graph size.  Rejected: out-of-range, dead, or removed-in-this-delta
+/// vertex references, self-loops, negative vertex/edge weights, removed
+/// edges that do not exist, vertex additions referencing later additions,
+/// and an added_edge_weights array that is neither empty nor parallel to
+/// added_edges.  Both apply_delta and the in-place Session::apply run this
+/// up front, so a rejected delta leaves the graph untouched (strong
+/// guarantee) and the two paths agree on what a malformed delta is.
+void validate_delta(const Graph& g, const GraphDelta& delta);
+
+/// Apply \p delta to \p g, producing a new graph (the from-scratch
+/// reference path; Session::apply mutates in place instead).  Validates via
+/// validate_delta() and additionally requires \p g to have no dead
+/// (tombstoned) vertices — compact first.  Adding an edge that already
+/// exists merges the weights (sum), mirroring GraphBuilder semantics.
 ///
 /// Append-only deltas (no removals — the paper's refinement-front case)
 /// take a fast path that merges the O(Δ) new half-edges into the existing
-/// sorted CSR in one linear copy, instead of re-sorting the whole graph
-/// through GraphBuilder; the resulting graph is identical.
+/// sorted adjacency in one linear copy, instead of re-sorting the whole
+/// graph through GraphBuilder; the resulting graph is identical.
 [[nodiscard]] DeltaResult apply_delta(const Graph& g, const GraphDelta& delta);
 
 // Forward declaration (partition.hpp includes graph.hpp only).

@@ -1,13 +1,50 @@
 #pragma once
 
 /// \file graph.hpp
-/// Immutable undirected graph in compressed-sparse-row (CSR) form.
+/// Undirected graph in slotted (blocked) adjacency form — mutable in O(Δ).
 ///
 /// This is the substrate every other pigp module builds on: the meshes from
 /// pigp::mesh are converted to Graphs, the spectral and incremental
-/// partitioners consume Graphs, and GraphDelta (delta.hpp) produces new
-/// Graphs from old ones.  Vertices carry computation weights w_i and edges
-/// carry communication weights w_e(u,v) exactly as in §1.1 of Ou & Ranka.
+/// partitioners consume Graphs, and GraphDelta (delta.hpp) mutates or
+/// rebuilds them.  Vertices carry computation weights w_i and edges carry
+/// communication weights w_e(u,v) exactly as in §1.1 of Ou & Ranka.
+///
+/// Representation.  Historically this was an immutable CSR; the streaming
+/// path's O(V+E) wall was the rebuild a structural delta forced.  The graph
+/// is now *slotted*: every vertex owns a row [row_begin_[v],
+/// row_begin_[v] + row_len_[v]) inside shared adjacency slabs, with
+/// row_cap_[v] >= row_len_[v] slots of capacity.  Construction from CSR
+/// produces tight rows (cap == len, slabs == CSR arrays, no overhead); a
+/// row that outgrows its capacity is relocated to the end of the slab with
+/// doubled capacity (the *overflow arena*), leaving its old slots behind as
+/// garbage.  Rows stay sorted by neighbor id, so every read-side guarantee
+/// of the CSR era still holds: neighbors()/incident_edge_weights() return
+/// contiguous sorted spans, has_edge()/edge_weight() binary-search.
+///
+/// Mutation contract (all bounds independent of |V| and |E|):
+///   * insert_edge(u, v, w): amortized O(deg(u) + deg(v)) — a sorted
+///     in-row insertion, plus an occasional relocation whose cost is
+///     amortized by the doubling capacity;
+///   * remove_edge(u, v): O(deg(u) + deg(v));
+///   * add_vertex(w): amortized O(1);
+///   * remove_vertex(v): O(Σ_{u ∈ N(v)} deg(u)) — each incident edge is
+///     also removed from the neighbor's row.  A removed vertex becomes a
+///     *dead* (tombstoned) id: it keeps its slot in the id space, is not
+///     live(), has weight 0 and an empty row.  Dead vertices are therefore
+///     completely isolated — no adjacency walk can ever reach one — which
+///     is the invariant that lets every boundary-local pipeline phase run
+///     unmodified over a graph with tombstones.
+///   * compact(): O(V + E) — rewrites the graph tightly, dropping dead ids
+///     and garbage slots.  The mapping is order-preserving (surviving
+///     vertices keep their relative order), matching the id-compaction
+///     convention of apply_delta since PR 1.
+///
+/// Aggregates (num_edges, total_vertex_weight, adjacency_slack) are
+/// maintained incrementally and count live vertices/edges only.
+///
+/// Thread safety: const member functions are safe to call concurrently;
+/// any mutation requires exclusive access (same rule as the containers it
+/// is built from).
 
 #include <cstdint>
 #include <span>
@@ -15,43 +52,68 @@
 
 namespace pigp::graph {
 
-/// Vertex identifier; dense in [0, num_vertices()).
+/// Vertex identifier; dense in [0, num_vertices()).  With deferred
+/// compaction some ids in that range may be dead — see is_live().
 using VertexId = std::int32_t;
-/// Index into the CSR adjacency array.
+/// Index into the adjacency slabs.
 using EdgeIndex = std::int64_t;
 
 inline constexpr VertexId kInvalidVertex = -1;
 
-/// Immutable undirected graph (CSR).  Each undirected edge {u,v} is stored
-/// twice, once in each endpoint's adjacency list; adjacency lists are sorted
-/// by neighbor id and contain no self-loops or duplicates.
+/// Undirected graph in slotted adjacency form.  Each undirected edge {u,v}
+/// is stored twice, once in each endpoint's row; rows are sorted by
+/// neighbor id and contain no self-loops or duplicates.
 class Graph {
  public:
   /// Empty graph.
   Graph() = default;
 
-  /// Construct from raw CSR arrays.  \p xadj has size n+1, \p adjncy size
-  /// xadj[n]; \p vertex_weights size n; \p edge_weights parallel to
-  /// \p adjncy.  Call validate() afterwards if the arrays come from an
-  /// untrusted source.
+  /// Construct from raw CSR arrays (rows become tight slots: cap == len).
+  /// \p xadj has size n+1, \p adjncy size xadj[n]; \p vertex_weights size
+  /// n; \p edge_weights parallel to \p adjncy.  Call validate() afterwards
+  /// if the arrays come from an untrusted source.  Every vertex is live.
   Graph(std::vector<EdgeIndex> xadj, std::vector<VertexId> adjncy,
         std::vector<double> vertex_weights, std::vector<double> edge_weights);
 
+  /// Size of the id space, including dead (tombstoned) ids.
   [[nodiscard]] VertexId num_vertices() const noexcept {
-    return xadj_.empty() ? 0 : static_cast<VertexId>(xadj_.size() - 1);
+    return static_cast<VertexId>(row_begin_.size());
   }
 
-  /// Number of undirected edges (each {u,v} counted once).
+  /// True when \p v has not been removed.  O(1).
+  [[nodiscard]] bool is_live(VertexId v) const {
+    return live_[static_cast<std::size_t>(v)] != 0;
+  }
+  [[nodiscard]] VertexId num_dead_vertices() const noexcept {
+    return num_dead_;
+  }
+  [[nodiscard]] VertexId num_live_vertices() const noexcept {
+    return num_vertices() - num_dead_;
+  }
+
+  /// Number of undirected edges between live vertices (each {u,v} once).
   [[nodiscard]] std::int64_t num_edges() const noexcept {
-    return static_cast<std::int64_t>(adjncy_.size()) / 2;
+    return num_half_edges_ / 2;
   }
 
-  /// Number of directed half-edges (== 2 * num_edges()).
+  /// Number of directed half-edges (== 2 * num_edges()).  Maintained, O(1).
   [[nodiscard]] EdgeIndex num_half_edges() const noexcept {
-    return static_cast<EdgeIndex>(adjncy_.size());
+    return num_half_edges_;
   }
 
-  /// Sorted neighbor list of \p v.
+  /// Adjacency slots currently held but not storing a live half-edge:
+  /// per-row capacity slack plus the garbage left behind by row
+  /// relocations and removals.  The deferred-compaction trigger watches
+  /// this against the slab size.  O(1).
+  [[nodiscard]] EdgeIndex adjacency_slack() const noexcept {
+    return static_cast<EdgeIndex>(adj_.size()) - num_half_edges_;
+  }
+  /// Total allocated adjacency slots (live + slack).  O(1).
+  [[nodiscard]] EdgeIndex adjacency_capacity() const noexcept {
+    return static_cast<EdgeIndex>(adj_.size());
+  }
+
+  /// Sorted neighbor list of \p v (empty for dead vertices).
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const;
 
   /// Edge weights parallel to neighbors(v).
@@ -59,9 +121,10 @@ class Graph {
 
   [[nodiscard]] EdgeIndex degree(VertexId v) const;
 
+  /// Weight of \p v (0 for dead vertices).
   [[nodiscard]] double vertex_weight(VertexId v) const;
 
-  /// Sum of all vertex weights.
+  /// Sum of all live vertex weights.  Maintained, O(1).
   [[nodiscard]] double total_vertex_weight() const noexcept {
     return total_vertex_weight_;
   }
@@ -72,34 +135,73 @@ class Graph {
   /// Weight of edge {u, v}, or 0.0 if the edge does not exist.
   [[nodiscard]] double edge_weight(VertexId u, VertexId v) const;
 
-  /// True when every vertex and edge weight equals 1 (the paper's default).
+  /// True when every live vertex and edge weight equals 1 (the paper's
+  /// default).  O(V + E).
   [[nodiscard]] bool has_unit_weights() const;
 
-  [[nodiscard]] const std::vector<EdgeIndex>& xadj() const noexcept {
-    return xadj_;
-  }
-  [[nodiscard]] const std::vector<VertexId>& adjncy() const noexcept {
-    return adjncy_;
-  }
+  /// Per-id vertex weights (dead entries are 0).  Kept for bulk consumers
+  /// (io, the sharded SPMD loader); adjacency has no raw-array accessor —
+  /// use the per-vertex spans.
   [[nodiscard]] const std::vector<double>& vertex_weights() const noexcept {
     return vertex_weights_;
   }
-  [[nodiscard]] const std::vector<double>& edge_weights() const noexcept {
-    return edge_weights_;
-  }
 
-  /// Throws pigp::CheckError if the CSR structure is malformed: non-monotone
-  /// offsets, out-of-range neighbors, self-loops, unsorted or duplicate
-  /// adjacency entries, asymmetric edges, or mismatched weight arrays.
+  // --- O(Δ) mutators -----------------------------------------------------
+
+  /// Append one live vertex with no edges; returns its id.  Amortized O(1).
+  VertexId add_vertex(double weight);
+
+  /// Insert the undirected edge {u, v} (both endpoints live, u != v).
+  /// Returns true when the edge is structurally new; a duplicate merges by
+  /// summing \p w onto the existing weight (GraphBuilder semantics) and
+  /// returns false.  Amortized O(deg(u) + deg(v)).
+  bool insert_edge(VertexId u, VertexId v, double w);
+
+  /// Remove the undirected edge {u, v} (must exist); returns its weight.
+  /// O(deg(u) + deg(v)).
+  double remove_edge(VertexId u, VertexId v);
+
+  /// Remove \p v (must be live): every incident edge goes too, the id
+  /// becomes dead with weight 0 and an empty row.  Ids do not shift — use
+  /// compact() to reclaim them.  O(Σ_{u ∈ N(v)} deg(u)).
+  void remove_vertex(VertexId v);
+
+  /// Drop dead ids and garbage slots: surviving vertices are renumbered
+  /// order-preservingly, rows become tight, and \p old_to_new receives the
+  /// mapping (size = the old id space; removed ids map to kInvalidVertex).
+  /// Returns the new vertex count.  O(V + E).
+  VertexId compact(std::vector<VertexId>& old_to_new);
+
+  /// Throws pigp::CheckError if the structure is malformed: out-of-range or
+  /// dead neighbors, self-loops, unsorted or duplicate row entries,
+  /// asymmetric edges or weights, rows escaping the slab, non-empty dead
+  /// rows, or maintained counters that disagree with a recount.
   void validate() const;
 
-  friend bool operator==(const Graph&, const Graph&) = default;
+  /// Semantic equality: same id space, same liveness, and identical
+  /// weights and sorted adjacency per live vertex.  Slot layout (capacity
+  /// slack, relocation history) is not observable.
+  friend bool operator==(const Graph& a, const Graph& b);
 
  private:
-  std::vector<EdgeIndex> xadj_ = {0};
-  std::vector<VertexId> adjncy_;
+  /// Insert \p v into \p u's sorted row; true if {u,v} already existed (the
+  /// weight is merged instead).
+  bool half_insert(VertexId u, VertexId v, double w);
+  /// Remove \p v from \p u's sorted row (must be present).  Returns the
+  /// stored weight.
+  double half_remove(VertexId u, VertexId v);
+  /// Move \p u's row to the end of the slab with capacity \p new_cap.
+  void relocate_row(VertexId u, EdgeIndex new_cap);
+
+  std::vector<EdgeIndex> row_begin_;
+  std::vector<EdgeIndex> row_len_;
+  std::vector<EdgeIndex> row_cap_;
+  std::vector<VertexId> adj_;  ///< adjacency slab (rows + slack + garbage)
+  std::vector<double> ew_;     ///< edge-weight slab, parallel to adj_
   std::vector<double> vertex_weights_;
-  std::vector<double> edge_weights_;
+  std::vector<std::uint8_t> live_;
+  VertexId num_dead_ = 0;
+  EdgeIndex num_half_edges_ = 0;
   double total_vertex_weight_ = 0.0;
 };
 

@@ -14,9 +14,11 @@ void write_metis(const Graph& g, std::ostream& os) {
   const bool vwgt = !std::all_of(g.vertex_weights().begin(),
                                  g.vertex_weights().end(),
                                  [](double w) { return w == 1.0; });
-  const bool ewgt = !std::all_of(g.edge_weights().begin(),
-                                 g.edge_weights().end(),
-                                 [](double w) { return w == 1.0; });
+  bool ewgt = false;
+  for (VertexId v = 0; v < g.num_vertices() && !ewgt; ++v) {
+    const auto ws = g.incident_edge_weights(v);
+    ewgt = !std::all_of(ws.begin(), ws.end(), [](double w) { return w == 1.0; });
+  }
   os << g.num_vertices() << ' ' << g.num_edges();
   if (vwgt || ewgt) {
     os << ' ' << (vwgt ? '1' : '0') << (ewgt ? '1' : '0');

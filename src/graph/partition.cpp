@@ -12,8 +12,15 @@ void Partitioning::validate(const Graph& g) const {
   PIGP_CHECK(static_cast<VertexId>(part.size()) == g.num_vertices(),
              "partitioning size does not match graph");
   PIGP_CHECK(num_parts >= 1, "need at least one partition");
-  for (PartId q : part) {
-    PIGP_CHECK(q >= 0 && q < num_parts, "partition id out of range");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId q = part[static_cast<std::size_t>(v)];
+    if (g.is_live(v)) {
+      PIGP_CHECK(q >= 0 && q < num_parts, "partition id out of range");
+    } else {
+      // Dead (tombstoned) ids carry no assignment until compaction drops
+      // them.
+      PIGP_CHECK(q == kUnassigned, "dead vertex must be unassigned");
+    }
   }
 }
 

@@ -37,7 +37,10 @@ void PartitionState::bucket_erase(PartId q, VertexId v) {
 }
 
 void PartitionState::rebuild(const Graph& g, const Partitioning& p) {
-  p.validate(g);
+  PIGP_CHECK(static_cast<VertexId>(p.part.size()) == g.num_vertices(),
+             "partitioning size does not match graph");
+  PIGP_CHECK(p.num_parts >= 1, "need at least one partition");
+  if (journal_windows_ > 0) journal_rebased_ = true;
   num_parts_ = p.num_parts;
   weight_.assign(static_cast<std::size_t>(num_parts_), 0.0);
   boundary_cost_.assign(static_cast<std::size_t>(num_parts_), 0.0);
@@ -51,12 +54,17 @@ void PartitionState::rebuild(const Graph& g, const Partitioning& p) {
   // implementation.
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const PartId pv = p.part[static_cast<std::size_t>(v)];
+    // kUnassigned entries (retired or not-yet-placed ids) contribute
+    // nothing — same rule as move_vertex.
+    if (pv == kUnassigned) continue;
+    PIGP_CHECK(pv >= 0 && pv < num_parts_, "partition id out of range");
     weight_[static_cast<std::size_t>(pv)] += g.vertex_weight(v);
     const auto nbrs = g.neighbors(v);
     const auto weights = g.incident_edge_weights(v);
     std::int32_t ext = 0;
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const PartId pu = p.part[static_cast<std::size_t>(nbrs[i])];
+      if (pu == kUnassigned) continue;  // invisible until placed
       if (pu == pv) continue;  // internal edges and self-loops: no cost
       boundary_cost_[static_cast<std::size_t>(pv)] += weights[i];
       if (nbrs[i] > v) cut_total_ += weights[i];  // count each edge once
@@ -78,6 +86,9 @@ void PartitionState::move_vertex(const Graph& g, Partitioning& p, VertexId v,
   if (from == to) return;
   PIGP_CHECK(to == kUnassigned || (to >= 0 && to < num_parts_),
              "move_vertex destination out of range");
+  if (journal_windows_ > 0 && !journal_replaying_) {
+    journal_.push_back({v, from});
+  }
 
   const auto nbrs = g.neighbors(v);
   const auto weights = g.incident_edge_weights(v);
@@ -199,6 +210,7 @@ void PartitionState::transition(const Graph& g, Partitioning& p,
 
 void PartitionState::remap_vertices(const std::vector<VertexId>& old_to_new,
                                     VertexId new_num_vertices) {
+  if (journal_windows_ > 0) journal_rebased_ = true;
   std::vector<std::int32_t> ext(static_cast<std::size_t>(new_num_vertices),
                                 0);
   std::vector<std::int32_t> pos(static_cast<std::size_t>(new_num_vertices),
@@ -275,6 +287,36 @@ PartitionState::EdgeDiff PartitionState::reconcile_extension(
     }
   }
   return diff;
+}
+
+std::size_t PartitionState::begin_rollback_mark() {
+  ++journal_windows_;
+  return journal_.size();
+}
+
+void PartitionState::undo_to_mark(const Graph& g, Partitioning& p,
+                                  std::size_t mark) {
+  PIGP_CHECK(!journal_rebased_,
+             "undo journal invalidated by a rebuild/remap inside the window");
+  PIGP_CHECK(mark <= journal_.size(), "journal mark out of range");
+  journal_replaying_ = true;
+  while (journal_.size() > mark) {
+    const JournalEntry e = journal_.back();
+    journal_.pop_back();
+    move_vertex(g, p, e.v, e.from);
+  }
+  journal_replaying_ = false;
+}
+
+void PartitionState::end_rollback_mark(std::size_t mark) {
+  PIGP_CHECK(journal_windows_ > 0, "no open rollback window");
+  PIGP_CHECK(mark <= journal_.size() || journal_rebased_,
+             "journal mark out of range");
+  --journal_windows_;
+  if (journal_windows_ == 0) {
+    journal_.clear();
+    journal_rebased_ = false;
+  }
 }
 
 PartitionMetrics PartitionState::snapshot() const {

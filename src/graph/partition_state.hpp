@@ -66,9 +66,12 @@ class PartitionState {
   /// Equivalent to rebuild(g, p).
   PartitionState(const Graph& g, const Partitioning& p);
 
-  /// Recompute everything from scratch in O(V+E).  Validates \p p (every
-  /// vertex assigned).  This is the one full-rescan entry point; the
-  /// methods below are the O(Δ) ones.
+  /// Recompute everything from scratch in O(V+E).  kUnassigned entries
+  /// (retired or not-yet-placed ids) are tolerated and contribute nothing;
+  /// every other entry must be in [0, num_parts).  Callers that require
+  /// every live vertex to be assigned validate the Partitioning
+  /// separately.  This is the one full-rescan entry point; the methods
+  /// below are the O(Δ) ones.
   void rebuild(const Graph& g, const Partitioning& p);
 
   /// Reassign \p v to \p to (which may be kUnassigned to retire the
@@ -184,10 +187,53 @@ class PartitionState {
   [[nodiscard]] AggregateSnapshot save_aggregates() const {
     return {weight_, boundary_cost_, cut_total_};
   }
+  /// save_aggregates() into a pooled snapshot (vector assignment reuses
+  /// its capacity — zero steady-state allocations).
+  void save_aggregates_into(AggregateSnapshot& out) const {
+    out.weight = weight_;
+    out.boundary_cost = boundary_cost_;
+    out.cut_total = cut_total_;
+  }
   void restore_aggregates(const AggregateSnapshot& saved) {
     weight_ = saved.weight;
     boundary_cost_ = saved.boundary_cost;
     cut_total_ = saved.cut_total;
+  }
+
+  // --- O(Δ) undo journal ---
+  //
+  // The O(Δ) replacement for snapshotting the whole assignment vector
+  // before a speculative phase.  Open a window with begin_rollback_mark();
+  // until the matching end_rollback_mark() every assignment change that
+  // flows through move_vertex is recorded as {vertex, previous part}.
+  // undo_to_mark() replays the tail in LIFO order through move_vertex
+  // itself, restoring the Partitioning and the (integer) boundary index
+  // *exactly*; the float aggregates are restored up to summation drift —
+  // pair the window with save/restore_aggregates (O(P)) to erase even
+  // that.  Windows nest: Session wraps a whole backend run, SpmdBackend
+  // opens an inner window around its retry loop.  Recording is active
+  // while any window is open; the journal is freed when the outermost
+  // window closes.
+
+  /// Open a rollback window and return the journal position to pass to
+  /// undo_to_mark()/end_rollback_mark().  O(1).
+  [[nodiscard]] std::size_t begin_rollback_mark();
+  /// Undo every move recorded after \p mark (LIFO).  O(Σ deg(moved)).
+  /// Throws pigp::CheckError if the journal was invalidated by a
+  /// rebuild/remap inside the window — check journal_rebased() first.
+  void undo_to_mark(const Graph& g, Partitioning& p, std::size_t mark);
+  /// Close the window opened at \p mark, committing (or having undone) its
+  /// tail.  Closing the outermost window clears the journal.  O(1).
+  void end_rollback_mark(std::size_t mark);
+  /// True when rebuild() or remap_vertices() ran inside an open window:
+  /// the recorded vertex ids no longer match the state, so undo_to_mark()
+  /// would be wrong and refuses to run.
+  [[nodiscard]] bool journal_rebased() const noexcept {
+    return journal_rebased_;
+  }
+  /// Recorded (not yet undone) moves across all open windows.
+  [[nodiscard]] std::size_t journal_size() const noexcept {
+    return journal_.size();
   }
 
   [[nodiscard]] double cut_total() const noexcept { return cut_total_; }
@@ -221,6 +267,16 @@ class PartitionState {
   std::vector<std::vector<VertexId>> boundary_;
   /// Index of v inside its bucket, or -1.
   std::vector<std::int32_t> boundary_pos_;
+
+  /// One undoable assignment change: v moved away from `from`.
+  struct JournalEntry {
+    VertexId v;
+    PartId from;
+  };
+  std::vector<JournalEntry> journal_;
+  std::int32_t journal_windows_ = 0;  ///< open rollback windows
+  bool journal_replaying_ = false;    ///< suppress recording during undo
+  bool journal_rebased_ = false;      ///< rebuild/remap inside a window
 };
 
 }  // namespace pigp::graph

@@ -1,0 +1,358 @@
+// Adversarial structural-delta churn through the public Session API.
+//
+// One deterministic script drives interleaved vertex/edge adds and
+// removals — including hub deletion, duplicate edge listings, and
+// remove-then-re-add replace semantics — through two sessions at once:
+//
+//   * an *eager*-compaction session, whose graph must stay bit-identical
+//     to a from-scratch apply_delta chain (the rebuild-path oracle) after
+//     every single step;
+//   * a *deferred*-compaction session fed the same script translated into
+//     its stable id space, whose graph must equal the oracle after a
+//     compaction (the mapping is order-preserving on both paths).
+//
+// At the end both sessions repartition head-to-head against fresh
+// sessions adopting their exact graph + partitioning — a maintained
+// incremental state that has survived the whole churn must make
+// bit-identical decisions to a from-scratch rebuild.  A final pair of
+// tests exercises the O(Δ) undo journal: a fault-injected SPMD tick must
+// roll every survivor back to its entry assignment, in both compaction
+// modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "api/errors.hpp"
+#include "api/session.hpp"
+#include "graph/delta.hpp"
+#include "graph/generators.hpp"
+#include "spectral/partitioners.hpp"
+
+namespace pigp {
+namespace {
+
+using graph::Graph;
+using graph::GraphDelta;
+using graph::Partitioning;
+using graph::VertexId;
+
+/// Deterministic 64-bit PRNG (SplitMix64) so every run replays the same
+/// adversarial script.
+struct SplitMix64 {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+SessionConfig churn_config(GraphCompaction mode) {
+  SessionConfig c;
+  c.num_parts = 4;
+  c.backend = "igpr";
+  c.batch_policy = BatchPolicy::vertex_count;
+  c.batch_vertex_limit = 10;  // several real rebalance ticks mid-stream
+  c.graph_compaction = mode;
+  // Deferred track: never auto-compact (dead can't exceed the whole id
+  // space), so the test controls compaction points explicitly.
+  c.compaction_slack = 1.0;
+  return c;
+}
+
+TEST(StructuralStress, ChurnMatchesRebuildOracleEveryStep) {
+  const Graph base = graph::random_geometric_graph(240, 0.11, 97);
+  const Partitioning initial =
+      spectral::recursive_spectral_bisection(base, 4);
+
+  Session eager(churn_config(GraphCompaction::eager), base, initial);
+  Session deferred(churn_config(GraphCompaction::deferred), base, initial);
+  Graph oracle = base;  // from-scratch apply_delta chain, eager id space
+
+  // Eager ids are always [0, alive); a deferred live vertex keeps its id
+  // until a compaction, tracked here as eager id -> deferred id.
+  std::vector<VertexId> def_ids(static_cast<std::size_t>(base.num_vertices()));
+  std::iota(def_ids.begin(), def_ids.end(), 0);
+  VertexId def_n = base.num_vertices();  // deferred id-space size (incl dead)
+
+  SplitMix64 rng{0xabcdef12345ULL};
+  for (int step = 0; step < 28; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    const VertexId n_old = eager.graph().num_vertices();
+    GraphDelta delta;  // eager id space
+    std::set<VertexId> removed_this;
+
+    // Vertex removals, hub deletion every 7th step.
+    if (n_old > 60) {
+      if (step % 7 == 3) {
+        VertexId hub = 0;
+        for (VertexId v = 1; v < n_old; ++v) {
+          if (eager.graph().degree(v) > eager.graph().degree(hub)) hub = v;
+        }
+        removed_this.insert(hub);
+      }
+      const int nr = static_cast<int>(rng.below(3));
+      for (int i = 0; i < nr; ++i) {
+        removed_this.insert(static_cast<VertexId>(rng.below(
+            static_cast<std::uint64_t>(n_old))));
+      }
+      delta.removed_vertices.assign(removed_this.begin(), removed_this.end());
+    }
+    const auto is_removed = [&removed_this](VertexId v) {
+      return removed_this.count(v) != 0;
+    };
+    const auto pick_survivor = [&] {
+      VertexId v;
+      do {
+        v = static_cast<VertexId>(
+            rng.below(static_cast<std::uint64_t>(n_old)));
+      } while (is_removed(v));
+      return v;
+    };
+
+    // Edge removals (deduplicated canonical picks off live rows); one of
+    // them is immediately re-added below with a new weight — the
+    // remove-then-re-add replace semantics.
+    std::set<std::pair<VertexId, VertexId>> cut;
+    for (int i = 0; i < 4; ++i) {
+      const VertexId u = pick_survivor();
+      const auto nbrs = eager.graph().neighbors(u);
+      if (nbrs.empty()) continue;
+      const VertexId v = nbrs[rng.below(nbrs.size())];
+      if (is_removed(v)) continue;
+      cut.insert(graph::canonical_edge(u, v));
+    }
+    delta.removed_edges.assign(cut.begin(), cut.end());
+
+    // Vertex additions anchored on survivors (weight 1: integer arithmetic
+    // keeps every maintained aggregate exact, so parity checks are ==).
+    const int na = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < na; ++i) {
+      graph::VertexAddition add;
+      add.weight = 1.0;
+      std::set<VertexId> anchors;
+      const int fanout = 1 + static_cast<int>(rng.below(3));
+      for (int k = 0; k < fanout; ++k) anchors.insert(pick_survivor());
+      for (const VertexId a : anchors) add.edges.emplace_back(a, 1.0);
+      delta.added_vertices.push_back(std::move(add));
+    }
+
+    // Edge additions: a random survivor pair (merge if already adjacent),
+    // the same pair listed twice (duplicate-in-delta merge), and the first
+    // cut edge re-added with weight 2 (physically removed => structural).
+    const VertexId eu = pick_survivor();
+    VertexId ev = pick_survivor();
+    while (ev == eu) ev = pick_survivor();
+    delta.added_edges = {{eu, ev}, {ev, eu}};
+    delta.added_edge_weights = {1.0, 1.0};
+    if (!delta.removed_edges.empty()) {
+      delta.added_edges.push_back(delta.removed_edges.front());
+      delta.added_edge_weights.push_back(2.0);
+    }
+
+    // Translate into the deferred session's stable id space.
+    GraphDelta def_delta;
+    const auto def_id = [&](VertexId v) {
+      return v < n_old ? def_ids[static_cast<std::size_t>(v)]
+                       : def_n + (v - n_old);
+    };
+    for (const VertexId v : delta.removed_vertices) {
+      def_delta.removed_vertices.push_back(def_ids[v]);
+    }
+    for (const auto& [u, v] : delta.removed_edges) {
+      def_delta.removed_edges.emplace_back(def_ids[u], def_ids[v]);
+    }
+    for (const auto& add : delta.added_vertices) {
+      graph::VertexAddition def_add;
+      def_add.weight = add.weight;
+      for (const auto& [a, w] : add.edges) {
+        def_add.edges.emplace_back(def_id(a), w);
+      }
+      def_delta.added_vertices.push_back(std::move(def_add));
+    }
+    for (const auto& [u, v] : delta.added_edges) {
+      def_delta.added_edges.emplace_back(def_id(u), def_id(v));
+    }
+    def_delta.added_edge_weights = delta.added_edge_weights;
+
+    const SessionReport eager_report = eager.apply(delta);
+    const SessionReport def_report = deferred.apply(def_delta);
+    const graph::DeltaResult oracle_step = graph::apply_delta(oracle, delta);
+    oracle = oracle_step.graph;
+
+    // Tentpole contract: the in-place mutable stream is indistinguishable
+    // from the from-scratch rebuild, after every single step.
+    EXPECT_EQ(eager.graph(), oracle);
+    EXPECT_EQ(eager_report.compacted, delta.has_removals());
+    EXPECT_FALSE(def_report.compacted);  // slack 1.0 never self-triggers
+
+    // Deferred bookkeeping: drop removed mappings, append the new tail.
+    for (auto it = delta.removed_vertices.rbegin();
+         it != delta.removed_vertices.rend(); ++it) {
+      def_ids.erase(def_ids.begin() + *it);
+    }
+    for (int i = 0; i < na; ++i) def_ids.push_back(def_n + i);
+    def_n += na;
+
+    // Mid-stream explicit compaction of the deferred track.
+    if (step == 13) {
+      const std::vector<VertexId>& map = deferred.compact();
+      EXPECT_EQ(static_cast<VertexId>(map.size()), def_n);
+      def_n = deferred.graph().num_vertices();
+      std::iota(def_ids.begin(), def_ids.end(), 0);
+      EXPECT_EQ(def_n, static_cast<VertexId>(def_ids.size()));
+    }
+
+    // The deferred graph, compacted on a copy, is the same graph — the
+    // order-preserving mapping composes across steps.
+    if (step % 5 == 4 || step == 27) {
+      Graph def_copy = deferred.graph();
+      std::vector<VertexId> map;
+      def_copy.compact(map);
+      EXPECT_EQ(def_copy, oracle);
+      for (std::size_t i = 0; i < def_ids.size(); ++i) {
+        EXPECT_EQ(map[static_cast<std::size_t>(def_ids[i])],
+                  static_cast<VertexId>(i));
+      }
+    }
+
+    // Both partitionings stay well-formed under churn: every live vertex
+    // assigned, every dead id unassigned (validate enforces both).
+    eager.partitioning().validate(eager.graph());
+    deferred.partitioning().validate(deferred.graph());
+    eager.graph().validate();
+    deferred.graph().validate();
+  }
+
+  // Head-to-head finale: the state maintained through 28 churn steps must
+  // make bit-identical rebalance decisions to a from-scratch rebuild.
+  {
+    Session fresh(churn_config(GraphCompaction::eager), eager.graph(),
+                  eager.partitioning());
+    (void)fresh.repartition();
+    (void)eager.repartition();
+    EXPECT_EQ(eager.partitioning().part, fresh.partitioning().part);
+  }
+  {
+    (void)deferred.compact();
+    Session fresh(churn_config(GraphCompaction::deferred), deferred.graph(),
+                  deferred.partitioning());
+    (void)fresh.repartition();
+    (void)deferred.repartition();
+    EXPECT_EQ(deferred.partitioning().part, fresh.partitioning().part);
+  }
+}
+
+TEST(StructuralStress, DeferredSlackThresholdTriggersCompaction) {
+  const Graph base = graph::random_geometric_graph(200, 0.12, 11);
+  SessionConfig config = churn_config(GraphCompaction::deferred);
+  config.compaction_slack = 0.2;
+  Session session(config, base,
+                  spectral::recursive_spectral_bisection(base, 4));
+
+  bool compacted = false;
+  for (VertexId v = 0; v < 80 && !compacted; ++v) {
+    GraphDelta delta;
+    delta.removed_vertices.push_back(v);  // ids stay stable until the trip
+    compacted = session.apply(delta).compacted;
+  }
+  EXPECT_TRUE(compacted) << "20% dead must trip the deferred threshold";
+  EXPECT_EQ(session.graph().num_dead_vertices(), 0);
+  EXPECT_EQ(session.graph().adjacency_slack(), 0);
+  session.partitioning().validate(session.graph());
+}
+
+/// Rollback drill: a structural delta whose rebalance tick dies on the
+/// wire must leave every survivor at its entry assignment (the O(Δ) undo
+/// journal), with the appended tail placed and the error latched sticky.
+void rollback_after_backend_fault(GraphCompaction mode) {
+  const Graph base = graph::random_geometric_graph(300, 0.1, 23);
+  Partitioning initial = spectral::recursive_spectral_bisection(base, 4);
+  // Skew so the tick has real balancing work (and reaches the transport).
+  VertexId moved = 0;
+  for (VertexId v = 0; v < base.num_vertices() && moved < 40; ++v) {
+    if (initial.part[static_cast<std::size_t>(v)] == 3) {
+      initial.part[static_cast<std::size_t>(v)] = 2;
+      ++moved;
+    }
+  }
+
+  SessionConfig config;
+  config.num_parts = 4;
+  config.backend = "spmd";
+  config.spmd_ranks = 2;
+  config.spmd_fault_spec = "allgather@1:disconnect";
+  config.rebalance_retry_limit = 0;  // no retry: the fault must surface
+  config.graph_compaction = mode;
+  config.compaction_slack = 1.0;
+  Session session(config, base, initial);
+
+  const Partitioning before = session.partitioning();
+  const VertexId removed = 17;
+  GraphDelta delta;
+  delta.removed_vertices.push_back(removed);
+  graph::VertexAddition add;
+  add.edges.emplace_back(40, 1.0);
+  add.edges.emplace_back(41, 1.0);
+  delta.added_vertices.push_back(add);
+  delta.added_vertices.push_back(add);
+
+  EXPECT_THROW((void)session.apply(delta), TransportError);
+  EXPECT_TRUE(session.transport_failed());
+
+  const Partitioning& after = session.partitioning();
+  after.validate(session.graph());
+  if (mode == GraphCompaction::eager) {
+    // Survivors were renumbered by the eager compaction, then rolled back.
+    ASSERT_EQ(after.part.size(), before.part.size() - 1 + 2);
+    for (VertexId v = 0; v < base.num_vertices(); ++v) {
+      if (v == removed) continue;
+      const VertexId nv = v < removed ? v : v - 1;
+      EXPECT_EQ(after.part[static_cast<std::size_t>(nv)],
+                before.part[static_cast<std::size_t>(v)]);
+    }
+  } else {
+    // Ids are stable: the dead id reads unassigned, everyone else is
+    // exactly where the tick found them.
+    ASSERT_EQ(after.part.size(), before.part.size() + 2);
+    EXPECT_EQ(after.part[static_cast<std::size_t>(removed)],
+              graph::kUnassigned);
+    for (VertexId v = 0; v < base.num_vertices(); ++v) {
+      if (v == removed) continue;
+      EXPECT_EQ(after.part[static_cast<std::size_t>(v)],
+                before.part[static_cast<std::size_t>(v)]);
+    }
+  }
+  // The appended tail was still placed (assignment is local, no wire).
+  for (std::size_t i = before.part.size() - (mode == GraphCompaction::eager);
+       i < after.part.size(); ++i) {
+    EXPECT_GE(after.part[i], 0);
+  }
+
+  // Sticky latch, then explicit recovery: the one-shot fault is spent, so
+  // the revived session rebalances clean off the rolled-back state.
+  EXPECT_THROW((void)session.apply(GraphDelta{}), TransportError);
+  session.clear_error();
+  (void)session.repartition();
+  EXPECT_FALSE(session.transport_failed());
+  session.partitioning().validate(session.graph());
+}
+
+TEST(StructuralStress, FaultedTickRollsBackEagerStream) {
+  rollback_after_backend_fault(GraphCompaction::eager);
+}
+
+TEST(StructuralStress, FaultedTickRollsBackDeferredStream) {
+  rollback_after_backend_fault(GraphCompaction::deferred);
+}
+
+}  // namespace
+}  // namespace pigp

@@ -213,5 +213,76 @@ TEST(GraphDelta, AppendOnlyFastPathValidatesLikeTheGeneralPath) {
   }
 }
 
+TEST(GraphDelta, DuplicateEdgeDedupIdenticalOnFastAndRebuildPaths) {
+  // Regression: the append fast path and the removal-triggered rebuild
+  // path must resolve duplicate added_edges identically — every listing of
+  // {u, v} merges by summing, whether or not the delta also removes
+  // something (which historically routed it through a different engine).
+  const Graph base = grid_graph(5, 5);
+  GraphDelta fast_delta;
+  fast_delta.added_edges = {{0, 6}, {6, 0}, {0, 6}};  // triple-listed
+  fast_delta.added_edge_weights = {1.0, 2.0, 4.0};
+  const DeltaResult fast = apply_delta(base, fast_delta);
+  EXPECT_DOUBLE_EQ(fast.graph.edge_weight(0, 6), 7.0);
+
+  GraphDelta rebuild_delta = fast_delta;
+  rebuild_delta.removed_vertices.push_back(24);  // forces the rebuild path
+  const DeltaResult rebuilt = apply_delta(base, rebuild_delta);
+  EXPECT_DOUBLE_EQ(rebuilt.graph.edge_weight(0, 6), 7.0);
+
+  // And a duplicate of a pre-existing edge merges onto it on both paths.
+  GraphDelta merge_delta;
+  merge_delta.added_edges = {{0, 1}};
+  merge_delta.added_edge_weights = {3.0};
+  EXPECT_DOUBLE_EQ(apply_delta(base, merge_delta).graph.edge_weight(0, 1),
+                   base.edge_weight(0, 1) + 3.0);
+  merge_delta.removed_vertices.push_back(24);
+  EXPECT_DOUBLE_EQ(apply_delta(base, merge_delta).graph.edge_weight(0, 1),
+                   base.edge_weight(0, 1) + 3.0);
+}
+
+TEST(GraphDelta, NegativeEdgeWeightRejectedOnBothPaths) {
+  // Regression: the rebuild path used to accept negative added-edge
+  // weights that the append fast path rejected.  validate_delta is now the
+  // single shared rule-set.
+  const Graph base = square();
+  GraphDelta bad;
+  bad.added_edges = {{0, 2}};
+  bad.added_edge_weights = {-1.0};
+  EXPECT_THROW(apply_delta(base, bad), CheckError);  // fast path
+  bad.removed_edges.push_back({0, 1});
+  EXPECT_THROW(apply_delta(base, bad), CheckError);  // rebuild path
+  GraphDelta bad_vertex;
+  bad_vertex.added_vertices.push_back({1.0, {{0, -2.0}}});
+  bad_vertex.removed_edges.push_back({0, 1});
+  EXPECT_THROW(apply_delta(base, bad_vertex), CheckError);
+}
+
+TEST(GraphDelta, ValidateDeltaLeavesGraphUntouchedOnRejection) {
+  const Graph base = square();
+  GraphDelta bad;
+  bad.removed_vertices.push_back(1);
+  bad.removed_edges.push_back({0, 2});  // does not exist — rejected
+  EXPECT_THROW(validate_delta(base, bad), CheckError);
+  EXPECT_THROW(apply_delta(base, bad), CheckError);
+  EXPECT_EQ(base, square());  // strong guarantee: nothing half-applied
+
+  GraphDelta good;
+  good.removed_vertices.push_back(1);
+  good.added_edges.push_back({0, 2});
+  validate_delta(base, good);  // must not throw
+}
+
+TEST(GraphDelta, ApplyDeltaRequiresCompactedGraph) {
+  Graph dirty = square();
+  dirty.remove_vertex(2);  // tombstone, no compaction
+  GraphDelta delta;
+  delta.added_edges.push_back({0, 1});
+  EXPECT_THROW(apply_delta(dirty, delta), CheckError);
+  std::vector<VertexId> old_to_new;
+  dirty.compact(old_to_new);
+  apply_delta(dirty, delta);  // compacted graph is accepted again
+}
+
 }  // namespace
 }  // namespace pigp::graph
